@@ -1,0 +1,35 @@
+//! Errors for the advection drivers.
+
+use std::fmt;
+
+/// Errors produced by `pp-advection`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Grid/backends disagree on resolution.
+    ShapeMismatch {
+        /// Explanation.
+        detail: String,
+    },
+    /// Underlying spline-solver error.
+    Spline(pp_splinesolver::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
+            Error::Spline(e) => write!(f, "spline solver: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<pp_splinesolver::Error> for Error {
+    fn from(e: pp_splinesolver::Error) -> Self {
+        Error::Spline(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,498 @@
+//! 1D batched semi-Lagrangian advection (the paper's Algorithm 2).
+
+use crate::error::{Error, Result};
+use pp_bsplines::PeriodicSplineSpace;
+use pp_portable::{transpose_into_with, ExecSpace, Layout, Matrix};
+use pp_splinesolver::{
+    BuilderVersion, IterativeConfig, IterativeSplineSolver, SplineBuilder, SplineEvaluator,
+};
+use std::time::{Duration, Instant};
+
+/// Which spline construction backend drives the advection — the paper's
+/// Kokkos-kernels (direct) vs. Ginkgo (iterative) comparison.
+// One long-lived backend per driver: the variant size gap is irrelevant.
+#[allow(clippy::large_enum_variant)]
+pub enum SplineBackend {
+    /// Schur-complement direct builder (`pp-splinesolver::SplineBuilder`).
+    Direct(SplineBuilder),
+    /// Direct builder running the lane-tiled kernel (the §V-A future-work
+    /// optimisation) with the given tile width.
+    DirectTiled(SplineBuilder, usize),
+    /// Krylov iterative solver (`pp-splinesolver::IterativeSplineSolver`).
+    Iterative(Box<IterativeSplineSolver>),
+}
+
+impl SplineBackend {
+    /// Direct backend with a given kernel version.
+    pub fn direct(space: PeriodicSplineSpace, version: BuilderVersion) -> Result<Self> {
+        Ok(SplineBackend::Direct(SplineBuilder::new(space, version)?))
+    }
+
+    /// Direct backend using the lane-tiled solve path.
+    pub fn direct_tiled(space: PeriodicSplineSpace, tile: usize) -> Result<Self> {
+        Ok(SplineBackend::DirectTiled(
+            SplineBuilder::new(space, pp_splinesolver::BuilderVersion::FusedSpmv)?,
+            tile,
+        ))
+    }
+
+    /// Iterative backend with a given configuration.
+    pub fn iterative(space: PeriodicSplineSpace, config: IterativeConfig) -> Result<Self> {
+        Ok(SplineBackend::Iterative(Box::new(
+            IterativeSplineSolver::new(space, config)?,
+        )))
+    }
+
+    fn space(&self) -> &PeriodicSplineSpace {
+        match self {
+            SplineBackend::Direct(b) => b.space(),
+            SplineBackend::DirectTiled(b, _) => b.space(),
+            SplineBackend::Iterative(s) => s.space(),
+        }
+    }
+
+    /// Short label for benchmark output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SplineBackend::Direct(_) => "kokkos-kernels",
+            SplineBackend::DirectTiled(..) => "kokkos-kernels-tiled",
+            SplineBackend::Iterative(_) => "ginkgo",
+        }
+    }
+}
+
+/// Wall-clock breakdown of one advection step.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepTimings {
+    /// Transpose into lane-contiguous layout (Algorithm 2, line 3).
+    pub transpose_in: Duration,
+    /// Spline build — the paper's `ddc_splines_solve` region.
+    pub splines_solve: Duration,
+    /// Transpose back (line 5).
+    pub transpose_out: Duration,
+    /// Characteristic feet + interpolation (lines 6–10).
+    pub interpolate: Duration,
+}
+
+impl StepTimings {
+    /// Total step time.
+    pub fn total(&self) -> Duration {
+        self.transpose_in + self.splines_solve + self.transpose_out + self.interpolate
+    }
+
+    /// Accumulate another step's timings.
+    pub fn accumulate(&mut self, other: &StepTimings) {
+        self.transpose_in += other.transpose_in;
+        self.splines_solve += other.splines_solve;
+        self.transpose_out += other.transpose_out;
+        self.interpolate += other.interpolate;
+    }
+}
+
+/// Batched 1D constant-coefficient advection
+/// `∂f/∂t + v ∂f/∂x = 0` on a periodic `x` domain: each velocity-grid
+/// lane `v_j` advects independently, which is exactly the paper's
+/// benchmark (§III-C, "solving the advection term along the x direction
+/// while using batching along the v_x direction").
+/// ```
+/// use pp_advection::{Advection1D, SplineBackend};
+/// use pp_bsplines::{Breaks, PeriodicSplineSpace};
+/// use pp_portable::Parallel;
+/// use pp_splinesolver::BuilderVersion;
+///
+/// let space = PeriodicSplineSpace::new(Breaks::uniform(32, 0.0, 1.0).unwrap(), 3).unwrap();
+/// let backend = SplineBackend::direct(space, BuilderVersion::FusedSpmv).unwrap();
+/// let mut adv = Advection1D::new(backend, vec![0.5, -0.5], 1e-2).unwrap();
+/// let mut f = adv.init_distribution(|x, _| (std::f64::consts::TAU * x).sin());
+/// let timings = adv.step(&Parallel, &mut f).unwrap();
+/// assert!(timings.splines_solve > std::time::Duration::ZERO);
+/// ```
+pub struct Advection1D {
+    backend: SplineBackend,
+    evaluator: SplineEvaluator,
+    /// Velocity of each batch lane.
+    velocities: Vec<f64>,
+    /// Interpolation grid along x (the spline interpolation points).
+    x_points: Vec<f64>,
+    /// Scratch: lane-contiguous spline RHS/coefficients `(Nx, Nv)`.
+    eta: Matrix,
+    /// Scratch: previous coefficients (iterative warm start).
+    eta_prev: Option<Matrix>,
+    /// Scratch: characteristic feet `(Nx, Nv)`, fixed for fixed `Δt`.
+    feet: Matrix,
+    /// Scratch: interpolated result `(Nx, Nv)`.
+    interp: Matrix,
+    dt: f64,
+}
+
+impl Advection1D {
+    /// Set up the solver for `Nv = velocities.len()` lanes and a fixed
+    /// time step `dt` (feet are precomputed; use
+    /// [`Advection1D::set_dt`] to change it).
+    pub fn new(backend: SplineBackend, velocities: Vec<f64>, dt: f64) -> Result<Self> {
+        let space = backend.space().clone();
+        let nx = space.num_basis();
+        let nv = velocities.len();
+        if nv == 0 {
+            return Err(Error::ShapeMismatch {
+                detail: "need at least one velocity lane".into(),
+            });
+        }
+        let x_points = space.interpolation_points();
+        let mut me = Self {
+            evaluator: SplineEvaluator::new(space),
+            backend,
+            velocities,
+            x_points,
+            eta: Matrix::zeros(nx, nv, Layout::Left),
+            eta_prev: None,
+            feet: Matrix::zeros(nx, nv, Layout::Left),
+            interp: Matrix::zeros(nx, nv, Layout::Left),
+            dt,
+        };
+        me.compute_feet();
+        Ok(me)
+    }
+
+    /// Number of x points.
+    pub fn nx(&self) -> usize {
+        self.x_points.len()
+    }
+
+    /// Number of velocity lanes (the batch size).
+    pub fn nv(&self) -> usize {
+        self.velocities.len()
+    }
+
+    /// The x-direction interpolation grid.
+    pub fn x_points(&self) -> &[f64] {
+        &self.x_points
+    }
+
+    /// The spline space along x.
+    pub fn space(&self) -> &PeriodicSplineSpace {
+        self.backend.space()
+    }
+
+    /// Backend label for reports.
+    pub fn backend_label(&self) -> &'static str {
+        self.backend.label()
+    }
+
+    /// Change the time step (recomputes the characteristic feet).
+    pub fn set_dt(&mut self, dt: f64) {
+        self.dt = dt;
+        self.compute_feet();
+    }
+
+    fn compute_feet(&mut self) {
+        // Foot of the characteristic ending at (x_i, v_j): x_i − v_j·Δt
+        // (first-order backward integration, exact for constant advection).
+        let dt = self.dt;
+        for j in 0..self.nv() {
+            let v = self.velocities[j];
+            for i in 0..self.nx() {
+                self.feet.set(i, j, self.x_points[i] - v * dt);
+            }
+        }
+    }
+
+    /// Initialise a distribution `f(x_i, v_j)` as a `(Nv, Nx)` row-major
+    /// field (the paper keeps data row-major contiguous; lanes are rows).
+    pub fn init_distribution(&self, f: impl Fn(f64, f64) -> f64) -> Matrix {
+        let nv = self.nv();
+        let nx = self.nx();
+        Matrix::from_fn(nv, nx, Layout::Right, |j, i| {
+            f(self.x_points[i], self.velocities[j])
+        })
+    }
+
+    /// Advance `f` (shape `(Nv, Nx)`, any layout) by one time step.
+    /// Returns the per-phase timings.
+    pub fn step<E: ExecSpace>(&mut self, exec: &E, f: &mut Matrix) -> Result<StepTimings> {
+        let (nv, nx) = (self.nv(), self.nx());
+        if f.shape() != (nv, nx) {
+            return Err(Error::ShapeMismatch {
+                detail: format!("f is {:?}, expected ({nv}, {nx})", f.shape()),
+            });
+        }
+        let mut t = StepTimings::default();
+
+        // Line 3: transpose to lane-contiguous (Nx, Nv).
+        let t0 = Instant::now();
+        transpose_into_with(exec, f, &mut self.eta).expect("shape fixed at construction");
+        t.transpose_in = t0.elapsed();
+
+        // Line 4: build splines, batched over v (the measured region).
+        let t0 = Instant::now();
+        match &self.backend {
+            SplineBackend::Direct(builder) => builder.solve_in_place(exec, &mut self.eta)?,
+            SplineBackend::DirectTiled(builder, tile) => {
+                builder.solve_in_place_tiled(exec, &mut self.eta, *tile)?
+            }
+            SplineBackend::Iterative(solver) => {
+                solver.solve_in_place(&mut self.eta, self.eta_prev.as_ref())?;
+            }
+        }
+        t.splines_solve = t0.elapsed();
+
+        // Lines 6-10: follow characteristics and interpolate.
+        let t0 = Instant::now();
+        self.evaluator
+            .eval_batched(exec, &self.eta, &self.feet, &mut self.interp)?;
+        t.interpolate = t0.elapsed();
+
+        // Line 5 (moved after evaluation since we evaluate from the
+        // lane-contiguous coefficients directly): transpose result back.
+        let t0 = Instant::now();
+        transpose_into_with(exec, &self.interp, f).expect("shape fixed at construction");
+        t.transpose_out = t0.elapsed();
+
+        // Keep coefficients for the iterative backend's warm start.
+        if matches!(self.backend, SplineBackend::Iterative(_)) {
+            match &mut self.eta_prev {
+                Some(p) => p.deep_copy_from(&self.eta).expect("same shape"),
+                None => self.eta_prev = Some(self.eta.clone()),
+            }
+        }
+        Ok(t)
+    }
+
+    /// Advance `f` by one step with *per-lane displacements* instead of
+    /// the precomputed `v·Δt` feet: lane `j`'s foot is
+    /// `x_i − displacements[j]`. Used by the Vlasov driver, where the
+    /// v-direction shift `E(x)·Δt` changes every step.
+    pub fn step_with_displacements<E: ExecSpace>(
+        &mut self,
+        exec: &E,
+        f: &mut Matrix,
+        displacements: &[f64],
+    ) -> Result<StepTimings> {
+        if displacements.len() != self.nv() {
+            return Err(Error::ShapeMismatch {
+                detail: format!(
+                    "{} displacements for {} lanes",
+                    displacements.len(),
+                    self.nv()
+                ),
+            });
+        }
+        for j in 0..self.nv() {
+            let d = displacements[j];
+            for i in 0..self.nx() {
+                self.feet.set(i, j, self.x_points[i] - d);
+            }
+        }
+        let timings = self.step(exec, f);
+        // Restore the standing feet for subsequent plain `step` calls.
+        self.compute_feet();
+        timings
+    }
+
+    /// Total mass `Σ f` (a conserved quantity of periodic advection up to
+    /// spline interpolation error; used by tests and examples).
+    pub fn mass(&self, f: &Matrix) -> f64 {
+        f.as_slice().iter().sum()
+    }
+
+    /// Analytic solution of constant advection after `steps` steps for an
+    /// initial profile `f0(x, v)` — for accuracy checks.
+    pub fn analytic(&self, f0: impl Fn(f64, f64) -> f64, steps: usize) -> Matrix {
+        let t = self.dt * steps as f64;
+        self.init_distribution(|x, v| f0(x - v * t, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_bsplines::Breaks;
+    use pp_portable::{Parallel, Serial};
+
+    fn gaussian(x: f64, _v: f64) -> f64 {
+        let d = x - 0.5;
+        (-d * d / 0.005).exp()
+    }
+
+    fn make(nx: usize, nv: usize, degree: usize, version: BuilderVersion) -> Advection1D {
+        let space =
+            PeriodicSplineSpace::new(Breaks::uniform(nx, 0.0, 1.0).unwrap(), degree).unwrap();
+        let velocities: Vec<f64> = (0..nv).map(|j| 0.2 + 0.05 * j as f64).collect();
+        let backend = SplineBackend::direct(space, version).unwrap();
+        Advection1D::new(backend, velocities, 1e-2).unwrap()
+    }
+
+    #[test]
+    fn advection_tracks_analytic_solution() {
+        let mut adv = make(128, 4, 3, BuilderVersion::FusedSpmv);
+        let mut f = adv.init_distribution(gaussian);
+        let steps = 25;
+        for _ in 0..steps {
+            adv.step(&Parallel, &mut f).unwrap();
+        }
+        let exact = adv.analytic(gaussian, steps);
+        let err = f.max_abs_diff(&exact);
+        assert!(err < 5e-3, "advection error {err}");
+    }
+
+    #[test]
+    fn mass_is_conserved() {
+        let mut adv = make(64, 6, 3, BuilderVersion::Fused);
+        let mut f = adv.init_distribution(|x, v| gaussian(x, v) + 0.1);
+        let m0 = adv.mass(&f);
+        for _ in 0..50 {
+            adv.step(&Parallel, &mut f).unwrap();
+        }
+        let m1 = adv.mass(&f);
+        assert!(
+            ((m1 - m0) / m0).abs() < 1e-10,
+            "mass drifted: {m0} -> {m1}"
+        );
+    }
+
+    #[test]
+    fn one_period_returns_to_start() {
+        // With v·dt·steps == period, the exact solution is the initial
+        // condition; spline error accumulates but stays small.
+        let space =
+            PeriodicSplineSpace::new(Breaks::uniform(128, 0.0, 1.0).unwrap(), 5).unwrap();
+        let backend = SplineBackend::direct(space, BuilderVersion::FusedSpmv).unwrap();
+        let mut adv = Advection1D::new(backend, vec![1.0], 0.01).unwrap();
+        let mut f = adv.init_distribution(gaussian);
+        let f0 = f.clone();
+        for _ in 0..100 {
+            adv.step(&Parallel, &mut f).unwrap();
+        }
+        assert!(f.max_abs_diff(&f0) < 1e-2, "{}", f.max_abs_diff(&f0));
+    }
+
+    #[test]
+    fn higher_degree_is_more_accurate() {
+        let mut errs = Vec::new();
+        for degree in [3, 5] {
+            let mut adv = make(64, 1, degree, BuilderVersion::FusedSpmv);
+            let mut f = adv.init_distribution(|x, _| (std::f64::consts::TAU * x).sin());
+            for _ in 0..20 {
+                adv.step(&Serial, &mut f).unwrap();
+            }
+            let exact = adv.analytic(|x, _| (std::f64::consts::TAU * x).sin(), 20);
+            errs.push(f.max_abs_diff(&exact));
+        }
+        assert!(errs[1] < errs[0], "deg5 {} should beat deg3 {}", errs[1], errs[0]);
+    }
+
+    #[test]
+    fn direct_and_iterative_backends_agree() {
+        let space =
+            PeriodicSplineSpace::new(Breaks::uniform(48, 0.0, 1.0).unwrap(), 3).unwrap();
+        let velocities = vec![0.3, -0.2, 0.7];
+
+        let mut adv_d = Advection1D::new(
+            SplineBackend::direct(space.clone(), BuilderVersion::FusedSpmv).unwrap(),
+            velocities.clone(),
+            0.02,
+        )
+        .unwrap();
+        let mut adv_i = Advection1D::new(
+            SplineBackend::iterative(space, IterativeConfig::gpu()).unwrap(),
+            velocities,
+            0.02,
+        )
+        .unwrap();
+        assert_eq!(adv_d.backend_label(), "kokkos-kernels");
+        assert_eq!(adv_i.backend_label(), "ginkgo");
+
+        let mut fd = adv_d.init_distribution(gaussian);
+        let mut fi = fd.clone();
+        for _ in 0..5 {
+            adv_d.step(&Parallel, &mut fd).unwrap();
+            adv_i.step(&Parallel, &mut fi).unwrap();
+        }
+        assert!(fd.max_abs_diff(&fi) < 1e-9, "{}", fd.max_abs_diff(&fi));
+    }
+
+    #[test]
+    fn tiled_backend_matches_direct() {
+        let space =
+            PeriodicSplineSpace::new(Breaks::uniform(64, 0.0, 1.0).unwrap(), 3).unwrap();
+        let velocities = vec![0.3, -0.1];
+        let mut adv_d = Advection1D::new(
+            SplineBackend::direct(space.clone(), BuilderVersion::FusedSpmv).unwrap(),
+            velocities.clone(),
+            0.01,
+        )
+        .unwrap();
+        let mut adv_t = Advection1D::new(
+            SplineBackend::direct_tiled(space, 16).unwrap(),
+            velocities,
+            0.01,
+        )
+        .unwrap();
+        assert_eq!(adv_t.backend_label(), "kokkos-kernels-tiled");
+        let mut fd = adv_d.init_distribution(gaussian);
+        let mut ft = fd.clone();
+        for _ in 0..5 {
+            adv_d.step(&Parallel, &mut fd).unwrap();
+            adv_t.step(&Parallel, &mut ft).unwrap();
+        }
+        assert!(fd.max_abs_diff(&ft) < 1e-12, "{}", fd.max_abs_diff(&ft));
+    }
+
+    #[test]
+    fn negative_velocity_moves_left() {
+        let mut adv = Advection1D::new(
+            SplineBackend::direct(
+                PeriodicSplineSpace::new(Breaks::uniform(128, 0.0, 1.0).unwrap(), 3).unwrap(),
+                BuilderVersion::FusedSpmv,
+            )
+            .unwrap(),
+            vec![-0.5],
+            0.02,
+        )
+        .unwrap();
+        let mut f = adv.init_distribution(gaussian);
+        for _ in 0..10 {
+            adv.step(&Serial, &mut f).unwrap();
+        }
+        // Peak should now be near x = 0.5 − 0.5·0.2 = 0.4.
+        let mut best = (0, f64::MIN);
+        for i in 0..128 {
+            if f.get(0, i) > best.1 {
+                best = (i, f.get(0, i));
+            }
+        }
+        let peak_x = adv.x_points()[best.0];
+        assert!((peak_x - 0.4).abs() < 0.02, "peak at {peak_x}");
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let mut adv = make(64, 8, 3, BuilderVersion::Baseline);
+        let mut f = adv.init_distribution(gaussian);
+        let t = adv.step(&Parallel, &mut f).unwrap();
+        assert!(t.total() > Duration::ZERO);
+        assert!(t.splines_solve > Duration::ZERO);
+        let mut acc = StepTimings::default();
+        acc.accumulate(&t);
+        acc.accumulate(&t);
+        assert_eq!(acc.total(), t.total() * 2);
+    }
+
+    #[test]
+    fn wrong_shape_rejected() {
+        let mut adv = make(32, 2, 3, BuilderVersion::Fused);
+        let mut bad = Matrix::zeros(3, 32, Layout::Right);
+        assert!(adv.step(&Serial, &mut bad).is_err());
+    }
+
+    #[test]
+    fn set_dt_changes_feet() {
+        let mut adv = make(32, 1, 3, BuilderVersion::Fused);
+        let mut f1 = adv.init_distribution(gaussian);
+        let mut f2 = f1.clone();
+        adv.step(&Serial, &mut f1).unwrap();
+        adv.set_dt(2e-2);
+        adv.step(&Serial, &mut f2).unwrap();
+        assert!(f1.max_abs_diff(&f2) > 1e-6, "dt change must alter the step");
+    }
+}

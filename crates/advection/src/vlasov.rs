@@ -1,0 +1,289 @@
+//! A 1D1V Vlasov–Poisson mini-solver — the physics GYSELA's advection
+//! kernels exist to serve, reduced to the smallest self-consistent system.
+//!
+//! Strang splitting of the Vlasov equation (1):
+//! half-step `x`-advection (velocity `v`), Poisson solve for `E`, full
+//! `v`-advection (acceleration `−E`), half-step `x`-advection. Both
+//! advections are the batched semi-Lagrangian kernel of
+//! [`Advection1D`] — so the spline
+//! builder runs in *both* batch orientations every step, exactly the
+//! workload shape the paper describes for the full 5D code.
+//!
+//! The `v` domain is truncated at `±v_max` and treated periodically; with
+//! `f ≈ 0` near the cut this is the standard benign approximation for
+//! two-stream-instability demos.
+
+use crate::error::{Error, Result};
+use crate::semilagrangian::{Advection1D, SplineBackend};
+use pp_bsplines::{Breaks, PeriodicSplineSpace};
+use pp_portable::{transpose_into_with, ExecSpace, Layout, Matrix};
+use pp_splinesolver::BuilderVersion;
+
+/// Self-consistent 1D1V Vlasov–Poisson solver on a doubly periodic
+/// `(x, v)` grid.
+pub struct VlasovPoisson1D1V {
+    adv_x: Advection1D,
+    adv_v: Advection1D,
+    /// Distribution `f(v_j, x_i)`, shape `(Nv, Nx)`, row-major.
+    f: Matrix,
+    /// Transposed scratch `(Nx, Nv)`.
+    f_t: Matrix,
+    x_grid: Vec<f64>,
+    v_grid: Vec<f64>,
+    dx: f64,
+    dv: f64,
+    dt: f64,
+    /// Latest electric field `E(x_i)`.
+    e_field: Vec<f64>,
+}
+
+impl VlasovPoisson1D1V {
+    /// Build the solver: `nx × nv` grid over `[0, lx) × [−v_max, v_max)`,
+    /// spline degree `degree`, time step `dt`.
+    pub fn new(
+        nx: usize,
+        nv: usize,
+        lx: f64,
+        v_max: f64,
+        degree: usize,
+        dt: f64,
+        f0: impl Fn(f64, f64) -> f64,
+    ) -> Result<Self> {
+        let space_x = PeriodicSplineSpace::new(
+            Breaks::uniform(nx, 0.0, lx).map_err(spline_err)?,
+            degree,
+        )
+        .map_err(spline_err)?;
+        let space_v = PeriodicSplineSpace::new(
+            Breaks::uniform(nv, -v_max, v_max).map_err(spline_err)?,
+            degree,
+        )
+        .map_err(spline_err)?;
+
+        let x_grid = space_x.interpolation_points();
+        let v_grid = space_v.interpolation_points();
+
+        let adv_x = Advection1D::new(
+            SplineBackend::direct(space_x, BuilderVersion::FusedSpmv)?,
+            v_grid.clone(),
+            dt / 2.0, // Strang half step
+        )?;
+        let adv_v = Advection1D::new(
+            SplineBackend::direct(space_v, BuilderVersion::FusedSpmv)?,
+            vec![0.0; nx], // displacements supplied per step
+            dt,
+        )?;
+
+        let f = Matrix::from_fn(nv, nx, Layout::Right, |j, i| f0(x_grid[i], v_grid[j]));
+        Ok(Self {
+            f_t: Matrix::zeros(nx, nv, Layout::Right),
+            adv_x,
+            adv_v,
+            f,
+            dx: lx / nx as f64,
+            dv: 2.0 * v_max / nv as f64,
+            x_grid,
+            v_grid,
+            dt,
+            e_field: vec![0.0; nx],
+        })
+    }
+
+    /// Current distribution `f(v_j, x_i)`.
+    pub fn distribution(&self) -> &Matrix {
+        &self.f
+    }
+
+    /// x grid.
+    pub fn x_grid(&self) -> &[f64] {
+        &self.x_grid
+    }
+
+    /// v grid.
+    pub fn v_grid(&self) -> &[f64] {
+        &self.v_grid
+    }
+
+    /// Latest electric field.
+    pub fn e_field(&self) -> &[f64] {
+        &self.e_field
+    }
+
+    /// Charge density `ρ(x_i) = ∫ f dv` (uniform quadrature).
+    pub fn density(&self) -> Vec<f64> {
+        let (nv, nx) = self.f.shape();
+        (0..nx)
+            .map(|i| (0..nv).map(|j| self.f.get(j, i)).sum::<f64>() * self.dv)
+            .collect()
+    }
+
+    /// Solve the 1D periodic Poisson problem `∂E/∂x = ⟨ρ⟩ − ρ` (electron
+    /// density `ρ` against a neutralising ion background) for the
+    /// zero-mean electric field, by cumulative integration.
+    pub fn solve_poisson(&mut self) {
+        let rho = self.density();
+        let nx = rho.len();
+        let mean: f64 = rho.iter().sum::<f64>() / nx as f64;
+        // Cumulative trapezoid of (⟨ρ⟩ − ρ).
+        let mut e = vec![0.0; nx];
+        for i in 1..nx {
+            e[i] = e[i - 1] + 0.5 * ((mean - rho[i - 1]) + (mean - rho[i])) * self.dx;
+        }
+        // Fix the gauge: zero-mean field.
+        let e_mean: f64 = e.iter().sum::<f64>() / nx as f64;
+        for v in &mut e {
+            *v -= e_mean;
+        }
+        self.e_field = e;
+    }
+
+    /// Electric-field energy `½ ∫ E² dx`.
+    pub fn field_energy(&self) -> f64 {
+        0.5 * self.e_field.iter().map(|e| e * e).sum::<f64>() * self.dx
+    }
+
+    /// Total mass `∫∫ f dx dv`.
+    pub fn mass(&self) -> f64 {
+        self.f.as_slice().iter().sum::<f64>() * self.dx * self.dv
+    }
+
+    /// One Strang-split time step.
+    pub fn step<E: ExecSpace>(&mut self, exec: &E) -> Result<()> {
+        // Half x-advection.
+        self.adv_x.step(exec, &mut self.f)?;
+        // Field solve from the updated density.
+        self.solve_poisson();
+        // Full v-advection: per-x-lane displacement a·Δt = −E(x)·Δt.
+        let disp: Vec<f64> = self.e_field.iter().map(|&e| -e * self.dt).collect();
+        transpose_into_with(exec, &self.f, &mut self.f_t).map_err(|e| Error::ShapeMismatch {
+            detail: e.to_string(),
+        })?;
+        self.adv_v.step_with_displacements(exec, &mut self.f_t, &disp)?;
+        let mut back = std::mem::replace(
+            &mut self.f,
+            Matrix::zeros(self.v_grid.len(), self.x_grid.len(), Layout::Right),
+        );
+        transpose_into_with(exec, &self.f_t, &mut back).map_err(|e| Error::ShapeMismatch {
+            detail: e.to_string(),
+        })?;
+        self.f = back;
+        // Half x-advection.
+        self.adv_x.step(exec, &mut self.f)?;
+        Ok(())
+    }
+}
+
+fn spline_err(e: pp_bsplines::Error) -> Error {
+    Error::Spline(pp_splinesolver::Error::Space(e))
+}
+
+/// Classic two-stream instability initial condition: two counter-streaming
+/// Maxwellian beams with a small sinusoidal seed.
+pub fn two_stream(v0: f64, amplitude: f64, k: f64) -> impl Fn(f64, f64) -> f64 {
+    move |x: f64, v: f64| {
+        let beams = 0.5
+            * ((-(v - v0) * (v - v0) / 0.5).exp() + (-(v + v0) * (v + v0) / 0.5).exp())
+            / (0.5 * std::f64::consts::PI).sqrt();
+        beams * (1.0 + amplitude * (k * x).cos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_portable::Parallel;
+
+    fn small_solver() -> VlasovPoisson1D1V {
+        // k·v0 = 0.7 ω_p: near the cold-beam maximum growth rate.
+        VlasovPoisson1D1V::new(
+            32,
+            64,
+            2.0 * std::f64::consts::PI / 0.5, // k = 0.5 fits one mode
+            5.0,
+            3,
+            0.05,
+            two_stream(1.4, 0.01, 0.5),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn poisson_solver_zero_for_uniform_density() {
+        let mut s = VlasovPoisson1D1V::new(16, 16, 1.0, 4.0, 3, 0.1, |_, v| {
+            (-v * v).exp()
+        })
+        .unwrap();
+        s.solve_poisson();
+        for &e in s.e_field() {
+            assert!(e.abs() < 1e-12, "uniform density must give E = 0");
+        }
+    }
+
+    #[test]
+    fn poisson_derivative_matches_density_fluctuation() {
+        let mut s = VlasovPoisson1D1V::new(64, 16, 1.0, 4.0, 3, 0.1, |x, v| {
+            (-v * v).exp() * (1.0 + 0.2 * (std::f64::consts::TAU * x).sin())
+        })
+        .unwrap();
+        s.solve_poisson();
+        let rho = s.density();
+        let mean: f64 = rho.iter().sum::<f64>() / rho.len() as f64;
+        let e = s.e_field().to_vec();
+        let dx = 1.0 / 64.0;
+        // Central-difference dE/dx ≈ ⟨ρ⟩ − ρ away from the seam.
+        for i in 1..63 {
+            let de = (e[i + 1] - e[i - 1]) / (2.0 * dx);
+            assert!(
+                (de - (mean - rho[i])).abs() < 0.05 * (mean - rho[i]).abs().max(0.1),
+                "i = {i}: dE/dx {de} vs {}",
+                mean - rho[i]
+            );
+        }
+    }
+
+    #[test]
+    fn mass_conserved_over_steps() {
+        let mut s = small_solver();
+        let m0 = s.mass();
+        for _ in 0..5 {
+            s.step(&Parallel).unwrap();
+        }
+        let m1 = s.mass();
+        // Strang splitting + spline remap: mass is conserved to scheme
+        // accuracy, not machine precision.
+        assert!(((m1 - m0) / m0).abs() < 1e-4, "{m0} -> {m1}");
+    }
+
+    #[test]
+    fn two_stream_instability_grows() {
+        let mut s = small_solver();
+        s.solve_poisson();
+        let e0 = s.field_energy();
+        // The ballistic part of the seed phase-mixes away first; the
+        // unstable eigenmode then grows exponentially. Track the maximum.
+        // Growth emerges around t ≈ 15 ω_p⁻¹ (measured: E reaches ~0.4 by
+        // t = 20, ~350× the seed).
+        let mut e_max: f64 = 0.0;
+        for _ in 0..400 {
+            s.step(&Parallel).unwrap();
+            e_max = e_max.max(s.field_energy());
+        }
+        assert!(
+            e_max > 10.0 * e0,
+            "two-stream field energy should grow: {e0:.3e} -> max {e_max:.3e}"
+        );
+    }
+
+    #[test]
+    fn distribution_stays_finite_and_mostly_positive() {
+        let mut s = small_solver();
+        for _ in 0..10 {
+            s.step(&Parallel).unwrap();
+        }
+        let f = s.distribution();
+        assert!(f.as_slice().iter().all(|v| v.is_finite()));
+        // Semi-Lagrangian splines can undershoot slightly; bound it.
+        let min = f.as_slice().iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(min > -0.05, "excessive undershoot: {min}");
+    }
+}

@@ -1,0 +1,48 @@
+//! Criterion bench backing Fig. 2: full semi-Lagrangian advection steps
+//! (both backends) across batch sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pp_advection::{Advection1D, SplineBackend};
+use pp_bench::SplineConfig;
+use pp_portable::Parallel;
+use pp_splinesolver::{BuilderVersion, IterativeConfig};
+
+fn setup(cfg: &SplineConfig, nx: usize, nv: usize, iterative: bool) -> Advection1D {
+    let velocities: Vec<f64> = (0..nv).map(|j| 0.1 + j as f64 * 1e-3).collect();
+    let backend = if iterative {
+        SplineBackend::iterative(cfg.space(nx), IterativeConfig::cpu()).expect("setup")
+    } else {
+        SplineBackend::direct(cfg.space(nx), BuilderVersion::FusedSpmv).expect("setup")
+    };
+    Advection1D::new(backend, velocities, 1e-3).expect("setup")
+}
+
+fn bench_direct_vs_iterative(c: &mut Criterion) {
+    let nx = 1024;
+    let cfg = SplineConfig {
+        degree: 3,
+        uniform: true,
+    };
+    let mut group = c.benchmark_group("fig2/advection_step");
+    for nv in [100usize, 1000] {
+        group.throughput(Throughput::Elements((nx * nv) as u64));
+        for iterative in [false, true] {
+            let label = if iterative { "ginkgo" } else { "kokkos-kernels" };
+            group.bench_with_input(BenchmarkId::new(label, nv), &nv, |b, &nv| {
+                let mut adv = setup(&cfg, nx, nv, iterative);
+                let mut f =
+                    adv.init_distribution(|x, _| (std::f64::consts::TAU * x).sin() + 2.0);
+                adv.step(&Parallel, &mut f).expect("warm-up");
+                b.iter(|| adv.step(&Parallel, &mut f).expect("step"));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_direct_vs_iterative
+}
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Criterion bench for the batched-serial LAPACK kernels themselves —
+//! the paper's contribution at the Kokkos-kernels level (pttrs, pbtrs,
+//! gbtrs, getrs), isolated from the spline builder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pp_linalg::{batched, gbtrf, getrf, pbtrf, pttrf, tiled, BandedMatrix, SymBandedMatrix};
+use pp_portable::{Layout, Matrix, Parallel};
+
+fn bench_batched_solvers(c: &mut Criterion) {
+    let n = 1000;
+    let batch = 2000;
+    let rhs = Matrix::from_fn(n, batch, Layout::Left, |i, j| ((i + j) % 7) as f64 + 1.0);
+
+    let pt = pttrf(&vec![4.0; n], &vec![-1.0; n - 1]).expect("pttrf");
+    let pb = pbtrf(
+        &SymBandedMatrix::from_fn(n, 2, |i, j| if i == j { 6.0 } else { -1.0 }).expect("pb"),
+    )
+    .expect("pbtrf");
+    let gb = gbtrf(
+        &BandedMatrix::from_fn(n, 2, 2, |i, j| {
+            if i == j {
+                6.0
+            } else {
+                -0.8 / (1 + i.abs_diff(j)) as f64
+            }
+        })
+        .expect("gb"),
+    )
+    .expect("gbtrf");
+    // getrs on a small border-sized dense block, batched, as in the
+    // spline builder (the big-n case is never solved densely).
+    let small = Matrix::from_fn(8, 8, Layout::Right, |i, j| {
+        if i == j {
+            10.0
+        } else {
+            1.0 / (1 + i + j) as f64
+        }
+    });
+    let lu = getrf(&small).expect("getrf");
+    let small_rhs = Matrix::from_fn(8, batch, Layout::Left, |i, j| ((i + j) % 5) as f64);
+
+    let mut group = c.benchmark_group("batched_kernels");
+    group.throughput(Throughput::Elements((n * batch) as u64));
+    group.bench_with_input(BenchmarkId::from_parameter("pttrs"), &pt, |b, f| {
+        let mut work = rhs.clone();
+        b.iter(|| {
+            work.deep_copy_from(&rhs).expect("shape");
+            batched::pttrs(&Parallel, f, &mut work);
+        });
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("pbtrs"), &pb, |b, f| {
+        let mut work = rhs.clone();
+        b.iter(|| {
+            work.deep_copy_from(&rhs).expect("shape");
+            batched::pbtrs(&Parallel, f, &mut work);
+        });
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("gbtrs"), &gb, |b, f| {
+        let mut work = rhs.clone();
+        b.iter(|| {
+            work.deep_copy_from(&rhs).expect("shape");
+            batched::gbtrs(&Parallel, f, &mut work);
+        });
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("pttrs_tiled64"), &pt, |b, f| {
+        let mut work = rhs.clone();
+        b.iter(|| {
+            work.deep_copy_from(&rhs).expect("shape");
+            tiled::pttrs_tiled(&Parallel, f, &mut work, 64);
+        });
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("gbtrs_tiled64"), &gb, |b, f| {
+        let mut work = rhs.clone();
+        b.iter(|| {
+            work.deep_copy_from(&rhs).expect("shape");
+            tiled::gbtrs_tiled(&Parallel, f, &mut work, 64);
+        });
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("getrs_8x8"), &lu, |b, f| {
+        let mut work = small_rhs.clone();
+        b.iter(|| {
+            work.deep_copy_from(&small_rhs).expect("shape");
+            batched::getrs(&Parallel, f, &mut work);
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_batched_solvers
+}
+criterion_main!(benches);

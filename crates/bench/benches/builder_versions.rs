@@ -1,0 +1,71 @@
+//! Criterion bench backing Table III: the three spline-builder kernel
+//! versions on the cubic uniform configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pp_bench::SplineConfig;
+use pp_portable::{Layout, Matrix, Parallel};
+use pp_splinesolver::{BuilderVersion, SplineBuilder};
+
+fn bench_builder_versions(c: &mut Criterion) {
+    let nx = 1000;
+    let nv = 2000;
+    let cfg = SplineConfig {
+        degree: 3,
+        uniform: true,
+    };
+    let space = cfg.space(nx);
+    let rhs = Matrix::from_fn(nx, nv, Layout::Left, |i, j| ((i * 7 + j) % 13) as f64);
+
+    let mut group = c.benchmark_group("table3/builder_versions");
+    group.throughput(Throughput::Elements((nx * nv) as u64));
+    for version in BuilderVersion::ALL {
+        let builder = SplineBuilder::new(space.clone(), version).expect("setup");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(version.label()),
+            &builder,
+            |b, builder| {
+                let mut work = rhs.clone();
+                b.iter(|| {
+                    work.deep_copy_from(&rhs).expect("same shape");
+                    builder
+                        .solve_in_place(&Parallel, &mut work)
+                        .expect("solve");
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_degrees(c: &mut Criterion) {
+    let nx = 1000;
+    let nv = 1000;
+    let rhs = Matrix::from_fn(nx, nv, Layout::Left, |i, j| ((i + j) % 11) as f64);
+    let mut group = c.benchmark_group("table3/spline_configs");
+    group.throughput(Throughput::Elements((nx * nv) as u64));
+    for cfg in SplineConfig::ALL {
+        let builder =
+            SplineBuilder::new(cfg.space(nx), BuilderVersion::FusedSpmv).expect("setup");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(cfg.label()),
+            &builder,
+            |b, builder| {
+                let mut work = rhs.clone();
+                b.iter(|| {
+                    work.deep_copy_from(&rhs).expect("same shape");
+                    builder
+                        .solve_in_place(&Parallel, &mut work)
+                        .expect("solve");
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_builder_versions, bench_degrees
+}
+criterion_main!(benches);

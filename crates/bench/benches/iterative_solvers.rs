@@ -1,0 +1,52 @@
+//! Criterion bench backing Table IV: Krylov solver cost per spline
+//! configuration (iteration counts are asserted in tests; this measures
+//! the time those iterations cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_bench::SplineConfig;
+use pp_portable::{Layout, Matrix};
+use pp_splinesolver::{IterativeConfig, IterativeSplineSolver, KrylovKind};
+
+fn bench_solvers(c: &mut Criterion) {
+    let nx = 1000;
+    let nv = 16;
+    let mut group = c.benchmark_group("table4/iterative_solve");
+    for cfg in [
+        SplineConfig { degree: 3, uniform: true },
+        SplineConfig { degree: 5, uniform: false },
+    ] {
+        for kind in [KrylovKind::Gmres, KrylovKind::BiCgStab] {
+            let mut config = IterativeConfig::cpu();
+            config.kind = kind;
+            config.warm_start = false;
+            let solver = IterativeSplineSolver::new(cfg.space(nx), config).expect("setup");
+            let rhs = Matrix::from_fn(nx, nv, Layout::Left, |i, j| {
+                ((i * 3 + j) % 19) as f64 / 19.0
+            });
+            let name = format!(
+                "{}/{}",
+                cfg.label(),
+                match kind {
+                    KrylovKind::Gmres => "GMRES",
+                    KrylovKind::BiCgStab => "BiCGStab",
+                    KrylovKind::Cg => "CG",
+                    KrylovKind::BiCg => "BiCG",
+                }
+            );
+            group.bench_with_input(BenchmarkId::from_parameter(name), &solver, |b, solver| {
+                b.iter(|| {
+                    let mut work = rhs.clone();
+                    solver.solve_in_place(&mut work, None).expect("convergence");
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_solvers
+}
+criterion_main!(benches);

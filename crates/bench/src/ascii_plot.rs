@@ -1,0 +1,127 @@
+//! Minimal ASCII line plots for harness output (log-log, Fig. 2 style).
+
+/// A named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Marker character.
+    pub marker: char,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A simple character-grid plot with logarithmic axes.
+#[derive(Debug, Clone)]
+pub struct AsciiPlot {
+    title: String,
+    width: usize,
+    height: usize,
+    series: Vec<Series>,
+}
+
+impl AsciiPlot {
+    /// New plot with a title and grid size.
+    pub fn new(title: &str, width: usize, height: usize) -> Self {
+        Self {
+            title: title.to_string(),
+            width: width.max(10),
+            height: height.max(5),
+            series: Vec::new(),
+        }
+    }
+
+    /// Add a series (points with non-positive coordinates are dropped —
+    /// the axes are logarithmic).
+    pub fn add_series(&mut self, label: &str, marker: char, points: &[(f64, f64)]) {
+        self.series.push(Series {
+            label: label.to_string(),
+            marker,
+            points: points
+                .iter()
+                .copied()
+                .filter(|&(x, y)| x > 0.0 && y > 0.0)
+                .collect(),
+        });
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .collect();
+        if all.is_empty() {
+            return format!("{}\n(no data)\n", self.title);
+        }
+        let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+        for &(x, y) in &all {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        let (lx0, lx1) = (x0.log10(), (x1.log10()).max(x0.log10() + 1e-9));
+        let (ly0, ly1) = (y0.log10(), (y1.log10()).max(y0.log10() + 1e-9));
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                let cx = ((x.log10() - lx0) / (lx1 - lx0) * (self.width - 1) as f64).round()
+                    as usize;
+                let cy = ((y.log10() - ly0) / (ly1 - ly0) * (self.height - 1) as f64).round()
+                    as usize;
+                let row = self.height - 1 - cy.min(self.height - 1);
+                grid[row][cx.min(self.width - 1)] = s.marker;
+            }
+        }
+
+        let mut out = String::new();
+        out.push_str(&format!("{} (log-log)\n", self.title));
+        out.push_str(&format!("y: {y0:.3e} .. {y1:.3e}\n"));
+        for row in grid {
+            out.push('|');
+            out.extend(row);
+            out.push('\n');
+        }
+        out.push('+');
+        out.extend(std::iter::repeat_n('-', self.width));
+        out.push('\n');
+        out.push_str(&format!("x: {x0:.3e} .. {x1:.3e}\n"));
+        for s in &self.series {
+            out.push_str(&format!("  {} {}\n", s.marker, s.label));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_and_legend() {
+        let mut p = AsciiPlot::new("test", 20, 8);
+        p.add_series("up", '*', &[(1.0, 1.0), (10.0, 10.0), (100.0, 100.0)]);
+        let r = p.render();
+        assert!(r.contains("test"));
+        assert!(r.contains('*'));
+        assert!(r.contains("up"));
+        // Monotone series: first row (max y) holds the last point.
+        assert!(r.lines().count() > 8);
+    }
+
+    #[test]
+    fn empty_plot() {
+        let p = AsciiPlot::new("empty", 20, 8);
+        assert!(p.render().contains("no data"));
+    }
+
+    #[test]
+    fn non_positive_points_dropped() {
+        let mut p = AsciiPlot::new("t", 20, 8);
+        p.add_series("s", 'o', &[(0.0, 1.0), (-1.0, 2.0), (1.0, 1.0)]);
+        assert_eq!(p.series[0].points.len(), 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! Table II — hardware description of the paper's three platforms, as
+//! encoded in the performance model.
+
+use pp_perfmodel::Device;
+
+fn main() {
+    println!("=== Table II: hardware description (one processor) ===\n");
+    let devices = Device::table2();
+    let row = |name: &str, f: &dyn Fn(&Device) -> String| {
+        print!("{name:<28}");
+        for d in &devices {
+            print!("{:<26}", f(d));
+        }
+        println!();
+    };
+    row("Processor", &|d| d.name.to_string());
+    row("Cores (FP64)", &|d| {
+        d.fp64_cores.map_or("-".into(), |c| c.to_string())
+    });
+    row("Shared cache [MB]", &|d| format!("{}", d.shared_cache_mib));
+    row("Peak perf [GFlops]", &|d| format!("{}", d.peak_gflops));
+    row("Peak B/W [GB/s]", &|d| format!("{}", d.peak_bw_gbs));
+    row("B/F ratio", &|d| format!("{:.3}", d.bf_ratio()));
+    row("SIMD width", &|d| {
+        d.simd_bits.map_or("-".into(), |b| format!("{b} bit"))
+    });
+    row("Warp/wavefront", &|d| {
+        d.warp_size.map_or("-".into(), |w| w.to_string())
+    });
+    row("TDP [W]", &|d| format!("{}", d.tdp_w));
+    row("Process [nm]", &|d| d.process_nm.to_string());
+    row("Year", &|d| d.year.to_string());
+    row("Compilers", &|d| d.compiler.to_string());
+    println!("\nmodel: simulation parameters (not in the paper's table):");
+    row("  line [B] / assoc", &|d| {
+        format!("{} / {}", d.line_bytes, d.cache_assoc)
+    });
+    row("  resident lanes", &|d| d.resident_lanes.to_string());
+    row("  stream efficiency", &|d| format!("{}", d.stream_efficiency));
+}

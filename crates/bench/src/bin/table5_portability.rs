@@ -1,0 +1,78 @@
+//! Table V — achieved bandwidth of the spline building kernel on each
+//! platform and the Pennycook performance-portability metric P(a,p,H).
+//!
+//! Icelake column: measured on the host. A100/MI250X columns: modelled
+//! (cache simulation + roofline). The paper's reference values:
+//!
+//!   uniform (Degree 3)      9.75 (4.38%)  268.6 (17.3%)  247.8 (15.5%)  P=0.086
+//!   uniform (Degree 4)      3.83 (1.87%)  252.6 (16.2%)  154.6 (9.7%)   P=0.043
+//!   uniform (Degree 5)      3.83 (1.87%)  251.3 (16.1%)  153.5 (9.6%)   P=0.043
+//!   non-uniform (Degree 3)  5.37 (2.62%)  208.4 (13.4%)  123.5 (7.7%)   P=0.051
+//!   non-uniform (Degree 4)  5.15 (2.52%)  169.9 (10.9%)  81.8 (5.1%)    P=0.044
+//!   non-uniform (Degree 5)  4.96 (2.42%)  142.2 (9.15%)  59.2 (3.7%)    P=0.038
+
+use pp_bench::gpu_model::{effective_bandwidth_gbs, predict};
+use pp_bench::{parse_args, time_mean, SplineConfig};
+use pp_perfmodel::{achieved_bandwidth_gbs, performance_portability, Device};
+use pp_portable::{Layout, Matrix, Parallel};
+use pp_splinesolver::{BuilderVersion, SchurBlocks, SplineBuilder};
+
+fn main() {
+    let args = parse_args(1000, 20_000, 5);
+    println!(
+        "=== Table V: spline-build bandwidth & performance portability, (n, batch) = ({}, {}) ===",
+        args.nx, args.nv
+    );
+    println!("(paper size: 1000 100000; bandwidth = Nx*Nv*8/t, one load/store per point)\n");
+    let icelake = Device::icelake();
+    let a100 = Device::a100();
+    let mi250x = Device::mi250x();
+
+    println!(
+        "{:<24} {:>20} {:>20} {:>20} {:>10}",
+        "", "Icelake (meas.)", "A100 (model)", "MI250X (model)", "P(a,p,H)"
+    );
+
+    for cfg in SplineConfig::ALL {
+        let space = cfg.space(args.nx);
+        let blocks = SchurBlocks::new(&space).expect("factorisation");
+        let builder =
+            SplineBuilder::new(space.clone(), BuilderVersion::FusedSpmv).expect("setup");
+        let rhs = Matrix::from_fn(args.nx, args.nv, Layout::Left, |i, j| {
+            ((i * 3 + j) % 17) as f64 / 17.0
+        });
+        let mut work = rhs.clone();
+        let host = time_mean(args.iters, || {
+            work.deep_copy_from(&rhs).expect("same shape");
+            builder
+                .solve_in_place(&Parallel, &mut work)
+                .expect("solve");
+        });
+        let bw_host = achieved_bandwidth_gbs(args.nx, args.nv, host);
+        let t_a100 = predict(&a100, &blocks, BuilderVersion::FusedSpmv, args.nv).time_s;
+        let t_mi = predict(&mi250x, &blocks, BuilderVersion::FusedSpmv, args.nv).time_s;
+        let bw_a100 = effective_bandwidth_gbs(args.nx, args.nv, t_a100);
+        let bw_mi = effective_bandwidth_gbs(args.nx, args.nv, t_mi);
+
+        let effs = [
+            Some(bw_host / icelake.peak_bw_gbs),
+            Some(bw_a100 / a100.peak_bw_gbs),
+            Some(bw_mi / mi250x.peak_bw_gbs),
+        ];
+        let p = performance_portability(&effs);
+
+        println!(
+            "{:<24} {:>11.2} ({:>4.1}%) {:>11.1} ({:>4.1}%) {:>11.1} ({:>4.1}%) {:>10.3}",
+            cfg.label(),
+            bw_host,
+            effs[0].unwrap() * 100.0,
+            bw_a100,
+            effs[1].unwrap() * 100.0,
+            bw_mi,
+            effs[2].unwrap() * 100.0,
+            p
+        );
+    }
+    println!("\nexpected shape: uniform deg 3 best; degradation with degree and");
+    println!("non-uniformity; P dominated by the weakest (CPU) column.");
+}

@@ -1,0 +1,95 @@
+//! The paper's six spline configurations and common CLI parsing.
+
+use pp_bsplines::{Breaks, PeriodicSplineSpace};
+
+/// One of the six spline configurations swept in Tables IV/V and Fig. 2:
+/// degree ∈ {3, 4, 5} × {uniform, non-uniform}.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplineConfig {
+    /// Spline degree.
+    pub degree: usize,
+    /// Uniform or graded mesh.
+    pub uniform: bool,
+}
+
+impl SplineConfig {
+    /// All six configurations, in the paper's table order.
+    pub const ALL: [SplineConfig; 6] = [
+        SplineConfig { degree: 3, uniform: true },
+        SplineConfig { degree: 4, uniform: true },
+        SplineConfig { degree: 5, uniform: true },
+        SplineConfig { degree: 3, uniform: false },
+        SplineConfig { degree: 4, uniform: false },
+        SplineConfig { degree: 5, uniform: false },
+    ];
+
+    /// Label in the paper's style, e.g. `uniform (Degree 3)`.
+    pub fn label(&self) -> String {
+        format!(
+            "{} (Degree {})",
+            if self.uniform { "uniform" } else { "non-uniform" },
+            self.degree
+        )
+    }
+
+    /// Build the spline space over `[0, 1)` with `n` cells. Non-uniform
+    /// meshes use the graded mesh with the paper-motivated edge
+    /// clustering.
+    pub fn space(&self, n: usize) -> PeriodicSplineSpace {
+        let breaks = if self.uniform {
+            Breaks::uniform(n, 0.0, 1.0).expect("valid mesh")
+        } else {
+            Breaks::graded(n, 0.0, 1.0, 0.6).expect("valid mesh")
+        };
+        PeriodicSplineSpace::new(breaks, self.degree).expect("valid space")
+    }
+}
+
+/// Common command-line arguments of the harness binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchArgs {
+    /// Grid points along the spline dimension (the paper: 1000 or 1024).
+    pub nx: usize,
+    /// Batch size (the paper sweeps 100..100000).
+    pub nv: usize,
+    /// Timed iterations per measurement (the paper: 10).
+    pub iters: usize,
+}
+
+/// Parse `[nx] [nv] [iters]` positional arguments with the given
+/// defaults. Non-numeric or missing arguments fall back to defaults.
+pub fn parse_args(default_nx: usize, default_nv: usize, default_iters: usize) -> BenchArgs {
+    let mut args = std::env::args().skip(1);
+    let mut next = |d: usize| {
+        args.next()
+            .and_then(|s| s.parse::<usize>().ok())
+            .unwrap_or(d)
+    };
+    BenchArgs {
+        nx: next(default_nx),
+        nv: next(default_nv),
+        iters: next(default_iters),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_configs_with_labels() {
+        assert_eq!(SplineConfig::ALL.len(), 6);
+        assert_eq!(SplineConfig::ALL[0].label(), "uniform (Degree 3)");
+        assert_eq!(SplineConfig::ALL[5].label(), "non-uniform (Degree 5)");
+    }
+
+    #[test]
+    fn spaces_construct_for_all_configs() {
+        for c in SplineConfig::ALL {
+            let s = c.space(32);
+            assert_eq!(s.num_basis(), 32);
+            assert_eq!(s.degree(), c.degree);
+            assert_eq!(s.breaks().is_uniform(), c.uniform);
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! Clamped (non-periodic) B-spline spaces.
+//!
+//! The paper evaluates periodic splines — the toroidal/poloidal GYSELA
+//! directions — but the full 5D code also interpolates along non-periodic
+//! directions (radius, parallel velocity), where the spline space is
+//! built on an *open/clamped* knot vector: the end knots repeat
+//! `degree + 1` times, the spline interpolates its end values exactly,
+//! and the interpolation matrix is purely banded — no periodic corner
+//! blocks, no Schur complement, just one `gbtrs`-class solve.
+//!
+//! Greville-abscissae collocation keeps the square system well
+//! conditioned (Schoenberg–Whitney holds by construction).
+
+use crate::basis::{eval_nonzero_basis, eval_nonzero_basis_deriv};
+use crate::error::{Error, Result};
+use crate::knots::Breaks;
+use crate::space::MAX_DEGREE;
+use pp_portable::{Layout, Matrix};
+
+/// A clamped B-spline space of a given degree over a set of break points.
+///
+/// Over `n` cells the space has `n + degree` degrees of freedom.
+///
+/// ```
+/// use pp_bsplines::{Breaks, ClampedSplineSpace};
+///
+/// let s = ClampedSplineSpace::new(Breaks::uniform(16, 0.0, 1.0).unwrap(), 3).unwrap();
+/// assert_eq!(s.num_basis(), 19);
+/// // Non-periodic profiles interpolate without seam error:
+/// let f = |x: f64| 3.0 * x + 1.0;
+/// let values: Vec<f64> = s.interpolation_points().iter().map(|&x| f(x)).collect();
+/// let coefs = s.interpolate_naive(&values).unwrap();
+/// assert!((s.eval(&coefs, 0.37) - f(0.37)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClampedSplineSpace {
+    degree: usize,
+    breaks: Breaks,
+    /// Open knot vector: `t_0` and `t_n` repeated `degree + 1` times with
+    /// the interior break points between — length `n + 2·degree + 1`.
+    knots: Vec<f64>,
+    nbasis: usize,
+}
+
+impl ClampedSplineSpace {
+    /// Build a clamped space. `degree` in `1..=5`; needs more than
+    /// `degree` cells.
+    pub fn new(breaks: Breaks, degree: usize) -> Result<Self> {
+        if degree == 0 || degree > MAX_DEGREE {
+            return Err(Error::UnsupportedDegree { degree });
+        }
+        let n = breaks.num_cells();
+        if n <= degree {
+            return Err(Error::TooFewCells { cells: n, degree });
+        }
+        let t = breaks.points();
+        let mut knots = Vec::with_capacity(n + 2 * degree + 1);
+        for _ in 0..degree {
+            knots.push(t[0]);
+        }
+        knots.extend_from_slice(t);
+        for _ in 0..degree {
+            knots.push(t[n]);
+        }
+        Ok(Self {
+            degree,
+            breaks,
+            knots,
+            nbasis: n + degree,
+        })
+    }
+
+    /// Spline degree.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// The underlying break points.
+    pub fn breaks(&self) -> &Breaks {
+        &self.breaks
+    }
+
+    /// Number of basis functions / degrees of freedom (`n + degree`).
+    pub fn num_basis(&self) -> usize {
+        self.nbasis
+    }
+
+    /// The open knot vector.
+    pub fn knots(&self) -> &[f64] {
+        &self.knots
+    }
+
+    /// Clamp `x` into the domain `[t_0, t_n]`.
+    #[inline]
+    pub fn clamp(&self, x: f64) -> f64 {
+        x.clamp(self.breaks.x_min(), self.breaks.x_max())
+    }
+
+    /// Knot-span index of `x` (clamped): `k` with
+    /// `knots[k] <= x < knots[k+1]`, in `degree..=nbasis-1`.
+    #[inline]
+    pub fn span_of(&self, x: f64) -> usize {
+        let w = self.clamp(x);
+        let t = self.breaks.points();
+        let n = self.breaks.num_cells();
+        let cell = if self.breaks.is_uniform() {
+            let h = self.breaks.period() / n as f64;
+            (((w - self.breaks.x_min()) / h) as usize).min(n - 1)
+        } else {
+            t.partition_point(|&tk| tk <= w)
+                .saturating_sub(1)
+                .min(n - 1)
+        };
+        cell + self.degree
+    }
+
+    /// Evaluate the `degree + 1` non-vanishing basis functions at `x`.
+    /// Returns the index of the first one; `out[m]` is basis
+    /// `first + m`.
+    #[inline]
+    pub fn eval_basis(&self, x: f64, out: &mut [f64; MAX_DEGREE + 1]) -> usize {
+        let w = self.clamp(x);
+        let span = self.span_of(w);
+        eval_nonzero_basis(&self.knots, self.degree, span, w, out.as_mut_slice());
+        span - self.degree
+    }
+
+    /// Evaluate basis derivatives at `x`; indexing as in
+    /// [`Self::eval_basis`].
+    #[inline]
+    pub fn eval_basis_deriv(&self, x: f64, out: &mut [f64; MAX_DEGREE + 1]) -> usize {
+        let w = self.clamp(x);
+        let span = self.span_of(w);
+        eval_nonzero_basis_deriv(&self.knots, self.degree, span, w, out.as_mut_slice());
+        span - self.degree
+    }
+
+    /// Greville abscissa of basis `k`:
+    /// `(knots[k+1] + … + knots[k+degree]) / degree`. The first and last
+    /// land exactly on the domain ends.
+    pub fn greville(&self, k: usize) -> f64 {
+        debug_assert!(k < self.nbasis);
+        let s: f64 = self.knots[k + 1..=k + self.degree].iter().sum();
+        s / self.degree as f64
+    }
+
+    /// The `n + degree` interpolation points, ascending, including both
+    /// ends.
+    pub fn interpolation_points(&self) -> Vec<f64> {
+        (0..self.nbasis).map(|k| self.greville(k)).collect()
+    }
+
+    /// Evaluate the spline with coefficients `coefs` at `x` (clamped to
+    /// the domain).
+    ///
+    /// # Panics
+    /// Panics if `coefs.len() != num_basis()`.
+    pub fn eval(&self, coefs: &[f64], x: f64) -> f64 {
+        assert_eq!(coefs.len(), self.nbasis, "eval: coefficient count");
+        let mut vals = [0.0; MAX_DEGREE + 1];
+        let first = self.eval_basis(x, &mut vals);
+        (0..=self.degree).map(|m| vals[m] * coefs[first + m]).sum()
+    }
+
+    /// Evaluate the spline derivative at `x`.
+    ///
+    /// # Panics
+    /// Panics if `coefs.len() != num_basis()`.
+    pub fn eval_deriv(&self, coefs: &[f64], x: f64) -> f64 {
+        assert_eq!(coefs.len(), self.nbasis, "eval_deriv: coefficient count");
+        let mut vals = [0.0; MAX_DEGREE + 1];
+        let first = self.eval_basis_deriv(x, &mut vals);
+        (0..=self.degree).map(|m| vals[m] * coefs[first + m]).sum()
+    }
+
+    /// Assemble the (purely banded) interpolation matrix
+    /// `A[i][j] = B_j(g_i)`.
+    pub fn assemble_matrix(&self) -> Matrix {
+        let nb = self.nbasis;
+        let mut a = Matrix::zeros(nb, nb, Layout::Right);
+        let mut vals = [0.0; MAX_DEGREE + 1];
+        for i in 0..nb {
+            let x = self.greville(i);
+            let first = self.eval_basis(x, &mut vals);
+            for (m, &v) in vals.iter().enumerate().take(self.degree + 1) {
+                a.add_assign(i, first + m, v);
+            }
+        }
+        a
+    }
+
+    /// Integral of the clamped spline over the domain:
+    /// `∫ s = Σ_k c_k (knots[k+d+1] − knots[k])/(d+1)`.
+    ///
+    /// # Panics
+    /// Panics if `coefs.len() != num_basis()`.
+    pub fn integrate(&self, coefs: &[f64]) -> f64 {
+        assert_eq!(coefs.len(), self.nbasis, "integrate: coefficient count");
+        let d = self.degree as f64;
+        (0..self.nbasis)
+            .map(|k| coefs[k] * (self.knots[k + self.degree + 1] - self.knots[k]) / (d + 1.0))
+            .sum()
+    }
+
+    /// Dense reference interpolation (tests / examples).
+    pub fn interpolate_naive(&self, values: &[f64]) -> Result<Vec<f64>> {
+        if values.len() != self.nbasis {
+            return Err(Error::LengthMismatch {
+                op: "interpolate_naive",
+                expected: self.nbasis,
+                actual: values.len(),
+            });
+        }
+        let a = self.assemble_matrix();
+        pp_linalg::naive::solve_dense(&a, values).map_err(|_| Error::SingularMatrix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn uniform(n: usize, degree: usize) -> ClampedSplineSpace {
+        ClampedSplineSpace::new(Breaks::uniform(n, 0.0, 1.0).unwrap(), degree).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(ClampedSplineSpace::new(Breaks::uniform(8, 0.0, 1.0).unwrap(), 0).is_err());
+        assert!(ClampedSplineSpace::new(Breaks::uniform(3, 0.0, 1.0).unwrap(), 3).is_err());
+        assert!(ClampedSplineSpace::new(Breaks::uniform(4, 0.0, 1.0).unwrap(), 3).is_ok());
+    }
+
+    #[test]
+    fn open_knot_vector_shape() {
+        let s = uniform(8, 3);
+        let k = s.knots();
+        assert_eq!(k.len(), 8 + 7);
+        assert_eq!(&k[..4], &[0.0; 4]);
+        assert_eq!(&k[k.len() - 4..], &[1.0; 4]);
+        assert_eq!(s.num_basis(), 11);
+    }
+
+    #[test]
+    fn partition_of_unity_everywhere() {
+        for degree in 1..=5 {
+            let s = uniform(10, degree);
+            let ones = vec![1.0; s.num_basis()];
+            for i in 0..=100 {
+                let x = i as f64 / 100.0;
+                assert!((s.eval(&ones, x) - 1.0).abs() < 1e-12, "deg {degree} x {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn endpoint_interpolation_is_exact() {
+        // Clamped splines interpolate their first/last coefficients at
+        // the domain ends.
+        let s = uniform(12, 3);
+        let mut c = vec![0.0; s.num_basis()];
+        c[0] = 2.5;
+        *c.last_mut().unwrap() = -1.5;
+        assert!((s.eval(&c, 0.0) - 2.5).abs() < 1e-14);
+        assert!((s.eval(&c, 1.0) + 1.5).abs() < 1e-14);
+    }
+
+    #[test]
+    fn greville_points_span_domain() {
+        let s = uniform(10, 4);
+        let pts = s.interpolation_points();
+        assert_eq!(pts.len(), 14);
+        assert!((pts[0] - 0.0).abs() < 1e-15);
+        assert!((pts[13] - 1.0).abs() < 1e-15);
+        for w in pts.windows(2) {
+            assert!(w[1] > w[0], "points must ascend");
+        }
+    }
+
+    #[test]
+    fn matrix_is_banded_and_rows_sum_to_one() {
+        for degree in [3, 4, 5] {
+            let s = uniform(12, degree);
+            let a = s.assemble_matrix();
+            let nb = s.num_basis();
+            for i in 0..nb {
+                let sum: f64 = (0..nb).map(|j| a.get(i, j)).sum();
+                assert!((sum - 1.0).abs() < 1e-13);
+                for j in 0..nb {
+                    if i.abs_diff(j) > degree {
+                        assert!(
+                            a.get(i, j).abs() < 1e-14,
+                            "deg {degree}: entry ({i},{j}) outside band"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interpolates_polynomials_of_matching_degree_exactly() {
+        // Degree-d splines reproduce degree-d polynomials exactly on the
+        // whole domain (no periodicity requirement here).
+        for degree in [3usize, 4, 5] {
+            let s = uniform(9, degree);
+            let f = |x: f64| (0..=degree).map(|p| (p as f64 + 0.5) * x.powi(p as i32)).sum::<f64>();
+            let values: Vec<f64> = s.interpolation_points().iter().map(|&x| f(x)).collect();
+            let coefs = s.interpolate_naive(&values).unwrap();
+            for i in 0..=50 {
+                let x = i as f64 / 50.0;
+                assert!(
+                    (s.eval(&coefs, x) - f(x)).abs() < 1e-10,
+                    "deg {degree} x {x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_periodic_profile_no_seam_error() {
+        // The profile that breaks periodic spaces (f(0) != f(1)) is fine
+        // here.
+        let s = uniform(64, 3);
+        let f = |x: f64| 1.0 / (1.0 + x) + 3.0 * x;
+        let values: Vec<f64> = s.interpolation_points().iter().map(|&x| f(x)).collect();
+        let coefs = s.interpolate_naive(&values).unwrap();
+        for i in 0..=200 {
+            let x = i as f64 / 200.0;
+            assert!((s.eval(&coefs, x) - f(x)).abs() < 1e-7, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let s = ClampedSplineSpace::new(Breaks::graded(16, 0.0, 2.0, 0.5).unwrap(), 4).unwrap();
+        let coefs: Vec<f64> = (0..s.num_basis()).map(|i| ((i * 3) % 7) as f64).collect();
+        let eps = 1e-6;
+        for i in 1..40 {
+            let x = 2.0 * i as f64 / 41.0;
+            let d = s.eval_deriv(&coefs, x);
+            let fd = (s.eval(&coefs, x + eps) - s.eval(&coefs, x - eps)) / (2.0 * eps);
+            assert!((d - fd).abs() < 1e-5, "x={x}: {d} vs {fd}");
+        }
+    }
+
+    #[test]
+    fn evaluation_outside_domain_clamps() {
+        let s = uniform(8, 3);
+        let coefs: Vec<f64> = (0..11).map(|i| i as f64).collect();
+        assert_eq!(s.eval(&coefs, -5.0), s.eval(&coefs, 0.0));
+        assert_eq!(s.eval(&coefs, 7.0), s.eval(&coefs, 1.0));
+    }
+
+    #[test]
+    fn integrate_constant_and_polynomial() {
+        let s = uniform(12, 3);
+        let ones = vec![1.0; s.num_basis()];
+        assert!((s.integrate(&ones) - 1.0).abs() < 1e-13);
+        // Exact for a cubic: interpolate x^3, integral must be 1/4.
+        let values: Vec<f64> = s.interpolation_points().iter().map(|&x| x * x * x).collect();
+        let coefs = s.interpolate_naive(&values).unwrap();
+        assert!((s.integrate(&coefs) - 0.25).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// Linear functions are reproduced exactly by every degree and
+        /// mesh (Greville property).
+        #[test]
+        fn prop_linear_reproduction(
+            degree in 1usize..=5,
+            n in 8usize..30,
+            strength in 0.0f64..0.8,
+            x in 0.0f64..1.0,
+        ) {
+            let s = ClampedSplineSpace::new(
+                Breaks::graded(n, 0.0, 1.0, strength).unwrap(),
+                degree,
+            ).unwrap();
+            // Coefficients of a linear function are its Greville values.
+            let coefs: Vec<f64> = (0..s.num_basis())
+                .map(|k| 2.0 * s.greville(k) - 0.7)
+                .collect();
+            prop_assert!((s.eval(&coefs, x) - (2.0 * x - 0.7)).abs() < 1e-11);
+        }
+    }
+}

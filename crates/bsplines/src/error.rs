@@ -1,0 +1,74 @@
+//! Errors for spline-space construction and interpolation.
+
+use std::fmt;
+
+/// Errors produced by `pp-bsplines`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Break points must be strictly increasing.
+    NonMonotoneBreaks {
+        /// Index of the first offending interval.
+        index: usize,
+    },
+    /// Not enough cells for the requested degree (need `n > degree`).
+    TooFewCells {
+        /// Number of cells supplied.
+        cells: usize,
+        /// Requested degree.
+        degree: usize,
+    },
+    /// Degree outside the supported range `1..=MAX_DEGREE`.
+    UnsupportedDegree {
+        /// Requested degree.
+        degree: usize,
+    },
+    /// Input length does not match the space's degrees of freedom.
+    LengthMismatch {
+        /// What was being attempted.
+        op: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// The interpolation matrix could not be solved.
+    SingularMatrix,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NonMonotoneBreaks { index } => {
+                write!(f, "break points not strictly increasing at index {index}")
+            }
+            Error::TooFewCells { cells, degree } => {
+                write!(f, "{cells} cells too few for degree {degree} (need > degree)")
+            }
+            Error::UnsupportedDegree { degree } => {
+                write!(f, "degree {degree} unsupported (supported: 1..=5)")
+            }
+            Error::LengthMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(f, "{op}: expected length {expected}, got {actual}"),
+            Error::SingularMatrix => write!(f, "interpolation matrix is singular"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(Error::NonMonotoneBreaks { index: 3 }.to_string().contains('3'));
+        assert!(Error::UnsupportedDegree { degree: 9 }.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,190 @@
+//! Break-point sequences: uniform and non-uniform meshes.
+//!
+//! The paper's motivation for non-uniform splines (§II-A) is resolving the
+//! steep-gradient edge region of a tokamak plasma without refining the
+//! whole mesh. [`Breaks::graded`] provides exactly that kind of mesh — a
+//! smooth, periodic clustering of points — so the non-uniform rows of
+//! Tables I/IV/V and Fig. 2 can be exercised with a representative mesh.
+
+use crate::error::{Error, Result};
+
+/// A strictly increasing sequence of `n + 1` break points `t_0 < … < t_n`
+/// covering one period `[t_0, t_n]` of a periodic domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Breaks {
+    points: Vec<f64>,
+    uniform: bool,
+}
+
+impl Breaks {
+    /// `n` equal cells over `[x0, x1]`.
+    ///
+    /// Requires `n >= 1` and `x1 > x0`.
+    pub fn uniform(n: usize, x0: f64, x1: f64) -> Result<Self> {
+        if n == 0 || !(x1 > x0) {
+            return Err(Error::TooFewCells { cells: n, degree: 0 });
+        }
+        let h = (x1 - x0) / n as f64;
+        let points = (0..=n).map(|i| x0 + h * i as f64).collect();
+        Ok(Self {
+            points,
+            uniform: true,
+        })
+    }
+
+    /// A smoothly graded periodic mesh over `[x0, x1]`: cell sizes vary by
+    /// a factor of roughly `(1 + strength) / (1 − strength)`, clustering
+    /// points around the middle of the domain (a proxy for the steep-
+    /// gradient region the paper's non-uniform GYSELA meshes resolve).
+    ///
+    /// `strength` must lie in `[0, 1)`; `0` reduces to a uniform mesh
+    /// (but the result is still *flagged* non-uniform so solver-selection
+    /// paths can be exercised independently of the geometry).
+    pub fn graded(n: usize, x0: f64, x1: f64, strength: f64) -> Result<Self> {
+        if n == 0 || !(x1 > x0) {
+            return Err(Error::TooFewCells { cells: n, degree: 0 });
+        }
+        if !(0.0..1.0).contains(&strength) {
+            return Err(Error::NonMonotoneBreaks { index: 0 });
+        }
+        let l = x1 - x0;
+        let two_pi = std::f64::consts::TAU;
+        // Monotone map u ↦ u + s·sin(2πu)/(2π) on [0, 1]: derivative
+        // 1 + s·cos(2πu) > 0 for s < 1, and endpoints are fixed, so the
+        // mesh stays periodic. Spacing is smallest where cos(2πu) = −1,
+        // i.e. points cluster around the middle of the domain.
+        let points = (0..=n)
+            .map(|i| {
+                let u = i as f64 / n as f64;
+                x0 + l * (u + strength * (two_pi * u).sin() / two_pi)
+            })
+            .collect();
+        Ok(Self {
+            points,
+            uniform: false,
+        })
+    }
+
+    /// Wrap an explicit strictly increasing point sequence
+    /// (`points.len() >= 2`).
+    pub fn from_points(points: Vec<f64>) -> Result<Self> {
+        if points.len() < 2 {
+            return Err(Error::TooFewCells {
+                cells: points.len().saturating_sub(1),
+                degree: 0,
+            });
+        }
+        for i in 0..points.len() - 1 {
+            if !(points[i + 1] > points[i]) {
+                return Err(Error::NonMonotoneBreaks { index: i });
+            }
+        }
+        // Detect uniformity to select the specialised solver (Table I).
+        let n = points.len() - 1;
+        let h0 = (points[n] - points[0]) / n as f64;
+        let uniform = points
+            .windows(2)
+            .all(|w| ((w[1] - w[0]) - h0).abs() <= 1e-12 * h0.abs());
+        Ok(Self { points, uniform })
+    }
+
+    /// Number of cells `n`.
+    pub fn num_cells(&self) -> usize {
+        self.points.len() - 1
+    }
+
+    /// The break points `t_0..=t_n`.
+    pub fn points(&self) -> &[f64] {
+        &self.points
+    }
+
+    /// Domain start `t_0`.
+    pub fn x_min(&self) -> f64 {
+        self.points[0]
+    }
+
+    /// Domain end `t_n`.
+    pub fn x_max(&self) -> f64 {
+        *self.points.last().expect("non-empty by construction")
+    }
+
+    /// Period `L = t_n − t_0`.
+    pub fn period(&self) -> f64 {
+        self.x_max() - self.x_min()
+    }
+
+    /// Whether all cells have (numerically) equal width. Decides between
+    /// the specialised SPD solvers and general banded (Table I).
+    pub fn is_uniform(&self) -> bool {
+        self.uniform
+    }
+
+    /// Width of cell `i`.
+    pub fn cell_width(&self, i: usize) -> f64 {
+        self.points[i + 1] - self.points[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_mesh_properties() {
+        let b = Breaks::uniform(10, -1.0, 1.0).unwrap();
+        assert_eq!(b.num_cells(), 10);
+        assert!(b.is_uniform());
+        assert_eq!(b.x_min(), -1.0);
+        assert_eq!(b.x_max(), 1.0);
+        assert!((b.period() - 2.0).abs() < 1e-15);
+        for i in 0..10 {
+            assert!((b.cell_width(i) - 0.2).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn graded_mesh_is_monotone_and_periodic() {
+        let b = Breaks::graded(32, 0.0, 1.0, 0.8).unwrap();
+        assert!(!b.is_uniform());
+        assert_eq!(b.x_min(), 0.0);
+        assert!((b.x_max() - 1.0).abs() < 1e-15);
+        for w in b.points().windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // Cells genuinely vary in width.
+        let widths: Vec<f64> = (0..32).map(|i| b.cell_width(i)).collect();
+        let min = widths.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = widths.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min > 2.0, "grading too weak: {max}/{min}");
+    }
+
+    #[test]
+    fn graded_zero_strength_is_geometrically_uniform() {
+        let b = Breaks::graded(8, 0.0, 1.0, 0.0).unwrap();
+        assert!(!b.is_uniform()); // flagged non-uniform by intent
+        for i in 0..8 {
+            assert!((b.cell_width(i) - 0.125).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn from_points_detects_uniformity() {
+        let b = Breaks::from_points(vec![0.0, 1.0, 2.0, 3.0]).unwrap();
+        assert!(b.is_uniform());
+        let b = Breaks::from_points(vec![0.0, 1.0, 2.5, 3.0]).unwrap();
+        assert!(!b.is_uniform());
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(Breaks::uniform(0, 0.0, 1.0).is_err());
+        assert!(Breaks::uniform(4, 1.0, 0.0).is_err());
+        assert!(Breaks::graded(4, 0.0, 1.0, 1.0).is_err());
+        assert!(Breaks::from_points(vec![0.0]).is_err());
+        assert!(matches!(
+            Breaks::from_points(vec![0.0, 2.0, 1.0]),
+            Err(Error::NonMonotoneBreaks { index: 1 })
+        ));
+        assert!(Breaks::from_points(vec![0.0, 0.0, 1.0]).is_err());
+    }
+}

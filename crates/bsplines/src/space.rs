@@ -1,0 +1,569 @@
+//! Periodic B-spline spaces: basis evaluation, Greville points, spline
+//! evaluation.
+
+use crate::basis::{eval_nonzero_basis, eval_nonzero_basis_deriv};
+use crate::error::{Error, Result};
+use crate::knots::Breaks;
+
+/// Largest supported spline degree (the paper uses 3, 4 and 5).
+pub const MAX_DEGREE: usize = 5;
+
+/// Where the interpolation (collocation) points sit.
+///
+/// [`PointPlacement::Greville`] is the default and keeps the collocation
+/// matrix well conditioned on *any* mesh. [`PointPlacement::KnotLike`]
+/// places points on break points (odd degree) or cell midpoints (even
+/// degree) — identical to Greville on uniform meshes, but degrading with
+/// mesh grading, which reproduces the conditioning penalty the paper's
+/// non-uniform rows show (see EXPERIMENTS.md on Table IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PointPlacement {
+    /// Greville abscissae `(τ_{k+1} + … + τ_{k+d})/d` (default).
+    #[default]
+    Greville,
+    /// Break points (odd degree) / cell midpoints (even degree).
+    KnotLike,
+}
+
+/// A periodic spline space of a given degree over a set of break points.
+///
+/// The space has exactly `n = breaks.num_cells()` degrees of freedom;
+/// periodic basis function `k` is the wrap-around identification
+/// `B_k = Σ_p B^ext_{k + p·n}` of the extended-knot B-splines.
+#[derive(Debug, Clone)]
+pub struct PeriodicSplineSpace {
+    degree: usize,
+    breaks: Breaks,
+    /// Extended knot vector `τ_0 … τ_{n+2d}` with `d` periodically wrapped
+    /// intervals on each side: `τ_j = t_{j−d}` extended by ±L.
+    ext_knots: Vec<f64>,
+    n: usize,
+    placement: PointPlacement,
+}
+
+impl PeriodicSplineSpace {
+    /// Build a periodic space. `degree` must be in `1..=5` and the mesh
+    /// must have more than `2·degree` cells (so that periodic images of a
+    /// basis function never overlap themselves).
+    pub fn new(breaks: Breaks, degree: usize) -> Result<Self> {
+        Self::with_placement(breaks, degree, PointPlacement::Greville)
+    }
+
+    /// Build a periodic space with an explicit interpolation-point
+    /// placement.
+    pub fn with_placement(
+        breaks: Breaks,
+        degree: usize,
+        placement: PointPlacement,
+    ) -> Result<Self> {
+        if degree == 0 || degree > MAX_DEGREE {
+            return Err(Error::UnsupportedDegree { degree });
+        }
+        let n = breaks.num_cells();
+        if n <= 2 * degree {
+            return Err(Error::TooFewCells { cells: n, degree });
+        }
+        let l = breaks.period();
+        let t = breaks.points();
+        let mut ext_knots = Vec::with_capacity(n + 2 * degree + 1);
+        for j in 0..(n + 2 * degree + 1) {
+            let idx = j as isize - degree as isize;
+            let tau = if idx < 0 {
+                t[(idx + n as isize) as usize] - l
+            } else if idx > n as isize {
+                t[(idx - n as isize) as usize] + l
+            } else {
+                t[idx as usize]
+            };
+            ext_knots.push(tau);
+        }
+        Ok(Self {
+            degree,
+            breaks,
+            ext_knots,
+            n,
+            placement,
+        })
+    }
+
+    /// The active interpolation-point placement.
+    pub fn placement(&self) -> PointPlacement {
+        self.placement
+    }
+
+    /// Spline degree.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// The underlying break points.
+    pub fn breaks(&self) -> &Breaks {
+        &self.breaks
+    }
+
+    /// Number of periodic basis functions / degrees of freedom.
+    pub fn num_basis(&self) -> usize {
+        self.n
+    }
+
+    /// The extended knot vector (mainly for tests and diagnostics).
+    pub fn ext_knots(&self) -> &[f64] {
+        &self.ext_knots
+    }
+
+    /// Map `x` into the fundamental period `[x_min, x_max)`.
+    #[inline]
+    pub fn wrap(&self, x: f64) -> f64 {
+        let x0 = self.breaks.x_min();
+        let l = self.breaks.period();
+        let mut w = x - l * ((x - x0) / l).floor();
+        // Guard against floating-point landing exactly on the right edge.
+        if w >= x0 + l {
+            w = x0;
+        }
+        w
+    }
+
+    /// Index of the cell containing `wrap(x)`.
+    #[inline]
+    pub fn cell_of(&self, x: f64) -> usize {
+        let w = self.wrap(x);
+        let t = self.breaks.points();
+        if self.breaks.is_uniform() {
+            let h = self.breaks.period() / self.n as f64;
+            let c = ((w - self.breaks.x_min()) / h) as usize;
+            c.min(self.n - 1)
+        } else {
+            let c = t.partition_point(|&tk| tk <= w);
+            c.saturating_sub(1).min(self.n - 1)
+        }
+    }
+
+    /// Evaluate the `degree + 1` non-vanishing basis functions at `x`.
+    ///
+    /// Returns the containing cell `c`; `out[m]` holds the value of the
+    /// periodic basis function with index [`Self::coef_index`]`(c, m)`.
+    #[inline]
+    pub fn eval_basis(&self, x: f64, out: &mut [f64; MAX_DEGREE + 1]) -> usize {
+        let w = self.wrap(x);
+        let cell = self.cell_of(w);
+        let span = cell + self.degree;
+        eval_nonzero_basis(&self.ext_knots, self.degree, span, w, out.as_mut_slice());
+        cell
+    }
+
+    /// Evaluate the derivatives of the non-vanishing basis functions at
+    /// `x`; indexing as in [`Self::eval_basis`].
+    #[inline]
+    pub fn eval_basis_deriv(&self, x: f64, out: &mut [f64; MAX_DEGREE + 1]) -> usize {
+        let w = self.wrap(x);
+        let cell = self.cell_of(w);
+        let span = cell + self.degree;
+        eval_nonzero_basis_deriv(&self.ext_knots, self.degree, span, w, out.as_mut_slice());
+        cell
+    }
+
+    /// Periodic coefficient index of local basis `m` in cell `cell`.
+    #[inline]
+    pub fn coef_index(&self, cell: usize, m: usize) -> usize {
+        (cell + m) % self.n
+    }
+
+    /// Greville abscissa of periodic basis `k`, wrapped into the domain:
+    /// `g_k = (τ_{k+1} + … + τ_{k+d}) / d`.
+    ///
+    /// For uniform meshes this lands on break points (odd degree) or cell
+    /// midpoints (even degree) — the alignment that keeps the
+    /// interpolation matrix banded apart from thin periodic corners.
+    pub fn greville(&self, k: usize) -> f64 {
+        debug_assert!(k < self.n);
+        let d = self.degree;
+        let s: f64 = self.ext_knots[k + 1..=k + d].iter().sum();
+        self.wrap(s / d as f64)
+    }
+
+    /// Interpolation point of basis `k` under the active placement.
+    ///
+    /// `KnotLike` aligns with Greville on uniform meshes: for odd degree
+    /// the break point `t_{k−(d−1)/2}`, for even degree the midpoint of
+    /// cell `k − d/2` (both wrapped).
+    pub fn interpolation_point(&self, k: usize) -> f64 {
+        match self.placement {
+            PointPlacement::Greville => self.greville(k),
+            PointPlacement::KnotLike => {
+                let t = self.breaks.points();
+                let n = self.n as isize;
+                let d = self.degree as isize;
+                if self.degree % 2 == 1 {
+                    let idx = (k as isize - (d - 1) / 2).rem_euclid(n) as usize;
+                    self.wrap(t[idx])
+                } else {
+                    let cell = (k as isize - d / 2).rem_euclid(n) as usize;
+                    self.wrap(0.5 * (t[cell] + t[cell + 1]))
+                }
+            }
+        }
+    }
+
+    /// The `n` interpolation points, in basis order.
+    pub fn interpolation_points(&self) -> Vec<f64> {
+        (0..self.n).map(|k| self.interpolation_point(k)).collect()
+    }
+
+    /// Evaluate the periodic spline with coefficients `coefs` at `x`.
+    ///
+    /// # Panics
+    /// Panics if `coefs.len() != num_basis()`.
+    #[inline]
+    pub fn eval(&self, coefs: &[f64], x: f64) -> f64 {
+        assert_eq!(coefs.len(), self.n, "eval: coefficient count");
+        let mut vals = [0.0; MAX_DEGREE + 1];
+        let cell = self.eval_basis(x, &mut vals);
+        let mut s = 0.0;
+        for m in 0..=self.degree {
+            s += vals[m] * coefs[self.coef_index(cell, m)];
+        }
+        s
+    }
+
+    /// Evaluate the spline derivative at `x`.
+    ///
+    /// # Panics
+    /// Panics if `coefs.len() != num_basis()`.
+    pub fn eval_deriv(&self, coefs: &[f64], x: f64) -> f64 {
+        assert_eq!(coefs.len(), self.n, "eval_deriv: coefficient count");
+        let mut vals = [0.0; MAX_DEGREE + 1];
+        let cell = self.eval_basis_deriv(x, &mut vals);
+        let mut s = 0.0;
+        for m in 0..=self.degree {
+            s += vals[m] * coefs[self.coef_index(cell, m)];
+        }
+        s
+    }
+
+    /// Integral of the periodic spline over one period:
+    /// `∫ s = Σ_k c_k · w_k` with `w_k = (τ_{k+d+1} − τ_k)/(d+1)` (the
+    /// classic B-spline integral; the wrapped pieces of each periodic
+    /// basis tile exactly one support's worth of measure). Used for
+    /// conservation diagnostics.
+    ///
+    /// # Panics
+    /// Panics if `coefs.len() != num_basis()`.
+    pub fn integrate(&self, coefs: &[f64]) -> f64 {
+        assert_eq!(coefs.len(), self.n, "integrate: coefficient count");
+        let d = self.degree;
+        let mut total = 0.0;
+        for k in 0..self.n {
+            let w = (self.ext_knots[k + d + 1] - self.ext_knots[k]) / (d as f64 + 1.0);
+            total += w * coefs[k];
+        }
+        total
+    }
+
+    /// Solve the interpolation problem with a dense reference solver.
+    ///
+    /// `values[k]` is the target at interpolation point `k`. This is the
+    /// slow, obviously-correct path used by tests and examples; the
+    /// production path is the Schur-complement builder in
+    /// `pp-splinesolver`.
+    pub fn interpolate_naive(&self, values: &[f64]) -> Result<Vec<f64>> {
+        if values.len() != self.n {
+            return Err(Error::LengthMismatch {
+                op: "interpolate_naive",
+                expected: self.n,
+                actual: values.len(),
+            });
+        }
+        let a = crate::matrix::assemble_interpolation_matrix(self);
+        pp_linalg::naive::solve_dense(&a, values).map_err(|_| Error::SingularMatrix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn uniform_space(n: usize, degree: usize) -> PeriodicSplineSpace {
+        PeriodicSplineSpace::new(Breaks::uniform(n, 0.0, 1.0).unwrap(), degree).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(matches!(
+            PeriodicSplineSpace::new(Breaks::uniform(8, 0.0, 1.0).unwrap(), 0),
+            Err(Error::UnsupportedDegree { .. })
+        ));
+        assert!(matches!(
+            PeriodicSplineSpace::new(Breaks::uniform(8, 0.0, 1.0).unwrap(), 6),
+            Err(Error::UnsupportedDegree { .. })
+        ));
+        assert!(matches!(
+            PeriodicSplineSpace::new(Breaks::uniform(6, 0.0, 1.0).unwrap(), 3),
+            Err(Error::TooFewCells { .. })
+        ));
+    }
+
+    #[test]
+    fn ext_knots_are_periodic_extension() {
+        let s = uniform_space(8, 3);
+        let k = s.ext_knots();
+        assert_eq!(k.len(), 8 + 7);
+        // τ_d == t_0, τ_{d+n} == t_n.
+        assert_eq!(k[3], 0.0);
+        assert!((k[3 + 8] - 1.0).abs() < 1e-15);
+        // Wrapped left knots are negative mirror of right end.
+        assert!((k[2] - (-0.125)).abs() < 1e-15);
+        // Monotone.
+        for w in k.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn wrap_and_cell() {
+        let s = uniform_space(10, 3);
+        assert!((s.wrap(1.23) - 0.23).abs() < 1e-14);
+        assert!((s.wrap(-0.1) - 0.9).abs() < 1e-14);
+        assert_eq!(s.cell_of(0.0), 0);
+        assert_eq!(s.cell_of(0.05), 0);
+        assert_eq!(s.cell_of(0.95), 9);
+        assert_eq!(s.cell_of(1.0), 0); // wraps
+        assert_eq!(s.cell_of(0.999999999), 9);
+    }
+
+    #[test]
+    fn cell_of_nonuniform_matches_scan() {
+        let s =
+            PeriodicSplineSpace::new(Breaks::graded(20, 0.0, 2.0, 0.7).unwrap(), 3).unwrap();
+        for i in 0..200 {
+            let x = 2.0 * (i as f64 + 0.5) / 200.0;
+            let c = s.cell_of(x);
+            let t = s.breaks().points();
+            assert!(t[c] <= x && x <= t[c + 1], "x={x} c={c}");
+        }
+    }
+
+    #[test]
+    fn periodic_partition_of_unity() {
+        for degree in 1..=5 {
+            for breaks in [
+                Breaks::uniform(12, 0.0, 1.0).unwrap(),
+                Breaks::graded(12, 0.0, 1.0, 0.6).unwrap(),
+            ] {
+                let s = PeriodicSplineSpace::new(breaks, degree).unwrap();
+                let ones = vec![1.0; s.num_basis()];
+                for i in 0..97 {
+                    let x = i as f64 / 97.0;
+                    assert!(
+                        (s.eval(&ones, x) - 1.0).abs() < 1e-12,
+                        "deg {degree} x {x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn greville_points_uniform_degree3_are_break_points() {
+        let s = uniform_space(8, 3);
+        // g_k = t_{k-1} wrapped.
+        let pts = s.interpolation_points();
+        assert!((pts[0] - 0.875).abs() < 1e-14); // t_{-1} wraps to t_7
+        assert!((pts[1] - 0.0).abs() < 1e-14);
+        assert!((pts[4] - 0.375).abs() < 1e-14);
+    }
+
+    #[test]
+    fn greville_points_uniform_degree4_are_midpoints() {
+        let s = uniform_space(10, 4);
+        let pts = s.interpolation_points();
+        let h = 0.1;
+        for &p in &pts {
+            // Distance to nearest break point should be h/2.
+            let r = (p / h).fract();
+            assert!((r - 0.5).abs() < 1e-10, "{p}");
+        }
+    }
+
+    #[test]
+    fn spline_evaluation_is_periodic() {
+        let s = uniform_space(16, 3);
+        let coefs: Vec<f64> = (0..16).map(|i| ((i * 7) % 5) as f64).collect();
+        for i in 0..20 {
+            let x = i as f64 / 20.0;
+            assert!((s.eval(&coefs, x) - s.eval(&coefs, x + 3.0)).abs() < 1e-12);
+            assert!((s.eval(&coefs, x) - s.eval(&coefs, x - 2.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn interpolation_reproduces_values_at_points() {
+        for degree in [3, 4, 5] {
+            for breaks in [
+                Breaks::uniform(20, 0.0, 1.0).unwrap(),
+                Breaks::graded(20, 0.0, 1.0, 0.5).unwrap(),
+            ] {
+                let s = PeriodicSplineSpace::new(breaks, degree).unwrap();
+                let pts = s.interpolation_points();
+                let values: Vec<f64> = pts
+                    .iter()
+                    .map(|&x| (std::f64::consts::TAU * x).sin() + 0.3)
+                    .collect();
+                let coefs = s.interpolate_naive(&values).unwrap();
+                for (k, &x) in pts.iter().enumerate() {
+                    assert!(
+                        (s.eval(&coefs, x) - values[k]).abs() < 1e-11,
+                        "deg {degree} point {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interpolation_converges_spectrally_with_degree() {
+        // Interpolating a smooth periodic function: error should fall
+        // rapidly as h^(degree+1).
+        let f = |x: f64| (std::f64::consts::TAU * x).sin();
+        let mut errors = Vec::new();
+        for degree in [3, 5] {
+            let s = uniform_space(32, degree);
+            let values: Vec<f64> = s.interpolation_points().iter().map(|&x| f(x)).collect();
+            let coefs = s.interpolate_naive(&values).unwrap();
+            let err = (0..301)
+                .map(|i| {
+                    let x = i as f64 / 301.0;
+                    (s.eval(&coefs, x) - f(x)).abs()
+                })
+                .fold(0.0, f64::max);
+            errors.push(err);
+        }
+        // Cubic error ~ h^4·(2π)^4 ≈ 2e-5 on 32 cells; quintic ~ h^6·(2π)^6.
+        assert!(errors[0] < 1e-4, "{errors:?}");
+        assert!(errors[1] < errors[0] / 10.0, "{errors:?}");
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let s = uniform_space(24, 4);
+        let coefs: Vec<f64> = (0..24)
+            .map(|i| (std::f64::consts::TAU * i as f64 / 24.0).cos())
+            .collect();
+        let eps = 1e-6;
+        for i in 0..50 {
+            let x = (i as f64 + 0.3) / 50.0;
+            let d = s.eval_deriv(&coefs, x);
+            let fd = (s.eval(&coefs, x + eps) - s.eval(&coefs, x - eps)) / (2.0 * eps);
+            assert!((d - fd).abs() < 1e-6, "x={x}: {d} vs {fd}");
+        }
+    }
+
+    #[test]
+    fn knotlike_placement_equals_greville_on_uniform_meshes() {
+        for degree in [3usize, 4, 5] {
+            let g = uniform_space(16, degree);
+            let k = PeriodicSplineSpace::with_placement(
+                Breaks::uniform(16, 0.0, 1.0).unwrap(),
+                degree,
+                PointPlacement::KnotLike,
+            )
+            .unwrap();
+            let pg = g.interpolation_points();
+            let pk = k.interpolation_points();
+            for (a, b) in pg.iter().zip(&pk) {
+                assert!((a - b).abs() < 1e-13, "deg {degree}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn knotlike_placement_solvable_on_graded_meshes() {
+        for degree in [3usize, 4, 5] {
+            let s = PeriodicSplineSpace::with_placement(
+                Breaks::graded(20, 0.0, 1.0, 0.8).unwrap(),
+                degree,
+                PointPlacement::KnotLike,
+            )
+            .unwrap();
+            assert_eq!(s.placement(), PointPlacement::KnotLike);
+            let pts = s.interpolation_points();
+            let values: Vec<f64> = pts.iter().map(|&x| (std::f64::consts::TAU * x).sin()).collect();
+            let coefs = s.interpolate_naive(&values).unwrap();
+            for (k, &x) in pts.iter().enumerate() {
+                assert!((s.eval(&coefs, x) - values[k]).abs() < 1e-10, "deg {degree}");
+            }
+        }
+    }
+
+    #[test]
+    fn integrate_constant_gives_period() {
+        for degree in 1..=5 {
+            for breaks in [
+                Breaks::uniform(16, 0.0, 2.0).unwrap(),
+                Breaks::graded(16, 0.0, 2.0, 0.5).unwrap(),
+            ] {
+                let s = PeriodicSplineSpace::new(breaks, degree).unwrap();
+                let ones = vec![1.0; s.num_basis()];
+                assert!(
+                    (s.integrate(&ones) - 2.0).abs() < 1e-12,
+                    "deg {degree}: {}",
+                    s.integrate(&ones)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn integrate_matches_quadrature() {
+        let s = uniform_space(32, 3);
+        let pts = s.interpolation_points();
+        let values: Vec<f64> = pts
+            .iter()
+            .map(|&x| (std::f64::consts::TAU * x).sin() + 1.5)
+            .collect();
+        let coefs = s.interpolate_naive(&values).unwrap();
+        // Fine midpoint quadrature of the spline itself.
+        let m = 20_000;
+        let quad: f64 = (0..m)
+            .map(|i| s.eval(&coefs, (i as f64 + 0.5) / m as f64))
+            .sum::<f64>()
+            / m as f64;
+        assert!((s.integrate(&coefs) - quad).abs() < 1e-9);
+    }
+
+    proptest! {
+        /// Degree-d splines reproduce constants exactly everywhere, for
+        /// every degree and mesh grading.
+        #[test]
+        fn prop_constant_reproduction(
+            degree in 1usize..=5,
+            n in 12usize..40,
+            strength in 0.0f64..0.9,
+            x in -5.0f64..5.0,
+        ) {
+            let breaks = Breaks::graded(n, 0.0, 1.0, strength).unwrap();
+            let s = PeriodicSplineSpace::new(breaks, degree).unwrap();
+            let c = vec![2.5; s.num_basis()];
+            prop_assert!((s.eval(&c, x) - 2.5).abs() < 1e-11);
+        }
+
+        /// Spline evaluation is linear in the coefficients.
+        #[test]
+        fn prop_linearity(
+            n in 12usize..30,
+            x in 0.0f64..1.0,
+            seed in 0u64..100,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let s = uniform_space(n, 3);
+            let a: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let sum: Vec<f64> = a.iter().zip(&b).map(|(u, v)| u + 2.0 * v).collect();
+            let lhs = s.eval(&sum, x);
+            let rhs = s.eval(&a, x) + 2.0 * s.eval(&b, x);
+            prop_assert!((lhs - rhs).abs() < 1e-12);
+        }
+    }
+}

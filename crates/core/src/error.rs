@@ -1,0 +1,92 @@
+//! Errors for spline-builder setup and solves.
+
+use std::fmt;
+
+/// Errors produced by `pp-splinesolver`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The assembled interpolation matrix did not have the expected
+    /// banded-plus-border structure.
+    UnexpectedStructure {
+        /// Explanation.
+        detail: String,
+    },
+    /// A factorisation failed during setup.
+    Factorisation(pp_linalg::Error),
+    /// Spline-space construction failed.
+    Space(pp_bsplines::Error),
+    /// Right-hand-side block shape does not match the space.
+    ShapeMismatch {
+        /// Expected number of rows.
+        expected_rows: usize,
+        /// Rows supplied.
+        actual_rows: usize,
+    },
+    /// An iterative solve failed to converge for at least one lane.
+    NotConverged {
+        /// Number of non-converged lanes.
+        lanes: usize,
+        /// Worst relative residual observed.
+        worst_residual: f64,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnexpectedStructure { detail } => {
+                write!(f, "unexpected spline matrix structure: {detail}")
+            }
+            Error::Factorisation(e) => write!(f, "setup factorisation failed: {e}"),
+            Error::Space(e) => write!(f, "spline space error: {e}"),
+            Error::ShapeMismatch {
+                expected_rows,
+                actual_rows,
+            } => write!(
+                f,
+                "right-hand side has {actual_rows} rows, space needs {expected_rows}"
+            ),
+            Error::NotConverged {
+                lanes,
+                worst_residual,
+            } => write!(
+                f,
+                "{lanes} lane(s) failed to converge (worst relative residual {worst_residual:.3e})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<pp_linalg::Error> for Error {
+    fn from(e: pp_linalg::Error) -> Self {
+        Error::Factorisation(e)
+    }
+}
+
+impl From<pp_bsplines::Error> for Error {
+    fn from(e: pp_bsplines::Error) -> Self {
+        Error::Space(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: Error = pp_linalg::Error::Singular {
+            routine: "getrf",
+            index: 0,
+        }
+        .into();
+        assert!(e.to_string().contains("getrf"));
+        let e: Error = pp_bsplines::Error::UnsupportedDegree { degree: 7 }.into();
+        assert!(e.to_string().contains('7'));
+    }
+}

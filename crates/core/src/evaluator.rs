@@ -1,0 +1,163 @@
+//! Batched spline evaluation.
+//!
+//! After the builder produces a `(n, batch)` coefficient block, the
+//! semi-Lagrangian step evaluates every lane's spline at that lane's
+//! characteristic feet (Algorithm 2, line 8). The evaluation is
+//! embarrassingly parallel over lanes, like the build.
+
+use crate::error::{Error, Result};
+use pp_bsplines::{PeriodicSplineSpace, MAX_DEGREE};
+use pp_portable::{ExecSpace, Matrix};
+
+/// Evaluates batched splines over a shared [`PeriodicSplineSpace`].
+#[derive(Debug, Clone)]
+pub struct SplineEvaluator {
+    space: PeriodicSplineSpace,
+}
+
+impl SplineEvaluator {
+    /// New evaluator for a space.
+    pub fn new(space: PeriodicSplineSpace) -> Self {
+        Self { space }
+    }
+
+    /// The underlying space.
+    pub fn space(&self) -> &PeriodicSplineSpace {
+        &self.space
+    }
+
+    /// Evaluate lane `j`'s spline (column `j` of `coefs`) at each position
+    /// in column `j` of `positions`, writing into column `j` of `out`.
+    ///
+    /// Shapes: `coefs (n, batch)`, `positions (m, batch)`,
+    /// `out (m, batch)`.
+    pub fn eval_batched<E: ExecSpace>(
+        &self,
+        exec: &E,
+        coefs: &Matrix,
+        positions: &Matrix,
+        out: &mut Matrix,
+    ) -> Result<()> {
+        let n = self.space.num_basis();
+        if coefs.nrows() != n {
+            return Err(Error::ShapeMismatch {
+                expected_rows: n,
+                actual_rows: coefs.nrows(),
+            });
+        }
+        if positions.shape() != out.shape() || positions.ncols() != coefs.ncols() {
+            return Err(Error::ShapeMismatch {
+                expected_rows: positions.nrows(),
+                actual_rows: out.nrows(),
+            });
+        }
+        let space = &self.space;
+        let degree = space.degree();
+        let m = positions.nrows();
+        exec.for_each_lane_mut(out, |j, mut out_lane| {
+            let mut vals = [0.0; MAX_DEGREE + 1];
+            for i in 0..m {
+                let x = positions.get(i, j);
+                let cell = space.eval_basis(x, &mut vals);
+                let mut s = 0.0;
+                for (mm, &v) in vals.iter().enumerate().take(degree + 1) {
+                    s += v * coefs.get(space.coef_index(cell, mm), j);
+                }
+                out_lane[i] = s;
+            }
+        });
+        Ok(())
+    }
+
+    /// Evaluate one lane at arbitrary points (convenience for examples).
+    pub fn eval_lane(&self, coefs: &Matrix, lane: usize, xs: &[f64]) -> Vec<f64> {
+        let c = coefs.col(lane).to_vec();
+        xs.iter().map(|&x| self.space.eval(&c, x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{BuilderVersion, SplineBuilder};
+    use pp_bsplines::Breaks;
+    use pp_portable::{Layout, Parallel, Serial};
+
+    fn setup(n: usize, degree: usize) -> (PeriodicSplineSpace, SplineBuilder) {
+        let sp =
+            PeriodicSplineSpace::new(Breaks::uniform(n, 0.0, 1.0).unwrap(), degree).unwrap();
+        let b = SplineBuilder::new(sp.clone(), BuilderVersion::FusedSpmv).unwrap();
+        (sp, b)
+    }
+
+    #[test]
+    fn batched_eval_matches_scalar_eval() {
+        let (sp, builder) = setup(32, 3);
+        let pts = sp.interpolation_points();
+        let batch = 11;
+        let mut coefs = Matrix::from_fn(32, batch, Layout::Left, |i, j| {
+            ((j + 1) as f64 * std::f64::consts::TAU * pts[i]).cos()
+        });
+        builder.solve_in_place(&Parallel, &mut coefs).unwrap();
+
+        let positions = Matrix::from_fn(50, batch, Layout::Left, |i, j| {
+            (i as f64 + 0.5 * j as f64) / 50.0
+        });
+        let mut out = Matrix::zeros(50, batch, Layout::Left);
+        let ev = SplineEvaluator::new(sp.clone());
+        ev.eval_batched(&Parallel, &coefs, &positions, &mut out)
+            .unwrap();
+
+        for j in 0..batch {
+            let c = coefs.col(j).to_vec();
+            for i in 0..50 {
+                let expected = sp.eval(&c, positions.get(i, j));
+                assert!((out.get(i, j) - expected).abs() < 1e-14, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn serial_parallel_agree() {
+        let (sp, _) = setup(24, 5);
+        let coefs = Matrix::from_fn(24, 8, Layout::Left, |i, j| ((i * 3 + j) % 7) as f64);
+        let positions = Matrix::from_fn(30, 8, Layout::Left, |i, j| {
+            (i as f64 * 0.7 + j as f64 * 1.3) % 1.0
+        });
+        let ev = SplineEvaluator::new(sp);
+        let mut o1 = Matrix::zeros(30, 8, Layout::Left);
+        let mut o2 = Matrix::zeros(30, 8, Layout::Left);
+        ev.eval_batched(&Serial, &coefs, &positions, &mut o1).unwrap();
+        ev.eval_batched(&Parallel, &coefs, &positions, &mut o2).unwrap();
+        assert_eq!(o1.max_abs_diff(&o2), 0.0);
+    }
+
+    #[test]
+    fn positions_outside_domain_wrap() {
+        let (sp, builder) = setup(20, 3);
+        let pts = sp.interpolation_points();
+        let mut coefs =
+            Matrix::from_fn(20, 1, Layout::Left, |i, _| (std::f64::consts::TAU * pts[i]).sin());
+        builder.solve_in_place(&Serial, &mut coefs).unwrap();
+        let ev = SplineEvaluator::new(sp);
+        let inside = Matrix::from_fn(5, 1, Layout::Left, |i, _| 0.1 + 0.15 * i as f64);
+        let outside = Matrix::from_fn(5, 1, Layout::Left, |i, _| 0.1 + 0.15 * i as f64 - 3.0);
+        let mut a = Matrix::zeros(5, 1, Layout::Left);
+        let mut b = Matrix::zeros(5, 1, Layout::Left);
+        ev.eval_batched(&Serial, &coefs, &inside, &mut a).unwrap();
+        ev.eval_batched(&Serial, &coefs, &outside, &mut b).unwrap();
+        assert!(a.max_abs_diff(&b) < 1e-12);
+    }
+
+    #[test]
+    fn shape_checks() {
+        let (sp, _) = setup(16, 3);
+        let ev = SplineEvaluator::new(sp);
+        let coefs = Matrix::zeros(15, 4, Layout::Left); // wrong rows
+        let positions = Matrix::zeros(10, 4, Layout::Left);
+        let mut out = Matrix::zeros(10, 4, Layout::Left);
+        assert!(ev.eval_batched(&Serial, &coefs, &positions, &mut out).is_err());
+        let coefs = Matrix::zeros(16, 3, Layout::Left); // batch mismatch
+        assert!(ev.eval_batched(&Serial, &coefs, &positions, &mut out).is_err());
+    }
+}

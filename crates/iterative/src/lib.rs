@@ -1,0 +1,41 @@
+//! # pp-iterative — Krylov iterative solvers (the Ginkgo substitute)
+//!
+//! The paper compares its Kokkos-kernels direct spline builder against a
+//! [Ginkgo](https://ginkgo-project.github.io)-based iterative one (§II-C.2,
+//! §III-B). This crate reproduces the configuration the paper uses:
+//!
+//! * the four solvers Ginkgo offers and the paper names — [`Cg`], [`BiCg`],
+//!   [`BiCgStab`] (used on GPUs) and [`Gmres`] (used on CPUs because of the
+//!   Ginkgo OpenMP BiCGStab issue #1563);
+//! * a **block-Jacobi preconditioner** with tunable `max_block_size`
+//!   between 1 and 32 ([`BlockJacobi`]);
+//! * the stopping rule `‖A x − b‖ / ‖b‖ < 10⁻¹⁵` ([`StopCriteria`]);
+//! * CSR matrix storage (from `pp-sparse`);
+//! * the **chunked multi-right-hand-side driver** of the paper's Listing 3
+//!   ([`multirhs::ChunkedSolver`]): right-hand sides are processed in
+//!   chunks (8192 on CPUs, 65535 on GPUs — the CUDA/HIP grid limit),
+//!   copied to a buffer, solved, and copied back, optionally warm-started
+//!   from the previous time step's solution.
+//!
+//! The solver iteration counts this crate produces are the quantity
+//! reported in the paper's Table IV.
+
+pub mod bicg;
+pub mod bicgstab;
+pub mod cg;
+pub mod gmres;
+pub mod logger;
+pub mod multirhs;
+pub mod precond;
+pub mod solver;
+pub mod stop;
+
+pub use bicg::BiCg;
+pub use bicgstab::BiCgStab;
+pub use cg::Cg;
+pub use gmres::Gmres;
+pub use logger::ConvergenceLogger;
+pub use multirhs::{ChunkedSolver, CPU_COLS_PER_CHUNK, GPU_COLS_PER_CHUNK};
+pub use precond::{BlockJacobi, Identity, Jacobi, Preconditioner};
+pub use solver::{IterativeSolver, SolveResult};
+pub use stop::StopCriteria;

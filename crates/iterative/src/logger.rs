@@ -1,0 +1,128 @@
+//! Convergence logging — the analogue of the Ginkgo `convergence_logger`
+//! the paper attaches around each chunked solve (Listing 3, lines 27/31).
+
+use crate::solver::SolveResult;
+
+/// Aggregates per-right-hand-side solve outcomes across a multi-RHS run.
+#[derive(Debug, Clone, Default)]
+pub struct ConvergenceLogger {
+    results: Vec<SolveResult>,
+}
+
+impl ConvergenceLogger {
+    /// Fresh logger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one solve.
+    pub fn record(&mut self, result: SolveResult) {
+        self.results.push(result);
+    }
+
+    /// Record a batch of solves.
+    pub fn record_all(&mut self, results: impl IntoIterator<Item = SolveResult>) {
+        self.results.extend(results);
+    }
+
+    /// Number of recorded solves.
+    pub fn count(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Whether every recorded solve converged.
+    pub fn all_converged(&self) -> bool {
+        self.results.iter().all(|r| r.converged)
+    }
+
+    /// Largest iteration count over all solves — the figure the paper's
+    /// Table IV reports ("the number of iterations for each chunk remains
+    /// constant", i.e. max == typical).
+    pub fn max_iterations(&self) -> usize {
+        self.results.iter().map(|r| r.iterations).max().unwrap_or(0)
+    }
+
+    /// Smallest iteration count.
+    pub fn min_iterations(&self) -> usize {
+        self.results.iter().map(|r| r.iterations).min().unwrap_or(0)
+    }
+
+    /// Mean iteration count.
+    pub fn mean_iterations(&self) -> f64 {
+        if self.results.is_empty() {
+            0.0
+        } else {
+            self.results.iter().map(|r| r.iterations).sum::<usize>() as f64
+                / self.results.len() as f64
+        }
+    }
+
+    /// Total iterations across all solves (proportional to total work).
+    pub fn total_iterations(&self) -> usize {
+        self.results.iter().map(|r| r.iterations).sum()
+    }
+
+    /// Worst final relative residual.
+    pub fn worst_residual(&self) -> f64 {
+        self.results
+            .iter()
+            .map(|r| r.relative_residual)
+            .fold(0.0, f64::max)
+    }
+
+    /// Clear all records.
+    pub fn reset(&mut self) {
+        self.results.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn res(iterations: usize, converged: bool, rr: f64) -> SolveResult {
+        SolveResult {
+            iterations,
+            converged,
+            relative_residual: rr,
+        }
+    }
+
+    #[test]
+    fn aggregation() {
+        let mut log = ConvergenceLogger::new();
+        log.record(res(10, true, 1e-16));
+        log.record(res(14, true, 5e-16));
+        log.record(res(12, true, 2e-16));
+        assert_eq!(log.count(), 3);
+        assert_eq!(log.max_iterations(), 14);
+        assert_eq!(log.min_iterations(), 10);
+        assert_eq!(log.total_iterations(), 36);
+        assert!((log.mean_iterations() - 12.0).abs() < 1e-12);
+        assert!(log.all_converged());
+        assert_eq!(log.worst_residual(), 5e-16);
+    }
+
+    #[test]
+    fn divergence_detected() {
+        let mut log = ConvergenceLogger::new();
+        log.record_all([res(10, true, 1e-16), res(10_000, false, 1e-3)]);
+        assert!(!log.all_converged());
+    }
+
+    #[test]
+    fn empty_logger() {
+        let log = ConvergenceLogger::new();
+        assert_eq!(log.max_iterations(), 0);
+        assert_eq!(log.mean_iterations(), 0.0);
+        assert!(log.all_converged());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut log = ConvergenceLogger::new();
+        log.record(res(5, true, 0.0));
+        log.reset();
+        assert_eq!(log.count(), 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Stopping criteria for Krylov solvers.
+
+/// When to declare a Krylov solve finished.
+///
+/// The paper's configuration is a *residual reduction factor*
+/// `‖A x − b‖ / ‖b‖ < 10⁻¹⁵` (§III-B); that is the default here.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StopCriteria {
+    /// Relative residual threshold `‖r‖ / ‖b‖`.
+    pub tol: f64,
+    /// Hard iteration cap (guards against stagnation).
+    pub max_iters: usize,
+}
+
+impl StopCriteria {
+    /// The paper's setting: tolerance `1e-15`, generous iteration cap.
+    pub fn paper_default() -> Self {
+        Self {
+            tol: 1e-15,
+            max_iters: 10_000,
+        }
+    }
+
+    /// Custom tolerance with the default iteration cap.
+    pub fn with_tol(tol: f64) -> Self {
+        Self {
+            tol,
+            max_iters: 10_000,
+        }
+    }
+
+    /// `true` when `residual / norm_b` satisfies the tolerance.
+    ///
+    /// A zero right-hand side converges immediately (the solution is the
+    /// zero vector, and any residual test against `‖b‖ = 0` would never
+    /// pass).
+    #[inline]
+    pub fn is_converged(&self, residual: f64, norm_b: f64) -> bool {
+        if norm_b == 0.0 {
+            return residual == 0.0;
+        }
+        residual / norm_b < self.tol
+    }
+}
+
+impl Default for StopCriteria {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_values() {
+        let c = StopCriteria::paper_default();
+        assert_eq!(c.tol, 1e-15);
+        assert!(c.max_iters >= 1000);
+    }
+
+    #[test]
+    fn convergence_test() {
+        let c = StopCriteria::with_tol(1e-6);
+        assert!(c.is_converged(1e-8, 1.0));
+        assert!(!c.is_converged(1e-4, 1.0));
+        // Scaling by ‖b‖ matters.
+        assert!(c.is_converged(1e-4, 1e3));
+    }
+
+    #[test]
+    fn zero_rhs_special_case() {
+        let c = StopCriteria::default();
+        assert!(c.is_converged(0.0, 0.0));
+        assert!(!c.is_converged(1e-30, 0.0));
+    }
+}

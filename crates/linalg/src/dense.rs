@@ -1,0 +1,174 @@
+//! Dense BLAS-3/BLAS-2 kernels: `gemm` and `gemv`.
+//!
+//! The paper's *baseline* spline builder (its Listing 2) performs the
+//! corner-block corrections of Algorithm 1 with two `KokkosBlas::gemm`
+//! calls; [`gemm`] is the equivalent here, parallelised over columns of the
+//! output (the batch dimension) exactly as the native Kokkos-kernels gemm
+//! parallelises. The *fused* builder replaces these with per-lane
+//! [`kernels::gemv_lane`](crate::kernels::gemv_lane) calls.
+
+use crate::error::{Error, Result};
+use pp_portable::{ExecSpace, Matrix, Strided, StridedMut};
+
+/// General matrix-matrix multiply-accumulate:
+/// `C ← α · A · B + β · C`.
+///
+/// Shapes: `A (m, k)`, `B (k, n)`, `C (m, n)`. The loop over columns of `C`
+/// is distributed over `exec`; within a column the kernel runs serially in
+/// `k`-outer order so that the column of `B` streams once.
+pub fn gemm<E: ExecSpace>(
+    exec: &E,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c: &mut Matrix,
+) -> Result<()> {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    if kb != k || c.shape() != (m, n) {
+        return Err(Error::ShapeMismatch {
+            op: "gemm",
+            detail: format!(
+                "A {:?} · B {:?} -> C {:?}",
+                a.shape(),
+                b.shape(),
+                c.shape()
+            ),
+        });
+    }
+    exec.for_each_lane_mut(c, |j, mut c_col| {
+        // c_col ← β c_col
+        if beta == 0.0 {
+            c_col.fill(0.0);
+        } else if beta != 1.0 {
+            for i in 0..m {
+                c_col[i] *= beta;
+            }
+        }
+        // c_col += α A b_col, k-outer (axpy per column of A).
+        let b_col = b.col(j);
+        for p in 0..k {
+            let scale = alpha * b_col[p];
+            if scale != 0.0 {
+                let a_col = a.col(p);
+                for i in 0..m {
+                    c_col[i] += scale * a_col[i];
+                }
+            }
+        }
+    });
+    Ok(())
+}
+
+/// General matrix-vector multiply-accumulate on strided views:
+/// `y ← α · A · x + β · y`.
+///
+/// This is the *shape-checked* entry point; the unchecked hot-loop variant
+/// used inside fused kernels is
+/// [`kernels::gemv_lane`](crate::kernels::gemv_lane).
+pub fn gemv(alpha: f64, a: &Matrix, x: &Strided<'_>, beta: f64, y: &mut StridedMut<'_>) -> Result<()> {
+    let (m, n) = a.shape();
+    if x.len() != n || y.len() != m {
+        return Err(Error::ShapeMismatch {
+            op: "gemv",
+            detail: format!("A {:?}, x len {}, y len {}", a.shape(), x.len(), y.len()),
+        });
+    }
+    crate::kernels::gemv_lane(alpha, a, x, beta, y);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::matvec;
+    use pp_portable::{Layout, Parallel, Serial};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(rng: &mut StdRng, m: usize, n: usize, layout: Layout) -> Matrix {
+        Matrix::from_fn(m, n, layout, |_, _| rng.gen_range(-1.0..1.0))
+    }
+
+    fn gemm_reference(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &Matrix) -> Matrix {
+        let (m, _) = a.shape();
+        let (_, n) = b.shape();
+        Matrix::from_fn(m, n, c.layout(), |i, j| {
+            let dot: f64 = (0..a.ncols()).map(|p| a.get(i, p) * b.get(p, j)).sum();
+            alpha * dot + beta * c.get(i, j)
+        })
+    }
+
+    #[test]
+    fn gemm_matches_reference_all_layouts() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for la in [Layout::Left, Layout::Right] {
+            for lc in [Layout::Left, Layout::Right] {
+                let a = random_matrix(&mut rng, 7, 5, la);
+                let b = random_matrix(&mut rng, 5, 9, Layout::Left);
+                let mut c = random_matrix(&mut rng, 7, 9, lc);
+                let expected = gemm_reference(1.5, &a, &b, 0.5, &c);
+                gemm(&Serial, 1.5, &a, &b, 0.5, &mut c).unwrap();
+                assert!(c.max_abs_diff(&expected) < 1e-13, "{la:?} {lc:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_parallel_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = random_matrix(&mut rng, 20, 30, Layout::Left);
+        let b = random_matrix(&mut rng, 30, 40, Layout::Left);
+        let mut c1 = random_matrix(&mut rng, 20, 40, Layout::Left);
+        let mut c2 = c1.clone();
+        gemm(&Serial, -2.0, &a, &b, 1.0, &mut c1).unwrap();
+        gemm(&Parallel, -2.0, &a, &b, 1.0, &mut c2).unwrap();
+        assert_eq!(c1.max_abs_diff(&c2), 0.0);
+    }
+
+    #[test]
+    fn gemm_beta_zero_overwrites_garbage() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let b = Matrix::from_rows(&[&[3.0], &[4.0]]);
+        let mut c = Matrix::from_vec(2, 1, Layout::Left, vec![f64::NAN, f64::NAN]).unwrap();
+        gemm(&Serial, 1.0, &a, &b, 0.0, &mut c).unwrap();
+        assert_eq!(c.get(0, 0), 3.0);
+        assert_eq!(c.get(1, 0), 4.0);
+    }
+
+    #[test]
+    fn gemm_shape_mismatch() {
+        let a = Matrix::zeros(2, 3, Layout::Left);
+        let b = Matrix::zeros(4, 2, Layout::Left);
+        let mut c = Matrix::zeros(2, 2, Layout::Left);
+        assert!(gemm(&Serial, 1.0, &a, &b, 0.0, &mut c).is_err());
+    }
+
+    #[test]
+    fn gemv_matches_matvec() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = random_matrix(&mut rng, 6, 4, Layout::Right);
+        let x: Vec<f64> = (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut y = vec![0.0; 6];
+        {
+            let xs = Strided::from_slice(&x);
+            let mut ys = StridedMut::from_slice(&mut y);
+            gemv(1.0, &a, &xs, 0.0, &mut ys).unwrap();
+        }
+        let expected = matvec(&a, &x);
+        for (u, v) in y.iter().zip(&expected) {
+            assert!((u - v).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn gemv_shape_mismatch() {
+        let a = Matrix::zeros(3, 3, Layout::Left);
+        let x = [0.0; 2];
+        let mut y = [0.0; 3];
+        let xs = Strided::from_slice(&x);
+        let mut ys = StridedMut::from_slice(&mut y);
+        assert!(gemv(1.0, &a, &xs, 0.0, &mut ys).is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Errors for factorisations and shape-checked BLAS operations.
+
+use std::fmt;
+
+/// Errors produced by `pp-linalg`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A zero (or numerically vanishing) pivot was met during elimination:
+    /// the matrix is singular to working precision.
+    Singular {
+        /// Routine that failed.
+        routine: &'static str,
+        /// Index of the offending pivot.
+        index: usize,
+    },
+    /// A Cholesky-type factorisation met a non-positive leading minor: the
+    /// matrix is not positive definite.
+    NotPositiveDefinite {
+        /// Routine that failed.
+        routine: &'static str,
+        /// Index of the offending diagonal entry.
+        index: usize,
+        /// Its value.
+        value: f64,
+    },
+    /// Operand shapes are inconsistent.
+    ShapeMismatch {
+        /// Operation attempted.
+        op: &'static str,
+        /// Description of the mismatch.
+        detail: String,
+    },
+    /// A bandwidth parameter is invalid for the given matrix order.
+    InvalidBandwidth {
+        /// Operation attempted.
+        op: &'static str,
+        /// Matrix order.
+        n: usize,
+        /// Offending bandwidth.
+        bandwidth: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Singular { routine, index } => {
+                write!(f, "{routine}: zero pivot at index {index} (singular matrix)")
+            }
+            Error::NotPositiveDefinite {
+                routine,
+                index,
+                value,
+            } => write!(
+                f,
+                "{routine}: leading minor {index} not positive (value {value}); matrix is not positive definite"
+            ),
+            Error::ShapeMismatch { op, detail } => write!(f, "{op}: shape mismatch: {detail}"),
+            Error::InvalidBandwidth { op, n, bandwidth } => {
+                write!(f, "{op}: bandwidth {bandwidth} invalid for order {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_routine() {
+        let e = Error::Singular {
+            routine: "getrf",
+            index: 3,
+        };
+        assert!(e.to_string().contains("getrf"));
+        let e = Error::NotPositiveDefinite {
+            routine: "pbtrf",
+            index: 0,
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("positive definite"));
+    }
+}

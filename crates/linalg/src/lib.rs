@@ -1,0 +1,77 @@
+//! # pp-linalg — batched serial dense linear algebra
+//!
+//! Rust implementations of the LAPACK routines the paper adds to
+//! Kokkos-kernels (§II-D): the factorisation/solve pairs
+//!
+//! | LAPACK | here | matrix class |
+//! |---|---|---|
+//! | `getrf`/`getrs` | [`getrf`] → [`LuFactors`] | general dense |
+//! | `gbtrf`/`gbtrs` | [`gbtrf`] → [`BandedLu`] | general banded |
+//! | `pbtrf`/`pbtrs` | [`pbtrf`] → [`CholeskyBanded`] | SPD banded |
+//! | `pttrf`/`pttrs` | [`pttrf`] → [`PtFactors`] | SPD tridiagonal |
+//!
+//! plus the BLAS kernels the spline builder composes with them
+//! ([`gemm`], [`kernels::gemv_lane`]).
+//!
+//! ## The batched-serial execution model
+//!
+//! Every solver here is **strictly sequential along the matrix dimension**
+//! and is therefore exposed in two forms, mirroring the paper's
+//! `KokkosBatched::Serial*` design:
+//!
+//! * a *per-lane* form (`solve_lane`) that solves one right-hand side given
+//!   as a strided view — this is what gets called inside a parallel region;
+//! * a *batched* form ([`batched`]) that maps the per-lane form over every
+//!   column of a right-hand-side block through an
+//!   [`ExecSpace`](pp_portable::ExecSpace).
+//!
+//! Factorisation happens **once** (the spline matrix is fixed in time); only
+//! the solves run every time step, exactly as in the paper's Algorithm 1.
+//!
+//! ```
+//! use pp_portable::{Matrix, Layout, Parallel};
+//! use pp_linalg::{pttrf, batched};
+//!
+//! // SPD tridiagonal system: d = diag, e = off-diag.
+//! let d = vec![4.0; 8];
+//! let e = vec![1.0; 7];
+//! let factors = pttrf(&d, &e).unwrap();
+//!
+//! // 100 right-hand sides, all ones.
+//! let mut b = Matrix::zeros(8, 100, Layout::Left);
+//! b.fill(1.0);
+//! batched::pttrs(&Parallel, &factors, &mut b);
+//!
+//! // Residual check on lane 0: A x = 1.
+//! let x: Vec<f64> = b.col(0).to_vec();
+//! let r0 = 4.0 * x[0] + x[1] - 1.0;
+//! assert!(r0.abs() < 1e-12);
+//! ```
+
+// Numerical kernels here deliberately use index loops (matching the
+// LAPACK-style algorithms they implement) and NaN-rejecting negated
+// comparisons; silence the corresponding style lints crate-wide.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![allow(clippy::int_plus_one)]
+
+pub mod banded;
+pub mod batched;
+pub mod dense;
+pub mod error;
+pub mod kernels;
+pub mod lu;
+pub mod naive;
+pub mod pb;
+pub mod pt;
+pub mod solver;
+pub mod tiled;
+
+pub use banded::{gbtrf, BandedLu, BandedMatrix};
+pub use dense::{gemm, gemv};
+pub use error::{Error, Result};
+pub use lu::{getrf, LuFactors};
+pub use pb::{pbtrf, CholeskyBanded, SymBandedMatrix};
+pub use pt::{pttrf, PtFactors};
+pub use solver::LaneSolver;
+pub use tiled::{gbtrs_tiled, pbtrs_tiled, pttrs_tiled};

@@ -1,0 +1,180 @@
+//! Dense LU factorisation with partial pivoting (`getrf`).
+//!
+//! In the spline builder this factors the small Schur complement `δ′`
+//! (typically only a handful of rows), once, at initialisation — the paper
+//! does this on the host and copies the factors to the device. The per-lane
+//! solve is [`kernels::getrs_lane`](crate::kernels::getrs_lane).
+
+use crate::error::{Error, Result};
+use crate::kernels::getrs_lane;
+use pp_portable::{Layout, Matrix, StridedMut};
+
+/// Packed LU factors of a dense matrix: `P·A = L·U` with unit-diagonal `L`
+/// stored below the diagonal of [`LuFactors::lu`] and `U` on/above it.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    lu: Matrix,
+    ipiv: Vec<usize>,
+}
+
+impl LuFactors {
+    /// Matrix order.
+    pub fn n(&self) -> usize {
+        self.lu.nrows()
+    }
+
+    /// Packed `L\U` matrix.
+    pub fn lu(&self) -> &Matrix {
+        &self.lu
+    }
+
+    /// Pivot row interchange vector: at step `i`, row `i` was swapped with
+    /// row `ipiv[i]` (LAPACK convention, zero-based).
+    pub fn ipiv(&self) -> &[usize] {
+        &self.ipiv
+    }
+
+    /// Solve `A x = b` in place for one lane (`getrs`).
+    pub fn solve_lane(&self, b: &mut StridedMut<'_>) {
+        getrs_lane(&self.lu, &self.ipiv, b);
+    }
+
+    /// Solve into a plain slice (convenience for setup-time work).
+    pub fn solve_slice(&self, b: &mut [f64]) {
+        self.solve_lane(&mut StridedMut::from_slice(b));
+    }
+}
+
+/// Factor a dense square matrix as `P·A = L·U` with partial pivoting.
+///
+/// Returns [`Error::Singular`] if a pivot vanishes to working precision.
+pub fn getrf(a: &Matrix) -> Result<LuFactors> {
+    let n = a.nrows();
+    if a.ncols() != n {
+        return Err(Error::ShapeMismatch {
+            op: "getrf",
+            detail: format!("matrix is {:?}, must be square", a.shape()),
+        });
+    }
+    // Work in row-major for cache-friendly row operations.
+    let mut lu = a.to_layout(Layout::Right);
+    let mut ipiv = vec![0usize; n];
+
+    for k in 0..n {
+        // Pivot: largest magnitude in column k, rows k..n.
+        let mut piv = k;
+        let mut best = lu.get(k, k).abs();
+        for i in k + 1..n {
+            let v = lu.get(i, k).abs();
+            if v > best {
+                best = v;
+                piv = i;
+            }
+        }
+        if best < f64::MIN_POSITIVE {
+            return Err(Error::Singular {
+                routine: "getrf",
+                index: k,
+            });
+        }
+        ipiv[k] = piv;
+        if piv != k {
+            for j in 0..n {
+                let t = lu.get(k, j);
+                let u = lu.get(piv, j);
+                lu.set(k, j, u);
+                lu.set(piv, j, t);
+            }
+        }
+        let pivot = lu.get(k, k);
+        for i in k + 1..n {
+            let m = lu.get(i, k) / pivot;
+            lu.set(i, k, m);
+            if m != 0.0 {
+                for j in k + 1..n {
+                    let v = lu.get(i, j) - m * lu.get(k, j);
+                    lu.set(i, j, v);
+                }
+            }
+        }
+    }
+    Ok(LuFactors { lu, ipiv })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::{relative_residual, solve_dense};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_nonsingular(rng: &mut StdRng, n: usize) -> Matrix {
+        Matrix::from_fn(n, n, Layout::Right, |i, j| {
+            let v: f64 = rng.gen_range(-1.0..1.0);
+            if i == j {
+                v + 2.0 * n as f64
+            } else {
+                v
+            }
+        })
+    }
+
+    #[test]
+    fn factor_solve_round_trip_various_sizes() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for n in [1, 2, 4, 7, 16, 33] {
+            let a = random_nonsingular(&mut rng, n);
+            let f = getrf(&a).unwrap();
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+            let mut x = b.clone();
+            f.solve_slice(&mut x);
+            assert!(relative_residual(&a, &x, &b) < 1e-12, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_solver() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = random_nonsingular(&mut rng, 12);
+        let b: Vec<f64> = (0..12).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let expected = solve_dense(&a, &b).unwrap();
+        let f = getrf(&a).unwrap();
+        let mut x = b;
+        f.solve_slice(&mut x);
+        for (u, v) in x.iter().zip(&expected) {
+            assert!((u - v).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn requires_pivoting() {
+        // Leading zero forces an interchange; without pivoting this fails.
+        let a = Matrix::from_rows(&[&[0.0, 1.0, 2.0], &[1.0, 0.0, 1.0], &[2.0, 1.0, 0.0]]);
+        let f = getrf(&a).unwrap();
+        let b = vec![5.0, 3.0, 4.0];
+        let mut x = b.clone();
+        f.solve_slice(&mut x);
+        assert!(relative_residual(&a, &x, &b) < 1e-13);
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(getrf(&a), Err(Error::Singular { .. })));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(3, 4, Layout::Right);
+        assert!(matches!(getrf(&a), Err(Error::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = Matrix::from_rows(&[&[4.0]]);
+        let f = getrf(&a).unwrap();
+        let mut x = vec![8.0];
+        f.solve_slice(&mut x);
+        assert_eq!(x, vec![2.0]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Naive dense reference solver, used as ground truth in tests across the
+//! workspace. Plain Gaussian elimination with partial pivoting on a copied
+//! dense matrix — slow, simple, and independent of every optimised path.
+
+use crate::error::{Error, Result};
+use pp_portable::Matrix;
+
+/// Dense matrix-vector product `A x`.
+///
+/// # Panics
+/// Panics if `x.len() != A.ncols()`.
+pub fn matvec(a: &Matrix, x: &[f64]) -> Vec<f64> {
+    assert_eq!(a.ncols(), x.len(), "matvec: dimension mismatch");
+    (0..a.nrows())
+        .map(|i| (0..a.ncols()).map(|j| a.get(i, j) * x[j]).sum())
+        .collect()
+}
+
+/// Solve `A x = b` by Gaussian elimination with partial pivoting.
+///
+/// Returns the solution vector, or [`Error::Singular`] if a pivot vanishes.
+pub fn solve_dense(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let n = a.nrows();
+    if a.ncols() != n || b.len() != n {
+        return Err(Error::ShapeMismatch {
+            op: "solve_dense",
+            detail: format!("A is {:?}, b has length {}", a.shape(), b.len()),
+        });
+    }
+    // Augmented dense working copy.
+    let mut m: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let mut row: Vec<f64> = (0..n).map(|j| a.get(i, j)).collect();
+            row.push(b[i]);
+            row
+        })
+        .collect();
+
+    for k in 0..n {
+        // Partial pivot.
+        let piv = (k..n)
+            .max_by(|&p, &q| m[p][k].abs().total_cmp(&m[q][k].abs()))
+            .expect("non-empty range");
+        if m[piv][k].abs() < f64::EPSILON * 1e3 {
+            return Err(Error::Singular {
+                routine: "solve_dense",
+                index: k,
+            });
+        }
+        m.swap(k, piv);
+        for i in k + 1..n {
+            let factor = m[i][k] / m[k][k];
+            for j in k..=n {
+                m[i][j] -= factor * m[k][j];
+            }
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let s: f64 = (i + 1..n).map(|j| m[i][j] * x[j]).sum();
+        x[i] = (m[i][n] - s) / m[i][i];
+    }
+    Ok(x)
+}
+
+/// Relative residual `‖A x − b‖₂ / ‖b‖₂` (with a floor on `‖b‖` to avoid
+/// division by zero).
+pub fn relative_residual(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+    let ax = matvec(a, x);
+    let num: f64 = ax
+        .iter()
+        .zip(b)
+        .map(|(p, q)| (p - q) * (p - q))
+        .sum::<f64>()
+        .sqrt();
+    let den: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-300);
+    num / den
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_portable::Layout;
+
+    #[test]
+    fn solves_identity() {
+        let a = Matrix::from_fn(4, 4, Layout::Right, |i, j| (i == j) as u8 as f64);
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(solve_dense(&a, &b).unwrap(), b);
+    }
+
+    #[test]
+    fn solves_known_system() {
+        // [2 1; 1 3] x = [3; 5]  =>  x = [4/5, 7/5]
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = solve_dense(&a, &[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-14);
+        assert!((x[1] - 1.4).abs() < 1e-14);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = solve_dense(&a, &[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_is_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(
+            solve_dense(&a, &[1.0, 2.0]),
+            Err(Error::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn shape_mismatch_is_detected() {
+        let a = Matrix::zeros(3, 2, Layout::Right);
+        assert!(solve_dense(&a, &[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn residual_of_exact_solution_is_zero() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]);
+        let x = solve_dense(&a, &[5.0, 5.0]).unwrap();
+        assert!(relative_residual(&a, &x, &[5.0, 5.0]) < 1e-14);
+    }
+}

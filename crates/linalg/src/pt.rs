@@ -1,0 +1,209 @@
+//! `pttrf`: L·D·Lᵀ factorisation of a symmetric positive-definite
+//! tridiagonal matrix.
+//!
+//! This is the `Q` solver for **uniform degree-3 splines** (Table I of the
+//! paper) — the fastest row of every benchmark. The factorisation runs once
+//! at setup; the per-lane solve ([`kernels::pttrs_lane`](crate::kernels::pttrs_lane))
+//! is the paper's Listing 1.
+
+use crate::error::{Error, Result};
+use crate::kernels::pttrs_lane;
+use pp_portable::StridedMut;
+
+/// `L·D·Lᵀ` factors of an SPD tridiagonal matrix.
+///
+/// `d` holds the diagonal of `D`; `e` holds the sub-diagonal multipliers of
+/// the unit bidiagonal `L` (LAPACK `dpttrf` packing).
+#[derive(Debug, Clone)]
+pub struct PtFactors {
+    d: Vec<f64>,
+    e: Vec<f64>,
+}
+
+impl PtFactors {
+    /// Matrix order.
+    pub fn n(&self) -> usize {
+        self.d.len()
+    }
+
+    /// Diagonal of `D`.
+    pub fn d(&self) -> &[f64] {
+        &self.d
+    }
+
+    /// Sub-diagonal multipliers of `L`.
+    pub fn e(&self) -> &[f64] {
+        &self.e
+    }
+
+    /// Solve `A x = b` in place for one lane (`pttrs`).
+    #[inline]
+    pub fn solve_lane(&self, b: &mut StridedMut<'_>) {
+        pttrs_lane(&self.d, &self.e, b);
+    }
+
+    /// Solve into a plain slice (setup-time convenience).
+    pub fn solve_slice(&self, b: &mut [f64]) {
+        self.solve_lane(&mut StridedMut::from_slice(b));
+    }
+}
+
+/// Factor an SPD tridiagonal matrix given its diagonal `d` (length `n`) and
+/// off-diagonal `e` (length `n-1`), following LAPACK `dpttrf`.
+///
+/// Returns [`Error::NotPositiveDefinite`] if a transformed diagonal entry
+/// is not strictly positive.
+pub fn pttrf(d: &[f64], e: &[f64]) -> Result<PtFactors> {
+    let n = d.len();
+    if n > 0 && e.len() != n - 1 {
+        return Err(Error::ShapeMismatch {
+            op: "pttrf",
+            detail: format!("d has length {n}, e has length {} (need {})", e.len(), n - 1),
+        });
+    }
+    let mut dd = d.to_vec();
+    let mut ee = e.to_vec();
+    for i in 0..n.saturating_sub(1) {
+        if dd[i] <= 0.0 {
+            return Err(Error::NotPositiveDefinite {
+                routine: "pttrf",
+                index: i,
+                value: dd[i],
+            });
+        }
+        let ei = ee[i];
+        ee[i] = ei / dd[i];
+        dd[i + 1] -= ee[i] * ei;
+    }
+    if n > 0 && dd[n - 1] <= 0.0 {
+        return Err(Error::NotPositiveDefinite {
+            routine: "pttrf",
+            index: n - 1,
+            value: dd[n - 1],
+        });
+    }
+    Ok(PtFactors { d: dd, e: ee })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::{relative_residual, solve_dense};
+    use pp_portable::{Layout, Matrix};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn tridiag(d: &[f64], e: &[f64]) -> Matrix {
+        let n = d.len();
+        Matrix::from_fn(n, n, Layout::Right, |i, j| {
+            if i == j {
+                d[i]
+            } else if i.abs_diff(j) == 1 {
+                e[i.min(j)]
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn factorisation_reconstructs_matrix() {
+        // A = L D L^T must reproduce (d, e).
+        let d = vec![4.0, 5.0, 6.0, 7.0];
+        let e = vec![1.0, -1.5, 2.0];
+        let f = pttrf(&d, &e).unwrap();
+        // Rebuild: diag_i = D_i + l_{i-1}^2 D_{i-1}; off_i = l_i * D_i.
+        let n = d.len();
+        for i in 0..n {
+            let rebuilt = f.d()[i]
+                + if i > 0 {
+                    f.e()[i - 1] * f.e()[i - 1] * f.d()[i - 1]
+                } else {
+                    0.0
+                };
+            assert!((rebuilt - d[i]).abs() < 1e-14);
+        }
+        for i in 0..n - 1 {
+            assert!((f.e()[i] * f.d()[i] - e[i]).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn solve_matches_dense_reference() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for n in [1usize, 2, 3, 10, 50] {
+            let d: Vec<f64> = (0..n).map(|_| rng.gen_range(3.0..5.0)).collect();
+            let e: Vec<f64> = (0..n.saturating_sub(1))
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect();
+            let a = tridiag(&d, &e);
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let expected = solve_dense(&a, &b).unwrap();
+            let f = pttrf(&d, &e).unwrap();
+            let mut x = b;
+            f.solve_slice(&mut x);
+            for (u, v) in x.iter().zip(&expected) {
+                assert!((u - v).abs() < 1e-11, "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_positive_definite() {
+        // Diagonal entry that goes non-positive after elimination.
+        assert!(matches!(
+            pttrf(&[1.0, 0.5], &[1.0]),
+            Err(Error::NotPositiveDefinite { .. })
+        ));
+        assert!(matches!(
+            pttrf(&[-1.0, 2.0], &[0.1]),
+            Err(Error::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(matches!(
+            pttrf(&[1.0, 2.0], &[]),
+            Err(Error::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_system() {
+        let f = pttrf(&[], &[]).unwrap();
+        assert_eq!(f.n(), 0);
+    }
+
+    proptest! {
+        /// Property: for random diagonally-dominant SPD tridiagonal
+        /// matrices, solve(A, A·x) recovers x.
+        #[test]
+        fn prop_solve_recovers_solution(
+            n in 1usize..40,
+            seed in 0u64..1000,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let e: Vec<f64> = (0..n - 1).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            // Strict diagonal dominance guarantees SPD here.
+            let d: Vec<f64> = (0..n)
+                .map(|i| {
+                    let left = if i > 0 { e[i - 1].abs() } else { 0.0 };
+                    let right = if i < n - 1 { e[i].abs() } else { 0.0 };
+                    left + right + rng.gen_range(0.5..2.0)
+                })
+                .collect();
+            let x_true: Vec<f64> = (0..n).map(|_| rng.gen_range(-3.0..3.0)).collect();
+            let a = tridiag(&d, &e);
+            let b = crate::naive::matvec(&a, &x_true);
+            let f = pttrf(&d, &e).unwrap();
+            let mut x = b.clone();
+            f.solve_slice(&mut x);
+            prop_assert!(relative_residual(&a, &x, &b) < 1e-10);
+            for (u, v) in x.iter().zip(&x_true) {
+                prop_assert!((u - v).abs() < 1e-8);
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Throughput metrics: GLUPS (equation 7) and achieved bandwidth (§V-B).
+
+use std::time::Duration;
+
+/// Giga Lattice Updates Per Second:
+/// `GLUPS = Nx · Nv · 10⁻⁹ / t` — the paper's Fig. 2 metric.
+///
+/// # Panics
+/// Panics if `elapsed` is zero.
+pub fn glups(nx: usize, nv: usize, elapsed: Duration) -> f64 {
+    let t = elapsed.as_secs_f64();
+    assert!(t > 0.0, "glups: zero elapsed time");
+    (nx as f64) * (nv as f64) * 1e-9 / t
+}
+
+/// Achieved effective bandwidth in GB/s under the paper's §V-B
+/// assumption of one 8-byte load/store per grid point with a perfect
+/// cache: `Nx · Nv · 8 / t`.
+///
+/// # Panics
+/// Panics if `elapsed` is zero.
+pub fn achieved_bandwidth_gbs(nx: usize, nv: usize, elapsed: Duration) -> f64 {
+    let t = elapsed.as_secs_f64();
+    assert!(t > 0.0, "bandwidth: zero elapsed time");
+    (nx as f64) * (nv as f64) * 8.0 / t / 1e9
+}
+
+/// Fraction of a peak bandwidth achieved (the parenthesised % of
+/// Table V).
+pub fn bandwidth_fraction(achieved_gbs: f64, peak_gbs: f64) -> f64 {
+    achieved_gbs / peak_gbs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glups_definition() {
+        // 1000 × 100000 points in 0.1 s = 1 GLUPS.
+        let g = glups(1000, 100_000, Duration::from_millis(100));
+        assert!((g - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_definition() {
+        // The paper's example: (1000, 100000) in double precision is
+        // 0.8 GB of right-hand sides; in 1 ms that is 800 GB/s.
+        let bw = achieved_bandwidth_gbs(1000, 100_000, Duration::from_millis(1));
+        assert!((bw - 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fraction() {
+        assert!((bandwidth_fraction(268.6, 1555.0) - 0.1727).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero elapsed")]
+    fn zero_time_panics() {
+        let _ = glups(1, 1, Duration::ZERO);
+    }
+}

@@ -1,0 +1,66 @@
+//! The Pennycook performance-portability metric — equations (8)–(9) of
+//! the paper.
+
+/// Architectural efficiency `e_i(a, p) = P / R` as a fraction in `[0, 1]`
+/// (the paper prints it in %).
+///
+/// # Panics
+/// Panics if `attainable` is not positive.
+pub fn efficiency(achieved: f64, attainable: f64) -> f64 {
+    assert!(attainable > 0.0, "attainable performance must be positive");
+    achieved / attainable
+}
+
+/// `P(a, p, H)`: the harmonic mean of per-device efficiencies over the
+/// platform set `H`, or 0 if the application does not run on some device
+/// (`None` entry) or `H` is empty.
+pub fn performance_portability(efficiencies: &[Option<f64>]) -> f64 {
+    if efficiencies.is_empty() {
+        return 0.0;
+    }
+    let mut inv_sum = 0.0;
+    for e in efficiencies {
+        match e {
+            Some(v) if *v > 0.0 => inv_sum += 1.0 / v,
+            _ => return 0.0,
+        }
+    }
+    efficiencies.len() as f64 / inv_sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_mean_of_equal_values() {
+        let p = performance_portability(&[Some(0.5), Some(0.5), Some(0.5)]);
+        assert!((p - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn dominated_by_worst_device() {
+        let p = performance_portability(&[Some(0.9), Some(0.9), Some(0.01)]);
+        assert!(p < 0.03, "harmonic mean {p} should collapse toward 0.01");
+    }
+
+    #[test]
+    fn unsupported_device_zeroes_the_metric() {
+        assert_eq!(performance_portability(&[Some(0.9), None]), 0.0);
+        assert_eq!(performance_portability(&[Some(0.9), Some(0.0)]), 0.0);
+        assert_eq!(performance_portability(&[]), 0.0);
+    }
+
+    #[test]
+    fn paper_table5_first_row_reproduces() {
+        // Table V, uniform degree 3: efficiencies 4.38%, 17.3%, 15.5%
+        // => P = 0.086 (the paper prints the fraction).
+        let p = performance_portability(&[Some(0.0438), Some(0.173), Some(0.155)]);
+        assert!((p - 0.086).abs() < 2e-3, "P = {p}");
+    }
+
+    #[test]
+    fn efficiency_ratio() {
+        assert!((efficiency(50.0, 200.0) - 0.25).abs() < 1e-15);
+    }
+}

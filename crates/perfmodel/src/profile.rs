@@ -1,0 +1,164 @@
+//! A named-region profiler in the style of Kokkos-tools' simple kernel
+//! timer — the tool the paper uses for its cross-platform measurements
+//! (§IV-A and the artifact appendix's `kp_reader` output).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Accumulates wall-clock time per named region.
+///
+/// ```
+/// use pp_perfmodel::RegionProfiler;
+///
+/// let mut prof = RegionProfiler::new();
+/// let sum = prof.time("ddc_splines_solve", || (0..1000).sum::<u64>());
+/// assert_eq!(sum, 499500);
+/// assert_eq!(prof.count("ddc_splines_solve"), 1);
+/// assert!(prof.report().contains("ddc_splines_solve (REGION)"));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct RegionProfiler {
+    regions: BTreeMap<String, (Duration, u64)>,
+}
+
+/// RAII guard that records a region's elapsed time on drop.
+pub struct RegionGuard<'a> {
+    profiler: &'a mut RegionProfiler,
+    name: String,
+    start: Instant,
+}
+
+impl RegionProfiler {
+    /// Fresh profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an explicit duration for a region.
+    pub fn record(&mut self, name: &str, elapsed: Duration) {
+        let e = self.regions.entry(name.to_string()).or_default();
+        e.0 += elapsed;
+        e.1 += 1;
+    }
+
+    /// Time a closure as one invocation of `name`.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record(name, start.elapsed());
+        out
+    }
+
+    /// Start a scoped region; it ends when the guard drops.
+    pub fn region(&mut self, name: &str) -> RegionGuard<'_> {
+        RegionGuard {
+            name: name.to_string(),
+            start: Instant::now(),
+            profiler: self,
+        }
+    }
+
+    /// Total time of a region.
+    pub fn total(&self, name: &str) -> Duration {
+        self.regions.get(name).map(|e| e.0).unwrap_or_default()
+    }
+
+    /// Call count of a region.
+    pub fn count(&self, name: &str) -> u64 {
+        self.regions.get(name).map(|e| e.1).unwrap_or_default()
+    }
+
+    /// Average time per call of a region (the figure the paper's appendix
+    /// says it reads: "We use the average time for a measurement").
+    pub fn average(&self, name: &str) -> Duration {
+        match self.regions.get(name) {
+            Some(&(total, count)) if count > 0 => total / count as u32,
+            _ => Duration::ZERO,
+        }
+    }
+
+    /// Region names seen so far.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.regions.keys().map(String::as_str)
+    }
+
+    /// Render a `kp_reader`-style report:
+    /// `name (REGION) total_s count avg_s`.
+    pub fn report(&self) -> String {
+        let mut s = String::from("Regions:\n\n");
+        for (name, (total, count)) in &self.regions {
+            let avg = if *count > 0 {
+                total.as_secs_f64() / *count as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                s,
+                "- {name} (REGION) {:.6} {count} {avg:.6}",
+                total.as_secs_f64()
+            );
+        }
+        s
+    }
+
+    /// Clear all regions.
+    pub fn reset(&mut self) {
+        self.regions.clear();
+    }
+}
+
+impl Drop for RegionGuard<'_> {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        self.profiler.record(&self.name, elapsed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_aggregate() {
+        let mut p = RegionProfiler::new();
+        p.record("solve", Duration::from_millis(10));
+        p.record("solve", Duration::from_millis(30));
+        assert_eq!(p.total("solve"), Duration::from_millis(40));
+        assert_eq!(p.count("solve"), 2);
+        assert_eq!(p.average("solve"), Duration::from_millis(20));
+    }
+
+    #[test]
+    fn time_closure() {
+        let mut p = RegionProfiler::new();
+        let v = p.time("work", || 41 + 1);
+        assert_eq!(v, 42);
+        assert_eq!(p.count("work"), 1);
+    }
+
+    #[test]
+    fn scoped_region() {
+        let mut p = RegionProfiler::new();
+        {
+            let _g = p.region("scoped");
+        }
+        assert_eq!(p.count("scoped"), 1);
+    }
+
+    #[test]
+    fn report_format() {
+        let mut p = RegionProfiler::new();
+        p.record("ddc_splines_solve", Duration::from_millis(3));
+        let r = p.report();
+        assert!(r.contains("ddc_splines_solve (REGION)"));
+        assert!(r.contains(" 1 "));
+    }
+
+    #[test]
+    fn missing_region_is_zero() {
+        let p = RegionProfiler::new();
+        assert_eq!(p.total("nope"), Duration::ZERO);
+        assert_eq!(p.average("nope"), Duration::ZERO);
+    }
+}

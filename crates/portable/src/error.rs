@@ -1,0 +1,76 @@
+//! Error type shared by the substrate.
+
+use std::fmt;
+
+/// Errors produced by view construction and shape-checked operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Two operands whose shapes must agree did not.
+    ShapeMismatch {
+        /// What was being attempted.
+        op: &'static str,
+        /// Shape of the left/first operand.
+        left: (usize, usize),
+        /// Shape of the right/second operand.
+        right: (usize, usize),
+    },
+    /// An index or sub-range fell outside the extent of a view.
+    OutOfBounds {
+        /// What was being attempted.
+        op: &'static str,
+        /// Offending index.
+        index: usize,
+        /// Extent it must be below.
+        extent: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ShapeMismatch { op, left, right } => write!(
+                f,
+                "shape mismatch in {op}: ({}, {}) vs ({}, {})",
+                left.0, left.1, right.0, right.1
+            ),
+            Error::OutOfBounds { op, index, extent } => {
+                write!(f, "index {index} out of bounds in {op} (extent {extent})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the substrate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = Error::ShapeMismatch {
+            op: "gemm",
+            left: (3, 4),
+            right: (5, 6),
+        };
+        let s = e.to_string();
+        assert!(s.contains("gemm"));
+        assert!(s.contains("(3, 4)"));
+        assert!(s.contains("(5, 6)"));
+    }
+
+    #[test]
+    fn display_out_of_bounds() {
+        let e = Error::OutOfBounds {
+            op: "col",
+            index: 7,
+            extent: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("col"));
+        assert!(s.contains('7'));
+    }
+}

@@ -1,0 +1,220 @@
+//! Execution spaces: where a batched kernel runs.
+//!
+//! The paper's kernels all have the shape
+//! `Kokkos::parallel_for(batch, LAMBDA(i) { serial work on lane i })`.
+//! [`ExecSpace`] captures that: [`Serial`] runs lanes in a plain loop (the
+//! reference / debugging space), [`Parallel`] distributes lanes over the
+//! rayon thread pool (the host-CPU OpenMP analogue).
+
+use crate::matrix::Matrix;
+use crate::ptr::SharedMutPtr;
+use crate::strided::StridedMut;
+use rayon::prelude::*;
+
+/// A place batched work can execute.
+///
+/// Implementations only provide [`ExecSpace::for_each`] (and optionally
+/// [`ExecSpace::reduce_sum`]); the lane dispatch helpers are derived.
+pub trait ExecSpace: Sync {
+    /// Name for profiling output (e.g. `"Serial"`, `"Parallel"`).
+    fn name(&self) -> &'static str;
+
+    /// Call `f(i)` for every `i in 0..n`, possibly concurrently.
+    fn for_each<F: Fn(usize) + Sync + Send>(&self, n: usize, f: F);
+
+    /// Sum `f(i)` over `i in 0..n`.
+    ///
+    /// The default forwards to a serial loop; [`Parallel`] overrides it.
+    fn reduce_sum<F: Fn(usize) -> f64 + Sync + Send>(&self, n: usize, f: F) -> f64 {
+        (0..n).map(f).sum()
+    }
+
+    /// Visit every *column* (batch lane) of `m` with a mutable strided view,
+    /// possibly concurrently: the analogue of the paper's
+    /// `parallel_for(batch, LAMBDA(i){ subview(b, ALL, i) ... })`.
+    fn for_each_lane_mut<F>(&self, m: &mut Matrix, f: F)
+    where
+        F: Fn(usize, StridedMut<'_>) + Sync + Send,
+    {
+        let nrows = m.nrows();
+        let ncols = m.ncols();
+        let (rs, cs) = m.strides();
+        let ptr = SharedMutPtr(m.as_mut_ptr());
+        self.for_each(ncols, |j| {
+            // SAFETY: lane j touches offsets { j*cs + i*rs : i < nrows }.
+            // For both supported layouts these sets are pairwise disjoint
+            // across j (LayoutLeft: disjoint contiguous blocks; LayoutRight:
+            // offsets are congruent to j modulo ncols), and each j is
+            // visited exactly once, so no two concurrent views overlap.
+            let lane = unsafe { StridedMut::from_raw(ptr.add(j * cs), nrows, rs.max(1)) };
+            f(j, lane);
+        });
+    }
+
+    /// Visit every column of `m` together with the matching column of a
+    /// second matrix `m2` (used by fused kernels operating on the split
+    /// right-hand side `(b0, b1)` of Algorithm 1).
+    ///
+    /// # Panics
+    /// Panics if the two matrices have different column counts.
+    fn for_each_lane_pair_mut<F>(&self, m1: &mut Matrix, m2: &mut Matrix, f: F)
+    where
+        F: Fn(usize, StridedMut<'_>, StridedMut<'_>) + Sync + Send,
+    {
+        assert_eq!(
+            m1.ncols(),
+            m2.ncols(),
+            "for_each_lane_pair_mut: batch sizes differ"
+        );
+        let (n1, n2) = (m1.nrows(), m2.nrows());
+        let ncols = m1.ncols();
+        let (rs1, cs1) = m1.strides();
+        let (rs2, cs2) = m2.strides();
+        let p1 = SharedMutPtr(m1.as_mut_ptr());
+        let p2 = SharedMutPtr(m2.as_mut_ptr());
+        self.for_each(ncols, |j| {
+            // SAFETY: as in `for_each_lane_mut`, per matrix; the two
+            // matrices are distinct allocations.
+            let lane1 = unsafe { StridedMut::from_raw(p1.add(j * cs1), n1, rs1.max(1)) };
+            let lane2 = unsafe { StridedMut::from_raw(p2.add(j * cs2), n2, rs2.max(1)) };
+            f(j, lane1, lane2);
+        });
+    }
+}
+
+/// Run every lane on the calling thread, in order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Serial;
+
+impl ExecSpace for Serial {
+    fn name(&self) -> &'static str {
+        "Serial"
+    }
+
+    #[inline]
+    fn for_each<F: Fn(usize) + Sync + Send>(&self, n: usize, f: F) {
+        for i in 0..n {
+            f(i);
+        }
+    }
+}
+
+/// Distribute lanes over the global rayon thread pool.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Parallel;
+
+impl ExecSpace for Parallel {
+    fn name(&self) -> &'static str {
+        "Parallel"
+    }
+
+    #[inline]
+    fn for_each<F: Fn(usize) + Sync + Send>(&self, n: usize, f: F) {
+        (0..n).into_par_iter().for_each(f);
+    }
+
+    fn reduce_sum<F: Fn(usize) -> f64 + Sync + Send>(&self, n: usize, f: F) -> f64 {
+        (0..n).into_par_iter().map(f).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Layout;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[allow(clippy::type_complexity)]
+    fn exec_spaces() -> Vec<Box<dyn Fn(&mut Matrix)>> {
+        vec![
+            Box::new(|m: &mut Matrix| {
+                Serial.for_each_lane_mut(m, |j, mut lane| {
+                    for i in 0..lane.len() {
+                        lane[i] = (i + 100 * j) as f64;
+                    }
+                })
+            }),
+            Box::new(|m: &mut Matrix| {
+                Parallel.for_each_lane_mut(m, |j, mut lane| {
+                    for i in 0..lane.len() {
+                        lane[i] = (i + 100 * j) as f64;
+                    }
+                })
+            }),
+        ]
+    }
+
+    #[test]
+    fn lane_dispatch_writes_disjoint_lanes_both_layouts() {
+        for layout in [Layout::Left, Layout::Right] {
+            for run in exec_spaces() {
+                let mut m = Matrix::zeros(5, 17, layout);
+                run(&mut m);
+                for j in 0..17 {
+                    for i in 0..5 {
+                        assert_eq!(m.get(i, j), (i + 100 * j) as f64, "{layout:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serial_visits_each_index_once() {
+        let count = AtomicUsize::new(0);
+        Serial.for_each(1000, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn parallel_visits_each_index_once() {
+        let hits: Vec<AtomicUsize> = (0..500).map(|_| AtomicUsize::new(0)).collect();
+        Parallel.for_each(500, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn reduce_sum_matches_closed_form() {
+        let expected = (0..1000).map(|i| i as f64).sum::<f64>();
+        assert_eq!(Serial.reduce_sum(1000, |i| i as f64), expected);
+        assert_eq!(Parallel.reduce_sum(1000, |i| i as f64), expected);
+    }
+
+    #[test]
+    fn lane_pair_dispatch_matches_serial_reference() {
+        let mut a1 = Matrix::zeros(4, 33, Layout::Left);
+        let mut a2 = Matrix::zeros(2, 33, Layout::Left);
+        Parallel.for_each_lane_pair_mut(&mut a1, &mut a2, |j, mut top, mut bot| {
+            top.fill(j as f64);
+            bot.fill(-(j as f64));
+        });
+        for j in 0..33 {
+            assert_eq!(a1.get(3, j), j as f64);
+            assert_eq!(a2.get(1, j), -(j as f64));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch sizes differ")]
+    fn lane_pair_requires_equal_batches() {
+        let mut a1 = Matrix::zeros(4, 3, Layout::Left);
+        let mut a2 = Matrix::zeros(2, 5, Layout::Left);
+        Serial.for_each_lane_pair_mut(&mut a1, &mut a2, |_, _, _| {});
+    }
+
+    #[test]
+    fn zero_lanes_is_a_no_op() {
+        let mut m = Matrix::zeros(4, 0, Layout::Left);
+        Parallel.for_each_lane_mut(&mut m, |_, _| panic!("should not be called"));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Serial.name(), "Serial");
+        assert_eq!(Parallel.name(), "Parallel");
+    }
+}

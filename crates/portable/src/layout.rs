@@ -1,0 +1,97 @@
+//! Memory layouts for 2-D views.
+//!
+//! The paper keeps its right-hand-side block in a *lane-contiguous* layout
+//! (each batch lane — one column — is contiguous), which is the layout GPUs
+//! coalesce well when parallelising over lanes, and observes that this is
+//! the wrong layout for CPUs (§V-A). Exposing the layout as a runtime value
+//! lets the benchmark harness reproduce exactly that observation.
+
+/// Memory layout of a [`crate::Matrix`] with shape `(nrows, ncols)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// Column-major (Fortran order, Kokkos `LayoutLeft`): element `(i, j)`
+    /// lives at `i + j * nrows`. Columns are contiguous.
+    Left,
+    /// Row-major (C order, Kokkos `LayoutRight`): element `(i, j)` lives at
+    /// `i * ncols + j`. Rows are contiguous.
+    Right,
+}
+
+impl Layout {
+    /// `(row_stride, col_stride)` for a matrix of shape `(nrows, ncols)`.
+    #[inline]
+    pub fn strides(self, nrows: usize, ncols: usize) -> (usize, usize) {
+        match self {
+            Layout::Left => (1, nrows),
+            Layout::Right => (ncols, 1),
+        }
+    }
+
+    /// Linear offset of element `(i, j)` in a matrix of shape
+    /// `(nrows, ncols)` with this layout.
+    #[inline]
+    pub fn offset(self, i: usize, j: usize, nrows: usize, ncols: usize) -> usize {
+        let (rs, cs) = self.strides(nrows, ncols);
+        i * rs + j * cs
+    }
+
+    /// The transposed layout (rows of one are columns of the other).
+    #[inline]
+    pub fn flipped(self) -> Layout {
+        match self {
+            Layout::Left => Layout::Right,
+            Layout::Right => Layout::Left,
+        }
+    }
+
+    /// Human-readable name matching Kokkos nomenclature.
+    pub fn name(self) -> &'static str {
+        match self {
+            Layout::Left => "LayoutLeft",
+            Layout::Right => "LayoutRight",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_left() {
+        assert_eq!(Layout::Left.strides(4, 7), (1, 4));
+    }
+
+    #[test]
+    fn strides_right() {
+        assert_eq!(Layout::Right.strides(4, 7), (7, 1));
+    }
+
+    #[test]
+    fn offsets_cover_all_elements_exactly_once() {
+        for layout in [Layout::Left, Layout::Right] {
+            let (m, n) = (5, 3);
+            let mut seen = vec![false; m * n];
+            for i in 0..m {
+                for j in 0..n {
+                    let off = layout.offset(i, j, m, n);
+                    assert!(!seen[off], "{layout:?} maps two elements to {off}");
+                    seen[off] = true;
+                }
+            }
+            assert!(seen.into_iter().all(|s| s));
+        }
+    }
+
+    #[test]
+    fn flipped_round_trips() {
+        assert_eq!(Layout::Left.flipped().flipped(), Layout::Left);
+        assert_eq!(Layout::Left.flipped(), Layout::Right);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Layout::Left.name(), "LayoutLeft");
+        assert_eq!(Layout::Right.name(), "LayoutRight");
+    }
+}

@@ -1,0 +1,69 @@
+//! # pp-portable — performance-portability substrate
+//!
+//! This crate plays the role that [Kokkos](https://kokkos.org) plays in the
+//! paper *"Development of performance portable spline solver for exa-scale
+//! plasma turbulence simulation"* (Asahi et al., SC 2024): it provides the
+//! data and execution abstractions on which every other crate in this
+//! workspace is built.
+//!
+//! The programming model it encodes is the one the paper's kernels rely on:
+//!
+//! * **Views with explicit layout** — dense 2-D arrays ([`Matrix`]) carry a
+//!   [`Layout`] (`LayoutLeft` = column-major, `LayoutRight` = row-major) so
+//!   that the *same* kernel code can be timed against both the GPU-friendly
+//!   lane-contiguous layout and the CPU-friendly batch-contiguous layout
+//!   (the paper's §V-A "non-ideal data layout" discussion).
+//! * **Strided per-lane views** — [`Strided`] / [`StridedMut`] are the
+//!   equivalent of `Kokkos::subview(b, ALL, i)`: a length + stride window
+//!   into one batch lane, cheap to construct inside a hot loop.
+//! * **Execution spaces** — the [`ExecSpace`] trait with [`Serial`] and
+//!   [`Parallel`] (rayon) implementations mirrors
+//!   `Kokkos::parallel_for(batch, LAMBDA(i) {...})`: kernels are *serial
+//!   within a lane, parallel across lanes*.
+//! * **Transpose kernels** — cache-blocked 2-D transposes used by the
+//!   semi-Lagrangian driver (Algorithm 2 of the paper transposes the
+//!   distribution function before and after the spline solve).
+//!
+//! Everything is `f64`; the paper works exclusively in double precision.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use pp_portable::{Matrix, Layout, ExecSpace, Parallel};
+//!
+//! // A (4, 1000) right-hand-side block: 1000 batch lanes of length 4.
+//! let mut b = Matrix::zeros(4, 1000, Layout::Left);
+//! b.fill(1.0);
+//!
+//! // Scale every lane by its lane index, in parallel across lanes.
+//! Parallel.for_each_lane_mut(&mut b, |j, mut lane| {
+//!     for i in 0..lane.len() {
+//!         lane[i] *= j as f64;
+//!     }
+//! });
+//! assert_eq!(b.get(2, 3), 3.0);
+//! ```
+
+// Numerical kernels here deliberately use index loops (matching the
+// LAPACK-style algorithms they implement) and NaN-rejecting negated
+// comparisons; silence the corresponding style lints crate-wide.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![allow(clippy::int_plus_one)]
+
+pub mod block;
+pub mod error;
+pub mod exec;
+pub mod layout;
+pub mod matrix;
+pub mod ptr;
+pub mod strided;
+pub mod transpose;
+
+pub use block::{for_each_lane_block_mut, BlockMut};
+pub use error::{Error, Result};
+pub use exec::{ExecSpace, Parallel, Serial};
+pub use layout::Layout;
+pub use matrix::Matrix;
+pub use strided::{Strided, StridedMut};
+pub use transpose::{transpose, transpose_into, transpose_into_with, transpose_reinterpret};

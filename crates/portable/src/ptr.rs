@@ -1,0 +1,57 @@
+//! Shared-pointer utility for lane-parallel kernels.
+//!
+//! Batched kernels mutate *disjoint* lanes of one allocation from many
+//! threads. Rust's borrow checker cannot see the disjointness through a
+//! runtime stride, so the lane dispatchers in [`crate::exec`] funnel their
+//! single `unsafe` through this wrapper, which documents and centralises the
+//! invariant (the pattern recommended by *Rust Atomics and Locks* for
+//! hand-built synchronisation: keep the unsafety in one small, auditable
+//! type).
+
+/// A raw pointer that may be shared across threads.
+///
+/// # Safety contract (for users inside this crate)
+///
+/// Constructing a `SharedMutPtr` is safe; *dereferencing* it is not. Every
+/// use must guarantee that concurrent accesses through clones of the same
+/// `SharedMutPtr` touch **disjoint** element index sets. The lane
+/// dispatchers guarantee this by construction: lane `j` only touches
+/// elements whose linear offset is `j * col_stride + i * row_stride` for
+/// `i < len`, and each `j` is visited exactly once.
+#[derive(Clone, Copy)]
+pub(crate) struct SharedMutPtr(pub *mut f64);
+
+// SAFETY: the pointer itself is plain data; all dereferences are guarded by
+// the disjointness contract above.
+unsafe impl Send for SharedMutPtr {}
+unsafe impl Sync for SharedMutPtr {}
+
+impl SharedMutPtr {
+    /// Offset the pointer. Caller must keep the result in bounds of the
+    /// original allocation.
+    #[inline]
+    pub(crate) unsafe fn add(self, offset: usize) -> *mut f64 {
+        self.0.add(offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_ptr_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedMutPtr>();
+    }
+
+    #[test]
+    fn add_offsets_correctly() {
+        let mut data = [1.0_f64, 2.0, 3.0];
+        let p = SharedMutPtr(data.as_mut_ptr());
+        // SAFETY: single-threaded, in bounds.
+        unsafe {
+            assert_eq!(*p.add(2), 3.0);
+        }
+    }
+}

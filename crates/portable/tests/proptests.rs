@@ -1,0 +1,117 @@
+//! Property-based tests for the view substrate: layout round trips,
+//! transpose involution, lane/block dispatch equivalence.
+
+use pp_portable::{
+    block::for_each_lane_block_mut, transpose, transpose_into, transpose_into_with, Layout,
+    Matrix, Parallel, Serial,
+};
+use proptest::prelude::*;
+
+fn arb_layout() -> impl Strategy<Value = Layout> {
+    prop_oneof![Just(Layout::Left), Just(Layout::Right)]
+}
+
+proptest! {
+    /// to_layout is lossless in both directions.
+    #[test]
+    fn layout_round_trip(
+        m in 1usize..20,
+        n in 1usize..20,
+        layout in arb_layout(),
+        seed in 0u64..1000,
+    ) {
+        let a = Matrix::from_fn(m, n, layout, |i, j| {
+            ((i * 31 + j * 17 + seed as usize) % 101) as f64 - 50.0
+        });
+        let there = a.to_layout(layout.flipped());
+        let back = there.to_layout(layout);
+        prop_assert_eq!(a.max_abs_diff(&back), 0.0);
+    }
+
+    /// transpose(transpose(A)) == A for every shape/layout combination.
+    #[test]
+    fn transpose_involution(
+        m in 1usize..40,
+        n in 1usize..40,
+        layout in arb_layout(),
+    ) {
+        let a = Matrix::from_fn(m, n, layout, |i, j| (i * 131 + j * 7) as f64);
+        let tt = transpose(&transpose(&a));
+        prop_assert_eq!(a.max_abs_diff(&tt), 0.0);
+    }
+
+    /// The parallel tiled transpose agrees with the serial element-wise
+    /// definition for every shape and layout pairing.
+    #[test]
+    fn parallel_transpose_matches_definition(
+        m in 1usize..50,
+        n in 1usize..50,
+        src_layout in arb_layout(),
+        dst_layout in arb_layout(),
+    ) {
+        let a = Matrix::from_fn(m, n, src_layout, |i, j| (i * 1009 + j) as f64);
+        let mut t1 = Matrix::zeros(n, m, dst_layout);
+        let mut t2 = Matrix::zeros(n, m, dst_layout);
+        transpose_into(&a, &mut t1).unwrap();
+        transpose_into_with(&Parallel, &a, &mut t2).unwrap();
+        prop_assert_eq!(t1.max_abs_diff(&t2), 0.0);
+        for i in 0..m {
+            for j in 0..n {
+                prop_assert_eq!(t1.get(j, i), a.get(i, j));
+            }
+        }
+    }
+
+    /// Lane-block dispatch writes every element exactly once regardless
+    /// of tile width, layout, or execution space.
+    #[test]
+    fn block_dispatch_covers_matrix(
+        m in 1usize..12,
+        n in 1usize..40,
+        tile in 1usize..50,
+        layout in arb_layout(),
+        parallel in any::<bool>(),
+    ) {
+        let mut a = Matrix::zeros(m, n, layout);
+        let write = |col0: usize, mut blk: pp_portable::BlockMut<'_>| {
+            for i in 0..blk.nrows() {
+                for j in 0..blk.ncols() {
+                    let v = blk.get(i, j) + (i * 1000 + col0 + j) as f64 + 1.0;
+                    blk.set(i, j, v);
+                }
+            }
+        };
+        if parallel {
+            for_each_lane_block_mut(&Parallel, &mut a, tile, write);
+        } else {
+            for_each_lane_block_mut(&Serial, &mut a, tile, write);
+        }
+        for i in 0..m {
+            for j in 0..n {
+                prop_assert_eq!(a.get(i, j), (i * 1000 + j) as f64 + 1.0);
+            }
+        }
+    }
+
+    /// Column and row views agree with element access.
+    #[test]
+    fn views_match_elements(
+        m in 1usize..15,
+        n in 1usize..15,
+        layout in arb_layout(),
+    ) {
+        let a = Matrix::from_fn(m, n, layout, |i, j| (i * 100 + j) as f64);
+        for j in 0..n {
+            let col = a.col(j).to_vec();
+            for i in 0..m {
+                prop_assert_eq!(col[i], a.get(i, j));
+            }
+        }
+        for i in 0..m {
+            let row = a.row(i).to_vec();
+            for j in 0..n {
+                prop_assert_eq!(row[j], a.get(i, j));
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Compressed Sparse Column storage.
+//!
+//! The paper's motivation for choosing COO was precisely to avoid writing
+//! kernels for both CSR *and* CSC; CSC is provided here for completeness
+//! (column-oriented assembly, transpose-free `Aᵀ x`) and to make that
+//! trade-off testable.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use pp_portable::Matrix;
+
+/// A sparse matrix in CSC format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csc {
+    nrows: usize,
+    ncols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl Csc {
+    /// Build from a COO matrix (duplicates merged, rows sorted within each
+    /// column). Implemented by converting the transpose through CSR, which
+    /// shares the sort/merge logic.
+    pub fn from_coo(coo: &Coo) -> Self {
+        // Transpose the triplets, build CSR of Aᵀ, reinterpret as CSC of A.
+        let t = Coo::from_triplets(
+            coo.ncols(),
+            coo.nrows(),
+            coo.cols_idx().to_vec(),
+            coo.rows_idx().to_vec(),
+            coo.values().to_vec(),
+        )
+        .expect("transposed triplets valid by construction");
+        let csr_t = Csr::from_coo(&t);
+        Self {
+            nrows: coo.nrows(),
+            ncols: coo.ncols(),
+            col_ptr: csr_t.row_ptr().to_vec(),
+            row_idx: csr_t.col_idx().to_vec(),
+            values: csr_t.values().to_vec(),
+        }
+    }
+
+    /// Extract the non-zeros of a dense matrix.
+    pub fn from_dense(a: &Matrix, threshold: f64) -> Self {
+        Self::from_coo(&Coo::from_dense(a, threshold))
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Entries `(row, value)` of column `j`.
+    #[inline]
+    pub fn col(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.col_ptr[j];
+        let hi = self.col_ptr[j + 1];
+        self.row_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// `y ← A x` (column-scatter form).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "spmv: x length");
+        assert_eq!(y.len(), self.nrows, "spmv: y length");
+        y.fill(0.0);
+        for j in 0..self.ncols {
+            let xj = x[j];
+            if xj != 0.0 {
+                for (r, v) in self.col(j) {
+                    y[r] += v * xj;
+                }
+            }
+        }
+    }
+
+    /// `y ← Aᵀ x` without materialising the transpose (column-gather form).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn spmv_transpose_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.nrows, "spmv_t: x length");
+        assert_eq!(y.len(), self.ncols, "spmv_t: y length");
+        for j in 0..self.ncols {
+            let mut s = 0.0;
+            for (r, v) in self.col(j) {
+                s += v * x[r];
+            }
+            y[j] = s;
+        }
+    }
+
+    /// Densify (tests).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.nrows, self.ncols, pp_portable::Layout::Right);
+        for j in 0..self.ncols {
+            for (r, v) in self.col(j) {
+                m.add_assign(r, j, v);
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_sparse(rng: &mut StdRng, m: usize, n: usize) -> Matrix {
+        Matrix::from_fn(m, n, pp_portable::Layout::Right, |_, _| {
+            if rng.gen_bool(0.25) {
+                rng.gen_range(-1.0..1.0)
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn round_trip_matches_dense() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = random_sparse(&mut rng, 13, 9);
+        let csc = Csc::from_dense(&a, 0.0);
+        assert_eq!(csc.to_dense().max_abs_diff(&a), 0.0);
+    }
+
+    #[test]
+    fn csc_and_csr_agree() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = random_sparse(&mut rng, 11, 17);
+        let coo = Coo::from_dense(&a, 0.0);
+        let csr = Csr::from_coo(&coo);
+        let csc = Csc::from_coo(&coo);
+        assert_eq!(csr.nnz(), csc.nnz());
+        let x: Vec<f64> = (0..17).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let y_csr = csr.spmv_alloc(&x);
+        let mut y_csc = vec![0.0; 11];
+        csc.spmv_into(&x, &mut y_csc);
+        for (u, v) in y_csr.iter().zip(&y_csc) {
+            assert!((u - v).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn transpose_spmv_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let a = random_sparse(&mut rng, 6, 10);
+        let csc = Csc::from_dense(&a, 0.0);
+        let x: Vec<f64> = (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut y = vec![0.0; 10];
+        csc.spmv_transpose_into(&x, &mut y);
+        let expected: Vec<f64> = (0..10)
+            .map(|j| (0..6).map(|i| a.get(i, j) * x[i]).sum())
+            .collect();
+        for (u, v) in y.iter().zip(&expected) {
+            assert!((u - v).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn rows_sorted_within_columns() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let a = random_sparse(&mut rng, 14, 6);
+        let csc = Csc::from_dense(&a, 0.0);
+        for j in 0..6 {
+            let rows: Vec<usize> = csc.col(j).map(|(r, _)| r).collect();
+            let mut sorted = rows.clone();
+            sorted.sort_unstable();
+            assert_eq!(rows, sorted);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Errors for sparse construction and kernels.
+
+use std::fmt;
+
+/// Errors produced by `pp-sparse`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Entry coordinates fall outside the declared shape.
+    EntryOutOfBounds {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+        /// Declared shape.
+        shape: (usize, usize),
+    },
+    /// Parallel arrays (rows/cols/values) have inconsistent lengths.
+    LengthMismatch {
+        /// Lengths found, in (rows, cols, values) order.
+        lengths: (usize, usize, usize),
+    },
+    /// Operand shapes are inconsistent for the requested operation.
+    ShapeMismatch {
+        /// Operation attempted.
+        op: &'static str,
+        /// Description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EntryOutOfBounds { row, col, shape } => write!(
+                f,
+                "entry ({row}, {col}) out of bounds for shape ({}, {})",
+                shape.0, shape.1
+            ),
+            Error::LengthMismatch { lengths } => write!(
+                f,
+                "COO arrays have mismatched lengths: rows {}, cols {}, values {}",
+                lengths.0, lengths.1, lengths.2
+            ),
+            Error::ShapeMismatch { op, detail } => write!(f, "{op}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = Error::EntryOutOfBounds {
+            row: 5,
+            col: 2,
+            shape: (3, 3),
+        };
+        assert!(e.to_string().contains("(5, 2)"));
+        let e = Error::LengthMismatch { lengths: (1, 2, 3) };
+        assert!(e.to_string().contains("mismatched"));
+    }
+}

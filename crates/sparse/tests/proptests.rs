@@ -1,0 +1,115 @@
+//! Property-based tests for the sparse formats: conversions are lossless
+//! and every spmv variant computes the same product.
+
+use pp_portable::{Layout, Matrix, Serial, Strided, StridedMut};
+use pp_sparse::{Coo, Csc, Csr, SparsityPattern};
+use proptest::prelude::*;
+
+/// A random sparse matrix as a dense generator (deterministic in the
+/// proptest inputs, so shrinking works).
+fn sparse_dense(m: usize, n: usize, density_pct: usize, seed: u64) -> Matrix {
+    Matrix::from_fn(m, n, Layout::Right, |i, j| {
+        let h = (i as u64)
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add((j as u64).wrapping_mul(1442695040888963407))
+            .wrapping_add(seed);
+        if (h >> 33) % 100 < density_pct as u64 {
+            ((h % 2001) as f64 - 1000.0) / 250.0
+        } else {
+            0.0
+        }
+    })
+}
+
+proptest! {
+    /// COO -> CSR -> dense and COO -> CSC -> dense reproduce the source.
+    #[test]
+    fn conversion_round_trips(
+        m in 1usize..25,
+        n in 1usize..25,
+        density in 0usize..60,
+        seed in 0u64..500,
+    ) {
+        let a = sparse_dense(m, n, density, seed);
+        let coo = Coo::from_dense(&a, 0.0);
+        prop_assert_eq!(Csr::from_coo(&coo).to_dense().max_abs_diff(&a), 0.0);
+        prop_assert_eq!(Csc::from_coo(&coo).to_dense().max_abs_diff(&a), 0.0);
+        prop_assert_eq!(coo.to_dense().max_abs_diff(&a), 0.0);
+    }
+
+    /// All four spmv implementations (dense reference, COO lane, CSR,
+    /// CSC) agree.
+    #[test]
+    fn spmv_variants_agree(
+        m in 1usize..20,
+        n in 1usize..20,
+        density in 5usize..70,
+        seed in 0u64..500,
+    ) {
+        let a = sparse_dense(m, n, density, seed);
+        let x: Vec<f64> = (0..n).map(|j| ((j * 37 + 11) % 19) as f64 - 9.0).collect();
+        let reference: Vec<f64> = (0..m)
+            .map(|i| (0..n).map(|j| a.get(i, j) * x[j]).sum())
+            .collect();
+
+        let coo = Coo::from_dense(&a, 0.0);
+        let mut y_coo = vec![0.0; m];
+        coo.spmv_lane(
+            1.0,
+            &Strided::from_slice(&x),
+            &mut StridedMut::from_slice(&mut y_coo),
+        );
+
+        let csr = Csr::from_coo(&coo);
+        let y_csr = csr.spmv_alloc(&x);
+        let mut y_csr_par = vec![0.0; m];
+        csr.spmv(&Serial, &x, &mut y_csr_par);
+
+        let csc = Csc::from_coo(&coo);
+        let mut y_csc = vec![0.0; m];
+        csc.spmv_into(&x, &mut y_csc);
+
+        for i in 0..m {
+            prop_assert!((y_coo[i] - reference[i]).abs() < 1e-11);
+            prop_assert!((y_csr[i] - reference[i]).abs() < 1e-11);
+            prop_assert!((y_csr_par[i] - reference[i]).abs() < 1e-11);
+            prop_assert!((y_csc[i] - reference[i]).abs() < 1e-11);
+        }
+    }
+
+    /// CSR transpose-spmv equals spmv of the explicit transpose.
+    #[test]
+    fn transpose_spmv_consistent(
+        m in 1usize..18,
+        n in 1usize..18,
+        seed in 0u64..300,
+    ) {
+        let a = sparse_dense(m, n, 30, seed);
+        let csr = Csr::from_dense(&a, 0.0);
+        let x: Vec<f64> = (0..m).map(|i| (i as f64) * 0.5 - 1.0).collect();
+        let mut y = vec![0.0; n];
+        csr.spmv_transpose_into(&x, &mut y);
+        for j in 0..n {
+            let expected: f64 = (0..m).map(|i| a.get(i, j) * x[i]).sum();
+            prop_assert!((y[j] - expected).abs() < 1e-11);
+        }
+    }
+
+    /// nnz is consistent across formats and the pattern.
+    #[test]
+    fn nnz_consistency(
+        m in 1usize..20,
+        n in 1usize..20,
+        density in 0usize..80,
+        seed in 0u64..300,
+    ) {
+        let a = sparse_dense(m, n, density, seed);
+        let coo = Coo::from_dense(&a, 0.0);
+        let csr = Csr::from_coo(&coo);
+        let csc = Csc::from_coo(&coo);
+        let pat = SparsityPattern::from_dense(&a, 0.0);
+        prop_assert_eq!(coo.nnz(), csr.nnz());
+        prop_assert_eq!(csr.nnz(), csc.nnz());
+        prop_assert_eq!(csc.nnz(), pat.nnz());
+    }
+}

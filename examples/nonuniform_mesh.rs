@@ -1,0 +1,79 @@
+//! Non-uniform splines — the capability the paper builds `gbtrs` for:
+//! resolving a steep-gradient region (a tokamak edge pedestal, in
+//! miniature) with a graded mesh instead of globally refining.
+//!
+//! Compares interpolation error of a steep profile on (a) a uniform mesh
+//! and (b) a graded mesh with the same number of points, then shows the
+//! solver classification switching from `pttrs` to `gbtrs` (Table I).
+//!
+//! ```text
+//! cargo run --release --example nonuniform_mesh
+//! ```
+
+use batched_splines::prelude::*;
+use pp_splinesolver::QClass;
+
+/// A pedestal-like profile with *periodic* continuation: a plateau with
+/// steep transport-barrier walls at x = 0.45 and 0.55 (width 0.015),
+/// right where the graded mesh is finest. Both tails vanish to ~1e-15 at
+/// the domain seam, so the periodic spline space can represent it.
+fn pedestal(x: f64) -> f64 {
+    let up = ((x - 0.45) / 0.015).tanh();
+    let down = ((x - 0.55) / 0.015).tanh();
+    0.5 * (up - down) + 0.05 * (std::f64::consts::TAU * x).sin()
+}
+
+fn max_error(space: &PeriodicSplineSpace) -> f64 {
+    let values: Vec<f64> = space
+        .interpolation_points()
+        .iter()
+        .map(|&x| pedestal(x))
+        .collect();
+    let coefs = space.interpolate_naive(&values).expect("solvable");
+    (0..4001)
+        .map(|i| {
+            let x = i as f64 / 4001.0;
+            (space.eval(&coefs, x) - pedestal(x)).abs()
+        })
+        .fold(0.0, f64::max)
+}
+
+fn main() {
+    let n = 128;
+    println!("interpolating a pedestal profile (width 0.015) with {n} points\n");
+
+    for degree in [3usize, 4, 5] {
+        let uniform =
+            PeriodicSplineSpace::new(Breaks::uniform(n, 0.0, 1.0).unwrap(), degree).unwrap();
+        // Cluster points around the steep region: strong grading.
+        let graded =
+            PeriodicSplineSpace::new(Breaks::graded(n, 0.0, 1.0, 0.85).unwrap(), degree)
+                .unwrap();
+
+        let eu = max_error(&uniform);
+        let eg = max_error(&graded);
+
+        let qu = SplineBuilder::new(uniform, BuilderVersion::FusedSpmv)
+            .unwrap()
+            .blocks()
+            .q_class();
+        let qg = SplineBuilder::new(graded, BuilderVersion::FusedSpmv)
+            .unwrap()
+            .blocks()
+            .q_class();
+        assert_eq!(qg, QClass::GeneralBanded, "non-uniform must take gbtrs");
+
+        println!(
+            "degree {degree}: uniform err {eu:.3e} ({}) | graded err {eg:.3e} ({}) | improvement {:.1}x",
+            qu.routine(),
+            qg.routine(),
+            eu / eg
+        );
+        assert!(
+            eg < eu,
+            "graded mesh must beat uniform on the steep profile"
+        );
+    }
+    println!("\nthe graded mesh resolves the pedestal with the same point budget —");
+    println!("this is why the new GYSELA needs non-uniform splines (paper §II-A).");
+}

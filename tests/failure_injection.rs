@@ -1,0 +1,124 @@
+//! Failure-injection tests: malformed inputs must produce typed errors
+//! (or well-defined propagation), never panics or silent corruption.
+
+use batched_splines::prelude::*;
+use pp_bsplines::ClampedSplineSpace;
+use pp_linalg::{gbtrf, getrf, pbtrf, pttrf, BandedMatrix, SymBandedMatrix};
+use pp_portable::Matrix as PMatrix;
+use pp_splinesolver::SchurBlocks;
+
+/// Singular inputs are rejected with typed errors by every factorisation.
+#[test]
+fn singular_matrices_rejected_everywhere() {
+    // getrf: rank-deficient dense.
+    let dense = PMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+    assert!(getrf(&dense).is_err());
+    // gbtrf: zero column.
+    let mut gb = BandedMatrix::new(3, 1, 1).unwrap();
+    gb.set(0, 0, 1.0).unwrap();
+    gb.set(2, 2, 1.0).unwrap();
+    assert!(gbtrf(&gb).is_err());
+    // pbtrf: indefinite.
+    let mut pb = SymBandedMatrix::new(2, 1).unwrap();
+    pb.set(0, 0, 1.0).unwrap();
+    pb.set(1, 0, 5.0).unwrap();
+    pb.set(1, 1, 1.0).unwrap();
+    assert!(pbtrf(&pb).is_err());
+    // pttrf: non-positive diagonal.
+    assert!(pttrf(&[0.0, 1.0], &[0.5]).is_err());
+}
+
+/// Mesh construction rejects non-monotone and degenerate inputs.
+#[test]
+fn bad_meshes_rejected() {
+    assert!(Breaks::from_points(vec![0.0, 0.5, 0.4, 1.0]).is_err());
+    assert!(Breaks::from_points(vec![0.0, 0.0, 1.0]).is_err());
+    assert!(Breaks::from_points(vec![1.0]).is_err());
+    assert!(Breaks::uniform(0, 0.0, 1.0).is_err());
+    assert!(Breaks::uniform(8, 1.0, 1.0).is_err());
+    assert!(Breaks::uniform(8, f64::NAN, 1.0).is_err());
+    assert!(Breaks::graded(8, 0.0, 1.0, 1.5).is_err());
+    assert!(Breaks::graded(8, 0.0, 1.0, -0.1).is_err());
+}
+
+/// Space construction enforces degree and size bounds.
+#[test]
+fn bad_spaces_rejected() {
+    let b = Breaks::uniform(8, 0.0, 1.0).unwrap();
+    assert!(PeriodicSplineSpace::new(b.clone(), 0).is_err());
+    assert!(PeriodicSplineSpace::new(b.clone(), 6).is_err());
+    assert!(PeriodicSplineSpace::new(Breaks::uniform(6, 0.0, 1.0).unwrap(), 3).is_err());
+    assert!(ClampedSplineSpace::new(Breaks::uniform(3, 0.0, 1.0).unwrap(), 3).is_err());
+    assert!(ClampedSplineSpace::new(b, 6).is_err());
+}
+
+/// The Schur decomposition refuses matrices that are not banded-plus-
+/// border.
+#[test]
+fn unstructured_matrix_rejected() {
+    let dense = PMatrix::from_fn(16, 16, Layout::Right, |i, j| 1.0 / (1 + i + j) as f64);
+    assert!(SchurBlocks::from_dense(&dense, 3, true).is_err());
+}
+
+/// NaN right-hand sides propagate NaN (no panic, no fake convergence in
+/// the direct path).
+#[test]
+fn nan_rhs_propagates_in_direct_solver() {
+    let space = PeriodicSplineSpace::new(Breaks::uniform(16, 0.0, 1.0).unwrap(), 3).unwrap();
+    let builder = SplineBuilder::new(space, BuilderVersion::FusedSpmv).unwrap();
+    let mut b = Matrix::zeros(16, 2, Layout::Left);
+    b.set(3, 0, f64::NAN);
+    b.set(0, 1, 1.0);
+    builder.solve_in_place(&Serial, &mut b).unwrap();
+    // Lane 0 is poisoned...
+    assert!(b.col(0).to_vec().iter().any(|v| v.is_nan()));
+    // ...but lane 1 is untouched by it (lanes are independent).
+    assert!(b.col(1).to_vec().iter().all(|v| v.is_finite()));
+}
+
+/// NaN right-hand sides make the iterative backend report failure rather
+/// than "converge".
+#[test]
+fn nan_rhs_fails_iterative_solver() {
+    let space = PeriodicSplineSpace::new(Breaks::uniform(16, 0.0, 1.0).unwrap(), 3).unwrap();
+    let solver = IterativeSplineSolver::new(space, IterativeConfig::gpu()).unwrap();
+    let mut b = Matrix::zeros(16, 1, Layout::Left);
+    b.set(5, 0, f64::NAN);
+    assert!(solver.solve_in_place(&mut b, None).is_err());
+}
+
+/// Shape mismatches are rejected across the stack.
+#[test]
+fn shape_mismatches_rejected() {
+    let space = PeriodicSplineSpace::new(Breaks::uniform(16, 0.0, 1.0).unwrap(), 3).unwrap();
+    let builder = SplineBuilder::new(space.clone(), BuilderVersion::Fused).unwrap();
+    let mut wrong = Matrix::zeros(17, 2, Layout::Left);
+    assert!(builder.solve_in_place(&Serial, &mut wrong).is_err());
+    assert!(builder.solve_in_place_tiled(&Serial, &mut wrong, 8).is_err());
+
+    let ev = SplineEvaluator::new(space.clone());
+    let coefs = Matrix::zeros(16, 2, Layout::Left);
+    let pos = Matrix::zeros(4, 3, Layout::Left); // batch mismatch
+    let mut out = Matrix::zeros(4, 3, Layout::Left);
+    assert!(ev.eval_batched(&Serial, &coefs, &pos, &mut out).is_err());
+
+    let backend = SplineBackend::direct(space, BuilderVersion::Fused).unwrap();
+    let mut adv = Advection1D::new(backend, vec![0.1, 0.2], 0.1).unwrap();
+    let mut bad = Matrix::zeros(2, 17, Layout::Right);
+    assert!(adv.step(&Serial, &mut bad).is_err());
+    let mut good = adv.init_distribution(|_, _| 1.0);
+    assert!(adv
+        .step_with_displacements(&Serial, &mut good, &[0.1])
+        .is_err());
+}
+
+/// Error messages are informative (contain the offending quantity).
+#[test]
+fn error_messages_carry_context() {
+    let e = pttrf(&[-2.0, 1.0], &[0.1]).unwrap_err();
+    let msg = e.to_string();
+    assert!(msg.contains("pttrf") && msg.contains("positive definite"), "{msg}");
+
+    let e = Breaks::from_points(vec![0.0, 2.0, 1.0]).unwrap_err();
+    assert!(e.to_string().contains("index 1"), "{e}");
+}

@@ -1,0 +1,151 @@
+//! Integration tests pinning the paper's *claims* — each test encodes one
+//! assertion the paper makes, so a regression that breaks the
+//! reproduction story fails loudly. (The quantitative tables live in the
+//! pp-bench harness binaries; these tests check the qualitative claims at
+//! CI-friendly sizes.)
+
+use batched_splines::prelude::*;
+use pp_perfmodel::traffic::{simulate_builder_traffic, BuilderKernel, KernelVersion};
+use pp_perfmodel::{performance_portability, TrafficReport};
+use pp_splinesolver::{QClass, SchurBlocks};
+
+/// Table I: the solver classification for all six configurations.
+#[test]
+fn table1_solver_classification() {
+    let expectations = [
+        (3, true, "pttrs"),
+        (4, true, "pbtrs"),
+        (5, true, "pbtrs"),
+        (3, false, "gbtrs"),
+        (4, false, "gbtrs"),
+        (5, false, "gbtrs"),
+    ];
+    for (degree, uniform, routine) in expectations {
+        let breaks = if uniform {
+            Breaks::uniform(48, 0.0, 1.0).unwrap()
+        } else {
+            Breaks::graded(48, 0.0, 1.0, 0.6).unwrap()
+        };
+        let space = PeriodicSplineSpace::new(breaks, degree).unwrap();
+        let blocks = SchurBlocks::new(&space).unwrap();
+        assert_eq!(
+            blocks.q_solver().routine(),
+            routine,
+            "degree {degree}, uniform {uniform}"
+        );
+        assert_eq!(blocks.q_class(), QClass::from_table(degree, uniform));
+    }
+}
+
+/// §II-B: "the matrix A ... is fixed in time and only b is time
+/// evolving" — one factorisation serves arbitrarily many solves.
+#[test]
+fn one_factorisation_many_solves() {
+    let space = PeriodicSplineSpace::new(Breaks::uniform(32, 0.0, 1.0).unwrap(), 3).unwrap();
+    let builder = SplineBuilder::new(space.clone(), BuilderVersion::FusedSpmv).unwrap();
+    let pts = space.interpolation_points();
+    for step in 0..5 {
+        let shift = step as f64 * 0.01;
+        let mut b = Matrix::from_fn(32, 3, Layout::Left, |i, _| {
+            (std::f64::consts::TAU * (pts[i] - shift)).sin()
+        });
+        builder.solve_in_place(&Serial, &mut b).unwrap();
+        let c = b.col(0).to_vec();
+        let x = 0.3;
+        assert!(
+            (space.eval(&c, x) - (std::f64::consts::TAU * (x - shift)).sin()).abs() < 1e-4,
+            "step {step}"
+        );
+    }
+}
+
+/// §IV-D: the corner blocks are "largely sparse" and spmv reduces the
+/// corner work from O(n) to O(nnz) without changing the answer.
+#[test]
+fn sparse_corners_preserve_answers_and_are_sparse() {
+    let space = PeriodicSplineSpace::new(Breaks::uniform(200, 0.0, 1.0).unwrap(), 3).unwrap();
+    let blocks = SchurBlocks::new(&space).unwrap();
+    // λ: 2 non-zeros exactly (the paper's figure for the cubic case).
+    assert_eq!(blocks.lambda_coo().nnz(), 2);
+    // β: truncated exponential tails, far sparser than its q·border dense
+    // size.
+    assert!(blocks.beta_coo().nnz() * 3 < blocks.q_size());
+
+    let b_dense = SplineBuilder::new(space.clone(), BuilderVersion::Fused).unwrap();
+    let b_sparse = SplineBuilder::new(space, BuilderVersion::FusedSpmv).unwrap();
+    let rhs = Matrix::from_fn(200, 10, Layout::Left, |i, j| ((i * 13 + j * 7) % 31) as f64);
+    let mut x1 = rhs.clone();
+    let mut x2 = rhs;
+    b_dense.solve_in_place(&Parallel, &mut x1).unwrap();
+    b_sparse.solve_in_place(&Parallel, &mut x2).unwrap();
+    assert!(x1.max_abs_diff(&x2) < 1e-11);
+}
+
+/// Table III's ordering in the traffic model: on a GPU-like cache
+/// hierarchy the three versions rank Original ≥ Fused > FusedSpmv.
+#[test]
+fn table3_ordering_in_the_model() {
+    let mut device = Device::a100();
+    device.shared_cache_mib = 0.5;
+    device.resident_lanes = 512;
+    let kernel = BuilderKernel::cubic_uniform(256);
+    let batch = 4096;
+    let t: Vec<f64> = [
+        KernelVersion::Baseline,
+        KernelVersion::Fused,
+        KernelVersion::FusedSpmv,
+    ]
+    .iter()
+    .map(|&v| simulate_builder_traffic(&device, v, &kernel, batch).predicted_time_s(&device))
+    .collect();
+    assert!(t[0] > t[1], "fusion must help: {t:?}");
+    assert!(t[1] > t[2], "sparsity must help: {t:?}");
+}
+
+/// §V-A / Fig. 2: the direct builder beats the iterative solver on wall
+/// clock for the same problem, on every spline configuration.
+#[test]
+fn direct_beats_iterative() {
+    use std::time::Instant;
+    for degree in [3usize, 5] {
+        let space =
+            PeriodicSplineSpace::new(Breaks::uniform(128, 0.0, 1.0).unwrap(), degree).unwrap();
+        let rhs = Matrix::from_fn(128, 64, Layout::Left, |i, j| ((i + j) % 17) as f64 / 17.0);
+
+        let direct = SplineBuilder::new(space.clone(), BuilderVersion::FusedSpmv).unwrap();
+        let mut xd = rhs.clone();
+        let t0 = Instant::now();
+        direct.solve_in_place(&Parallel, &mut xd).unwrap();
+        let t_direct = t0.elapsed();
+
+        let iter = IterativeSplineSolver::new(space, IterativeConfig::gpu()).unwrap();
+        let mut xi = rhs.clone();
+        let t0 = Instant::now();
+        iter.solve_in_place(&mut xi, None).unwrap();
+        let t_iter = t0.elapsed();
+
+        assert!(
+            t_direct < t_iter,
+            "degree {degree}: direct {t_direct:?} should beat iterative {t_iter:?}"
+        );
+    }
+}
+
+/// Equation (8): the Pennycook metric behaves as the paper uses it —
+/// harmonic mean, dominated by the worst platform, zero when unsupported.
+#[test]
+fn pennycook_metric_semantics() {
+    // Reproduce the paper's Table V row: P(4.38%, 17.3%, 15.5%) = 0.086.
+    let p = performance_portability(&[Some(0.0438), Some(0.173), Some(0.155)]);
+    assert!((p - 0.086).abs() < 2e-3);
+    assert_eq!(performance_portability(&[Some(0.5), None, Some(0.5)]), 0.0);
+}
+
+/// §IV-B: the ideal traffic figure — (1000, 100000) doubles is 0.8 GB
+/// each way.
+#[test]
+fn ideal_traffic_figure() {
+    let kernel = BuilderKernel::cubic_uniform(1000);
+    let ideal = TrafficReport::ideal_bytes(&kernel, 100_000);
+    assert!((ideal - 1.6e9).abs() < 1e6); // 0.8 GB load + 0.8 GB store
+}
