@@ -1,9 +1,8 @@
-//! Criterion bench backing Fig. 2: full semi-Lagrangian advection steps
-//! (both backends) across batch sizes.
+//! Bench backing Fig. 2: full semi-Lagrangian advection steps (both
+//! backends) across batch sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pp_advection::{Advection1D, SplineBackend};
-use pp_bench::SplineConfig;
+use pp_bench::{fmt_ms, time_mean, SplineConfig};
 use pp_portable::Parallel;
 use pp_splinesolver::{BuilderVersion, IterativeConfig};
 
@@ -17,32 +16,24 @@ fn setup(cfg: &SplineConfig, nx: usize, nv: usize, iterative: bool) -> Advection
     Advection1D::new(backend, velocities, 1e-3).expect("setup")
 }
 
-fn bench_direct_vs_iterative(c: &mut Criterion) {
+fn main() {
     let nx = 1024;
     let cfg = SplineConfig {
         degree: 3,
         uniform: true,
     };
-    let mut group = c.benchmark_group("fig2/advection_step");
+    println!("fig2/advection_step (nx = {nx})");
     for nv in [100usize, 1000] {
-        group.throughput(Throughput::Elements((nx * nv) as u64));
         for iterative in [false, true] {
             let label = if iterative { "ginkgo" } else { "kokkos-kernels" };
-            group.bench_with_input(BenchmarkId::new(label, nv), &nv, |b, &nv| {
-                let mut adv = setup(&cfg, nx, nv, iterative);
-                let mut f =
-                    adv.init_distribution(|x, _| (std::f64::consts::TAU * x).sin() + 2.0);
-                adv.step(&Parallel, &mut f).expect("warm-up");
-                b.iter(|| adv.step(&Parallel, &mut f).expect("step"));
+            let mut adv = setup(&cfg, nx, nv, iterative);
+            let mut f = adv.init_distribution(|x, _| (std::f64::consts::TAU * x).sin() + 2.0);
+            adv.step(&Parallel, &mut f).expect("warm-up");
+            let d = time_mean(5, || {
+                adv.step(&Parallel, &mut f).expect("step");
             });
+            let glups = (nx * nv) as f64 / d.as_secs_f64() / 1e9;
+            println!("  {label:>16} nv={nv:<5} {}  ({glups:.3} GLUPS)", fmt_ms(d));
         }
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_direct_vs_iterative
-}
-criterion_main!(benches);

@@ -1,12 +1,12 @@
-//! Criterion bench for the batched-serial LAPACK kernels themselves —
-//! the paper's contribution at the Kokkos-kernels level (pttrs, pbtrs,
-//! gbtrs, getrs), isolated from the spline builder.
+//! Bench for the batched-serial LAPACK kernels themselves — the paper's
+//! contribution at the Kokkos-kernels level (pttrs, pbtrs, gbtrs, getrs),
+//! isolated from the spline builder.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pp_bench::{fmt_ms, time_mean};
 use pp_linalg::{batched, gbtrf, getrf, pbtrf, pttrf, tiled, BandedMatrix, SymBandedMatrix};
 use pp_portable::{Layout, Matrix, Parallel};
 
-fn bench_batched_solvers(c: &mut Criterion) {
+fn main() {
     let n = 1000;
     let batch = 2000;
     let rhs = Matrix::from_fn(n, batch, Layout::Left, |i, j| ((i + j) % 7) as f64 + 1.0);
@@ -39,56 +39,28 @@ fn bench_batched_solvers(c: &mut Criterion) {
     let lu = getrf(&small).expect("getrf");
     let small_rhs = Matrix::from_fn(8, batch, Layout::Left, |i, j| ((i + j) % 5) as f64);
 
-    let mut group = c.benchmark_group("batched_kernels");
-    group.throughput(Throughput::Elements((n * batch) as u64));
-    group.bench_with_input(BenchmarkId::from_parameter("pttrs"), &pt, |b, f| {
-        let mut work = rhs.clone();
-        b.iter(|| {
-            work.deep_copy_from(&rhs).expect("shape");
-            batched::pttrs(&Parallel, f, &mut work);
+    println!("batched_kernels ({n} x {batch})");
+    let run = |name: &str, f: &mut dyn FnMut(&mut Matrix)| {
+        let mut w = rhs.clone();
+        let d = time_mean(5, || {
+            w.deep_copy_from(&rhs).expect("shape");
+            f(&mut w);
         });
+        println!("  {name:>16} {}", fmt_ms(d));
+    };
+    run("pttrs", &mut |w| batched::pttrs(&Parallel, &pt, w));
+    run("pbtrs", &mut |w| batched::pbtrs(&Parallel, &pb, w));
+    run("gbtrs", &mut |w| batched::gbtrs(&Parallel, &gb, w));
+    run("pttrs_tiled64", &mut |w| {
+        tiled::pttrs_tiled(&Parallel, &pt, w, 64)
     });
-    group.bench_with_input(BenchmarkId::from_parameter("pbtrs"), &pb, |b, f| {
-        let mut work = rhs.clone();
-        b.iter(|| {
-            work.deep_copy_from(&rhs).expect("shape");
-            batched::pbtrs(&Parallel, f, &mut work);
-        });
+    run("gbtrs_tiled64", &mut |w| {
+        tiled::gbtrs_tiled(&Parallel, &gb, w, 64)
     });
-    group.bench_with_input(BenchmarkId::from_parameter("gbtrs"), &gb, |b, f| {
-        let mut work = rhs.clone();
-        b.iter(|| {
-            work.deep_copy_from(&rhs).expect("shape");
-            batched::gbtrs(&Parallel, f, &mut work);
-        });
+    let mut w = small_rhs.clone();
+    let d = time_mean(5, || {
+        w.deep_copy_from(&small_rhs).expect("shape");
+        batched::getrs(&Parallel, &lu, &mut w);
     });
-    group.bench_with_input(BenchmarkId::from_parameter("pttrs_tiled64"), &pt, |b, f| {
-        let mut work = rhs.clone();
-        b.iter(|| {
-            work.deep_copy_from(&rhs).expect("shape");
-            tiled::pttrs_tiled(&Parallel, f, &mut work, 64);
-        });
-    });
-    group.bench_with_input(BenchmarkId::from_parameter("gbtrs_tiled64"), &gb, |b, f| {
-        let mut work = rhs.clone();
-        b.iter(|| {
-            work.deep_copy_from(&rhs).expect("shape");
-            tiled::gbtrs_tiled(&Parallel, f, &mut work, 64);
-        });
-    });
-    group.bench_with_input(BenchmarkId::from_parameter("getrs_8x8"), &lu, |b, f| {
-        let mut work = small_rhs.clone();
-        b.iter(|| {
-            work.deep_copy_from(&small_rhs).expect("shape");
-            batched::getrs(&Parallel, f, &mut work);
-        });
-    });
-    group.finish();
+    println!("  {:>16} {}", "getrs_8x8", fmt_ms(d));
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_batched_solvers
-}
-criterion_main!(benches);

@@ -1,12 +1,12 @@
-//! Criterion bench backing Table III: the three spline-builder kernel
-//! versions on the cubic uniform configuration.
+//! Bench backing Table III: the three spline-builder kernel versions on
+//! the cubic uniform configuration, then the fused-spmv builder across
+//! all six spline configurations.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pp_bench::SplineConfig;
+use pp_bench::{fmt_ms, time_mean, SplineConfig};
 use pp_portable::{Layout, Matrix, Parallel};
 use pp_splinesolver::{BuilderVersion, SplineBuilder};
 
-fn bench_builder_versions(c: &mut Criterion) {
+fn bench_builder_versions() {
     let nx = 1000;
     let nv = 2000;
     let cfg = SplineConfig {
@@ -16,56 +16,40 @@ fn bench_builder_versions(c: &mut Criterion) {
     let space = cfg.space(nx);
     let rhs = Matrix::from_fn(nx, nv, Layout::Left, |i, j| ((i * 7 + j) % 13) as f64);
 
-    let mut group = c.benchmark_group("table3/builder_versions");
-    group.throughput(Throughput::Elements((nx * nv) as u64));
+    println!("table3/builder_versions ({nx} x {nv})");
     for version in BuilderVersion::ALL {
         let builder = SplineBuilder::new(space.clone(), version).expect("setup");
-        group.bench_with_input(
-            BenchmarkId::from_parameter(version.label()),
-            &builder,
-            |b, builder| {
-                let mut work = rhs.clone();
-                b.iter(|| {
-                    work.deep_copy_from(&rhs).expect("same shape");
-                    builder
-                        .solve_in_place(&Parallel, &mut work)
-                        .expect("solve");
-                });
-            },
-        );
+        let mut work = rhs.clone();
+        let d = time_mean(5, || {
+            work.deep_copy_from(&rhs).expect("same shape");
+            builder
+                .solve_in_place(&Parallel, &mut work)
+                .expect("solve");
+        });
+        println!("  {:>16} {}", version.label(), fmt_ms(d));
     }
-    group.finish();
 }
 
-fn bench_degrees(c: &mut Criterion) {
+fn bench_degrees() {
     let nx = 1000;
     let nv = 1000;
     let rhs = Matrix::from_fn(nx, nv, Layout::Left, |i, j| ((i + j) % 11) as f64);
-    let mut group = c.benchmark_group("table3/spline_configs");
-    group.throughput(Throughput::Elements((nx * nv) as u64));
+    println!("table3/spline_configs ({nx} x {nv})");
     for cfg in SplineConfig::ALL {
         let builder =
             SplineBuilder::new(cfg.space(nx), BuilderVersion::FusedSpmv).expect("setup");
-        group.bench_with_input(
-            BenchmarkId::from_parameter(cfg.label()),
-            &builder,
-            |b, builder| {
-                let mut work = rhs.clone();
-                b.iter(|| {
-                    work.deep_copy_from(&rhs).expect("same shape");
-                    builder
-                        .solve_in_place(&Parallel, &mut work)
-                        .expect("solve");
-                });
-            },
-        );
+        let mut work = rhs.clone();
+        let d = time_mean(5, || {
+            work.deep_copy_from(&rhs).expect("same shape");
+            builder
+                .solve_in_place(&Parallel, &mut work)
+                .expect("solve");
+        });
+        println!("  {:>24} {}", cfg.label(), fmt_ms(d));
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_builder_versions, bench_degrees
+fn main() {
+    bench_builder_versions();
+    bench_degrees();
 }
-criterion_main!(benches);

@@ -1,16 +1,16 @@
-//! Criterion bench backing Table IV: Krylov solver cost per spline
-//! configuration (iteration counts are asserted in tests; this measures
-//! the time those iterations cost).
+//! Bench backing Table IV: Krylov solver cost per spline configuration
+//! (iteration counts are asserted in tests; this measures the time those
+//! iterations cost).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pp_bench::SplineConfig;
+use pp_bench::{fmt_ms, time_mean, SplineConfig};
 use pp_portable::{Layout, Matrix};
 use pp_splinesolver::{IterativeConfig, IterativeSplineSolver, KrylovKind};
 
-fn bench_solvers(c: &mut Criterion) {
+fn main() {
     let nx = 1000;
     let nv = 16;
-    let mut group = c.benchmark_group("table4/iterative_solve");
+    let iters = 5;
+    println!("table4/iterative_solve ({nx} x {nv}, mean of {iters})");
     for cfg in [
         SplineConfig { degree: 3, uniform: true },
         SplineConfig { degree: 5, uniform: false },
@@ -23,30 +23,17 @@ fn bench_solvers(c: &mut Criterion) {
             let rhs = Matrix::from_fn(nx, nv, Layout::Left, |i, j| {
                 ((i * 3 + j) % 19) as f64 / 19.0
             });
-            let name = format!(
-                "{}/{}",
-                cfg.label(),
-                match kind {
-                    KrylovKind::Gmres => "GMRES",
-                    KrylovKind::BiCgStab => "BiCGStab",
-                    KrylovKind::Cg => "CG",
-                    KrylovKind::BiCg => "BiCG",
-                }
-            );
-            group.bench_with_input(BenchmarkId::from_parameter(name), &solver, |b, solver| {
-                b.iter(|| {
-                    let mut work = rhs.clone();
-                    solver.solve_in_place(&mut work, None).expect("convergence");
-                });
+            let name = match kind {
+                KrylovKind::Gmres => "GMRES",
+                KrylovKind::BiCgStab => "BiCGStab",
+                KrylovKind::Cg => "CG",
+                KrylovKind::BiCg => "BiCG",
+            };
+            let d = time_mean(iters, || {
+                let mut work = rhs.clone();
+                solver.solve_in_place(&mut work, None).expect("convergence");
             });
+            println!("  {:>24}/{:<9} {}", cfg.label(), name, fmt_ms(d));
         }
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_solvers
-}
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! # pp-bench — the experiment harness
 //!
 //! One binary per table/figure of the paper (see DESIGN.md §4 for the
-//! index), plus criterion micro-benchmarks. This library holds the shared
+//! index), plus timing micro-benchmarks. This library holds the shared
 //! plumbing: the six spline configurations the paper sweeps, simple CLI
 //! parsing, CSV/ASCII output helpers, and the measured-vs-modelled
 //! plumbing that keeps host measurements and GPU cache-model predictions

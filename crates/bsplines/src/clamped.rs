@@ -219,7 +219,7 @@ impl ClampedSplineSpace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use pp_portable::TestRng;
 
     fn uniform(n: usize, degree: usize) -> ClampedSplineSpace {
         ClampedSplineSpace::new(Breaks::uniform(n, 0.0, 1.0).unwrap(), degree).unwrap()
@@ -364,16 +364,16 @@ mod tests {
         assert!((s.integrate(&coefs) - 0.25).abs() < 1e-12);
     }
 
-    proptest! {
-        /// Linear functions are reproduced exactly by every degree and
-        /// mesh (Greville property).
-        #[test]
-        fn prop_linear_reproduction(
-            degree in 1usize..=5,
-            n in 8usize..30,
-            strength in 0.0f64..0.8,
-            x in 0.0f64..1.0,
-        ) {
+    /// Linear functions are reproduced exactly by every degree and
+    /// mesh (Greville property).
+    #[test]
+    fn prop_linear_reproduction() {
+        let mut g = TestRng::seed_from_u64(0x5EED_DC5C);
+        for _ in 0..64 {
+            let degree = g.gen_range(1usize..=5);
+            let n = g.gen_range(8usize..30);
+            let strength = g.gen_range(0.0f64..0.8);
+            let x = g.gen_range(0.0f64..1.0);
             let s = ClampedSplineSpace::new(
                 Breaks::graded(n, 0.0, 1.0, strength).unwrap(),
                 degree,
@@ -382,7 +382,7 @@ mod tests {
             let coefs: Vec<f64> = (0..s.num_basis())
                 .map(|k| 2.0 * s.greville(k) - 0.7)
                 .collect();
-            prop_assert!((s.eval(&coefs, x) - (2.0 * x - 0.7)).abs() < 1e-11);
+            assert!((s.eval(&coefs, x) - (2.0 * x - 0.7)).abs() < 1e-11);
         }
     }
 }

@@ -225,8 +225,7 @@ mod tests {
     use pp_bsplines::{assemble_interpolation_matrix, Breaks};
     use pp_linalg::naive;
     use pp_portable::{Layout, Parallel, Serial};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use pp_portable::TestRng;
 
     fn space(n: usize, degree: usize, uniform: bool) -> PeriodicSplineSpace {
         let breaks = if uniform {
@@ -238,7 +237,7 @@ mod tests {
     }
 
     fn random_rhs(n: usize, batch: usize, layout: Layout, seed: u64) -> Matrix {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = TestRng::seed_from_u64(seed);
         Matrix::from_fn(n, batch, layout, |_, _| rng.gen_range(-2.0..2.0))
     }
 

@@ -29,6 +29,8 @@ pub enum Error {
         /// Worst relative residual observed.
         worst_residual: f64,
     },
+    /// A buffer-level operation (layout/transpose) failed.
+    Portable(pp_portable::Error),
 }
 
 impl fmt::Display for Error {
@@ -53,6 +55,7 @@ impl fmt::Display for Error {
                 f,
                 "{lanes} lane(s) failed to converge (worst relative residual {worst_residual:.3e})"
             ),
+            Error::Portable(e) => write!(f, "buffer operation failed: {e}"),
         }
     }
 }
@@ -68,6 +71,12 @@ impl From<pp_linalg::Error> for Error {
 impl From<pp_bsplines::Error> for Error {
     fn from(e: pp_bsplines::Error) -> Self {
         Error::Space(e)
+    }
+}
+
+impl From<pp_portable::Error> for Error {
+    fn from(e: pp_portable::Error) -> Self {
+        Error::Portable(e)
     }
 }
 

@@ -82,11 +82,11 @@ impl TensorSpline2D {
         self.builder_x.solve_in_place(exec, f)?;
         // Transpose so y becomes the solve dimension.
         let mut ft = Matrix::zeros(ny, nx, f.layout());
-        transpose_into_with(exec, f, &mut ft).expect("shapes fixed above");
+        transpose_into_with(exec, f, &mut ft)?;
         // Pass 2: solve along y, batched over x.
         self.builder_y.solve_in_place(exec, &mut ft)?;
         // Restore orientation.
-        transpose_into_with(exec, &ft, f).expect("shapes fixed above");
+        transpose_into_with(exec, &ft, f)?;
         Ok(())
     }
 

@@ -1,11 +1,12 @@
-//! Property-based tests for the spline builder: for random inputs on
-//! random spaces, every kernel version inverts the interpolation matrix
-//! (verified by evaluating the spline back at the interpolation points).
+//! Randomised property tests for the spline builder: for random inputs
+//! on random spaces, every kernel version inverts the interpolation
+//! matrix (verified by evaluating the spline back at the interpolation
+//! points). Driven by the deterministic [`TestRng`] so runs are
+//! reproducible and hermetic.
 
 use pp_bsplines::{Breaks, PeriodicSplineSpace};
-use pp_portable::{Layout, Matrix, Parallel};
+use pp_portable::{Layout, Matrix, Parallel, TestRng};
 use pp_splinesolver::{BuilderVersion, SplineBuilder};
-use proptest::prelude::*;
 
 fn hash01(i: usize, j: usize, seed: u64) -> f64 {
     let v = (i as u64)
@@ -15,22 +16,20 @@ fn hash01(i: usize, j: usize, seed: u64) -> f64 {
     ((v >> 32) % 4096) as f64 / 2048.0 - 1.0
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    /// solve(A, values) produces coefficients whose spline reproduces the
-    /// values at every interpolation point — for random degree, mesh
-    /// grading, batch size, layout and kernel version.
-    #[test]
-    fn builder_inverts_interpolation(
-        degree in 3usize..=5,
-        n in 14usize..40,
-        strength in 0.0f64..0.7,
-        batch in 1usize..8,
-        seed in 0u64..1000,
-        version_idx in 0usize..3,
-        layout_left in any::<bool>(),
-    ) {
+/// solve(A, values) produces coefficients whose spline reproduces the
+/// values at every interpolation point — for random degree, mesh
+/// grading, batch size, layout and kernel version.
+#[test]
+fn builder_inverts_interpolation() {
+    let mut g = TestRng::seed_from_u64(0x50);
+    for _ in 0..40 {
+        let degree = g.gen_range(3usize..=5);
+        let n = g.gen_range(14usize..40);
+        let strength = g.gen_range(0.0f64..0.7);
+        let batch = g.gen_range(1usize..8);
+        let seed = g.gen_range(0u64..1000);
+        let version_idx = g.gen_range(0usize..3);
+        let layout_left = g.gen_bool(0.5);
         let breaks = if strength < 0.05 {
             Breaks::uniform(n, 0.0, 1.0).unwrap()
         } else {
@@ -47,35 +46,34 @@ proptest! {
         for j in 0..batch {
             let c = coefs.col(j).to_vec();
             for (k, &x) in pts.iter().enumerate() {
-                prop_assert!(
+                assert!(
                     (space.eval(&c, x) - values.get(k, j)).abs() < 1e-9,
-                    "deg {} n {} {:?} lane {} point {}",
-                    degree, n, version, j, k
+                    "deg {degree} n {n} {version:?} lane {j} point {k}"
                 );
             }
         }
     }
+}
 
-    /// The tiled path agrees with the per-lane path bit-for-bit-ish on
-    /// random problems.
-    #[test]
-    fn tiled_path_matches(
-        degree in 3usize..=5,
-        n in 14usize..36,
-        batch in 1usize..32,
-        tile in 1usize..40,
-        seed in 0u64..500,
-    ) {
-        let space = PeriodicSplineSpace::new(
-            Breaks::uniform(n, 0.0, 1.0).unwrap(),
-            degree,
-        ).unwrap();
+/// The tiled path agrees with the per-lane path bit-for-bit-ish on
+/// random problems.
+#[test]
+fn tiled_path_matches() {
+    let mut g = TestRng::seed_from_u64(0x51);
+    for _ in 0..40 {
+        let degree = g.gen_range(3usize..=5);
+        let n = g.gen_range(14usize..36);
+        let batch = g.gen_range(1usize..32);
+        let tile = g.gen_range(1usize..40);
+        let seed = g.gen_range(0u64..500);
+        let space =
+            PeriodicSplineSpace::new(Breaks::uniform(n, 0.0, 1.0).unwrap(), degree).unwrap();
         let builder = SplineBuilder::new(space, BuilderVersion::FusedSpmv).unwrap();
         let values = Matrix::from_fn(n, batch, Layout::Left, |i, j| hash01(i, j, seed));
         let mut a = values.clone();
         let mut b = values;
         builder.solve_in_place(&Parallel, &mut a).unwrap();
         builder.solve_in_place_tiled(&Parallel, &mut b, tile).unwrap();
-        prop_assert!(a.max_abs_diff(&b) < 1e-11);
+        assert!(a.max_abs_diff(&b) < 1e-11);
     }
 }

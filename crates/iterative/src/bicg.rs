@@ -3,9 +3,10 @@
 //! Listed by the paper among Ginkgo's solvers (§II-B.2). Requires the
 //! transposed operator `Aᵀ` and transposed preconditioner application.
 
+use crate::breakdown::BreakdownKind;
 use crate::precond::Preconditioner;
 use crate::solver::{axpy, dot, norm2, residual_into, IterativeSolver, SolveResult};
-use crate::stop::StopCriteria;
+use crate::stop::{ResidualVerdict, StopCriteria};
 use pp_sparse::Csr;
 
 /// The bi-conjugate gradient method for general systems.
@@ -44,14 +45,33 @@ impl IterativeSolver for BiCg {
         let mut rho = dot(&z, &r_star);
         let mut iterations = 0;
         let mut converged = false;
+        let mut breakdown = None;
+        let mut stall = stop.stagnation_tracker();
 
         while iterations < stop.max_iters {
-            if stop.is_converged(norm2(&r), norm_b) {
-                converged = true;
+            let res = norm2(&r);
+            match stop.assess(res, norm_b) {
+                ResidualVerdict::Converged => {
+                    converged = true;
+                    break;
+                }
+                ResidualVerdict::NonFinite => {
+                    breakdown = Some(BreakdownKind::NonFiniteResidual);
+                    break;
+                }
+                ResidualVerdict::Continue => {}
+            }
+            if let Some(k) = stall.observe(res) {
+                breakdown = Some(k);
                 break;
             }
             if rho == 0.0 {
-                break; // breakdown
+                breakdown = Some(BreakdownKind::RhoZero);
+                break;
+            }
+            if !rho.is_finite() {
+                breakdown = Some(BreakdownKind::NonFiniteResidual);
+                break;
             }
             iterations += 1;
 
@@ -59,7 +79,12 @@ impl IterativeSolver for BiCg {
             a.spmv_transpose_into(&p_star, &mut q_star);
             let pq = dot(&p_star, &q);
             if pq == 0.0 {
-                break; // breakdown
+                breakdown = Some(BreakdownKind::RhoZero);
+                break;
+            }
+            if !pq.is_finite() {
+                breakdown = Some(BreakdownKind::NonFiniteResidual);
+                break;
             }
             let alpha = rho / pq;
             axpy(alpha, &p, x);
@@ -76,7 +101,7 @@ impl IterativeSolver for BiCg {
             }
         }
 
-        crate::solver::finish(a, x, b, stop, iterations, converged)
+        crate::solver::finish(a, x, b, stop, iterations, converged, breakdown)
     }
 }
 
@@ -86,11 +111,10 @@ mod tests {
     use crate::cg::Cg;
     use crate::precond::{BlockJacobi, Identity};
     use pp_portable::Matrix;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use pp_portable::TestRng;
 
     fn nonsymmetric_system(n: usize, seed: u64) -> (Csr, Vec<f64>, Vec<f64>) {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = TestRng::seed_from_u64(seed);
         let a = Matrix::from_fn(n, n, pp_portable::Layout::Right, |i, j| {
             if i == j {
                 6.0
@@ -147,5 +171,52 @@ mod tests {
         for (u, v) in x.iter().zip(&x_true) {
             assert!((u - v).abs() < 1e-8);
         }
+    }
+
+    // ---- one test per BreakdownKind ----
+
+    #[test]
+    fn breakdown_rho_zero_on_collapsed_recurrence() {
+        // p̂ = p = [1, 0] on the permutation matrix gives ⟨p̂, Ap⟩ = 0.
+        let a = Csr::from_dense(&Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]), 0.0);
+        let b = [1.0, 0.0];
+        let mut x = [0.0, 0.0];
+        let res = BiCg.solve(&a, &Identity, &b, &mut x, &StopCriteria::with_tol(1e-12));
+        assert!(!res.converged);
+        assert_eq!(res.breakdown, Some(BreakdownKind::RhoZero));
+        assert!(res.breakdown.unwrap().is_hard());
+    }
+
+    #[test]
+    fn breakdown_non_finite_detected_immediately() {
+        let (a, _, mut b) = nonsymmetric_system(10, 3);
+        b[0] = f64::INFINITY;
+        let mut x = vec![0.0; 10];
+        let res = BiCg.solve(&a, &Identity, &b, &mut x, &StopCriteria::with_tol(1e-12));
+        assert!(!res.converged);
+        assert_eq!(res.breakdown, Some(BreakdownKind::NonFiniteResidual));
+        assert_eq!(res.iterations, 0, "must not spin to max_iters");
+    }
+
+    #[test]
+    fn breakdown_stagnation_at_the_rounding_floor() {
+        let (a, _, b) = nonsymmetric_system(24, 4);
+        let mut x = vec![0.0; 24];
+        let stop = StopCriteria::with_tol(1e-300).with_stagnation(4, 0.5);
+        let res = BiCg.solve(&a, &Identity, &b, &mut x, &stop);
+        assert!(!res.converged);
+        assert_eq!(res.breakdown, Some(BreakdownKind::Stagnation));
+        assert!(res.iterations < stop.max_iters);
+    }
+
+    #[test]
+    fn breakdown_max_iters_reported() {
+        let (a, _, b) = nonsymmetric_system(60, 5);
+        let mut x = vec![0.0; 60];
+        let stop = StopCriteria::with_tol(1e-300).with_max_iters(2);
+        let res = BiCg.solve(&a, &Identity, &b, &mut x, &stop);
+        assert!(!res.converged);
+        assert_eq!(res.breakdown, Some(BreakdownKind::MaxIters));
+        assert!(!res.breakdown.unwrap().is_hard());
     }
 }

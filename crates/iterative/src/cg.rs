@@ -1,8 +1,9 @@
 //! Preconditioned Conjugate Gradient (for SPD systems).
 
+use crate::breakdown::BreakdownKind;
 use crate::precond::Preconditioner;
 use crate::solver::{axpy, dot, norm2, residual_into, IterativeSolver, SolveResult};
-use crate::stop::StopCriteria;
+use crate::stop::{ResidualVerdict, StopCriteria};
 use pp_sparse::Csr;
 
 /// The Conjugate Gradient method. Requires `A` symmetric positive definite
@@ -37,17 +38,38 @@ impl IterativeSolver for Cg {
         let mut rz = dot(&r, &z);
         let mut iterations = 0;
         let mut converged = false;
+        let mut breakdown = None;
+        let mut stall = stop.stagnation_tracker();
 
         while iterations < stop.max_iters {
-            if stop.is_converged(norm2(&r), norm_b) {
-                converged = true;
+            let res = norm2(&r);
+            match stop.assess(res, norm_b) {
+                ResidualVerdict::Converged => {
+                    converged = true;
+                    break;
+                }
+                ResidualVerdict::NonFinite => {
+                    breakdown = Some(BreakdownKind::NonFiniteResidual);
+                    break;
+                }
+                ResidualVerdict::Continue => {}
+            }
+            if let Some(k) = stall.observe(res) {
+                breakdown = Some(k);
                 break;
             }
             iterations += 1;
             a.spmv_into(&p, &mut q);
             let pq = dot(&p, &q);
             if pq == 0.0 {
-                break; // breakdown: direction is A-null
+                // Direction is A-null: the CG recurrence collapsed (on an
+                // SPD matrix this cannot happen with r ≠ 0).
+                breakdown = Some(BreakdownKind::RhoZero);
+                break;
+            }
+            if !pq.is_finite() {
+                breakdown = Some(BreakdownKind::NonFiniteResidual);
+                break;
             }
             let alpha = rz / pq;
             axpy(alpha, &p, x);
@@ -61,7 +83,7 @@ impl IterativeSolver for Cg {
             }
         }
 
-        crate::solver::finish(a, x, b, stop, iterations, converged)
+        crate::solver::finish(a, x, b, stop, iterations, converged, breakdown)
     }
 }
 
@@ -70,11 +92,10 @@ pub(crate) mod tests {
     use super::*;
     use crate::precond::{BlockJacobi, Identity, Jacobi};
     use pp_portable::Matrix;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use pp_portable::TestRng;
 
     pub(crate) fn spd_system(n: usize, seed: u64) -> (Csr, Vec<f64>, Vec<f64>) {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = TestRng::seed_from_u64(seed);
         // SPD: tridiagonal, diagonally dominant.
         let a = Matrix::from_fn(n, n, pp_portable::Layout::Right, |i, j| {
             if i == j {
@@ -143,12 +164,75 @@ pub(crate) mod tests {
     fn max_iters_caps_work() {
         let (a, _, b) = spd_system(100, 5);
         let mut x = vec![0.0; 100];
-        let stop = StopCriteria {
-            tol: 1e-300, // unreachable
-            max_iters: 3,
-        };
+        let stop = StopCriteria::with_tol(1e-300).with_max_iters(3); // unreachable tol
         let res = Cg.solve(&a, &Identity, &b, &mut x, &stop);
         assert_eq!(res.iterations, 3);
         assert!(!res.converged);
+    }
+
+    // ---- one test per BreakdownKind ----
+
+    #[test]
+    fn breakdown_rho_zero_on_a_null_direction() {
+        // p = b = [1, 0] gives ⟨p, Ap⟩ = 0 on the permutation matrix: the
+        // search direction is A-null and CG cannot proceed.
+        let a = Csr::from_dense(&Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]), 0.0);
+        let b = [1.0, 0.0];
+        let mut x = [0.0, 0.0];
+        let res = Cg.solve(&a, &Identity, &b, &mut x, &StopCriteria::with_tol(1e-12));
+        assert!(!res.converged);
+        assert_eq!(res.breakdown, Some(BreakdownKind::RhoZero));
+        assert!(res.breakdown.unwrap().is_hard());
+    }
+
+    #[test]
+    fn breakdown_non_finite_detected_immediately() {
+        let (a, _, mut b) = spd_system(10, 6);
+        b[3] = f64::NAN;
+        let mut x = vec![0.0; 10];
+        let res = Cg.solve(&a, &Identity, &b, &mut x, &StopCriteria::with_tol(1e-12));
+        assert!(!res.converged);
+        assert_eq!(res.breakdown, Some(BreakdownKind::NonFiniteResidual));
+        assert_eq!(res.iterations, 0, "must not spin to max_iters");
+    }
+
+    #[test]
+    fn breakdown_stagnation_on_nonsymmetric_misuse() {
+        // CG applied to a nonsymmetric matrix: the residual stops making
+        // progress and the stagnation window catches it well before the
+        // iteration budget.
+        let n = 24;
+        let a = Csr::from_dense(
+            &Matrix::from_fn(n, n, pp_portable::Layout::Right, |i, j| {
+                if i == j {
+                    6.0
+                } else if j == i + 1 {
+                    -2.0
+                } else if i == j + 1 {
+                    -0.7
+                } else {
+                    0.0
+                }
+            }),
+            0.0,
+        );
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let mut x = vec![0.0; n];
+        let stop = StopCriteria::with_tol(1e-15).with_stagnation(8, 0.5);
+        let res = Cg.solve(&a, &Identity, &b, &mut x, &stop);
+        assert!(!res.converged);
+        assert_eq!(res.breakdown, Some(BreakdownKind::Stagnation));
+        assert!(res.iterations < stop.max_iters, "stagnation must fire early");
+    }
+
+    #[test]
+    fn breakdown_max_iters_reported() {
+        let (a, _, b) = spd_system(100, 8);
+        let mut x = vec![0.0; 100];
+        let stop = StopCriteria::with_tol(1e-300).with_max_iters(2);
+        let res = Cg.solve(&a, &Identity, &b, &mut x, &stop);
+        assert!(!res.converged);
+        assert_eq!(res.breakdown, Some(BreakdownKind::MaxIters));
+        assert!(!res.breakdown.unwrap().is_hard());
     }
 }

@@ -2,9 +2,10 @@
 //! Ginkgo configuration uses on CPUs (because of Ginkgo's OpenMP BiCGStab
 //! issue #1563).
 
+use crate::breakdown::BreakdownKind;
 use crate::precond::Preconditioner;
 use crate::solver::{norm2, residual_into, IterativeSolver, SolveResult};
-use crate::stop::StopCriteria;
+use crate::stop::{ResidualVerdict, StopCriteria};
 use pp_sparse::Csr;
 
 /// GMRES(m): restarted generalised minimal residual, right-preconditioned
@@ -52,6 +53,8 @@ impl IterativeSolver for Gmres {
         let restart = self.restart.min(n.max(1));
         let mut iterations = 0;
         let mut converged = false;
+        let mut breakdown = None;
+        let mut stall = stop.stagnation_tracker();
         let mut r = vec![0.0; n];
         let mut w = vec![0.0; n];
         let mut z = vec![0.0; n];
@@ -59,9 +62,16 @@ impl IterativeSolver for Gmres {
         'outer: while iterations < stop.max_iters {
             residual_into(a, x, b, &mut r);
             let beta = norm2(&r);
-            if stop.is_converged(beta, norm_b) {
-                converged = true;
-                break;
+            match stop.assess(beta, norm_b) {
+                ResidualVerdict::Converged => {
+                    converged = true;
+                    break;
+                }
+                ResidualVerdict::NonFinite => {
+                    breakdown = Some(BreakdownKind::NonFiniteResidual);
+                    break;
+                }
+                ResidualVerdict::Continue => {}
             }
 
             // Arnoldi basis (restart+1 vectors), Hessenberg in `h`,
@@ -102,6 +112,13 @@ impl IterativeSolver for Gmres {
                     }
                 }
                 let hkk = norm2(&w);
+                if !hkk.is_finite() {
+                    // The Arnoldi vector is poisoned; applying this
+                    // column would contaminate x, so bail with the
+                    // iterate from the last completed restart cycle.
+                    breakdown = Some(BreakdownKind::NonFiniteResidual);
+                    break 'outer;
+                }
                 h[k + 1][k] = hkk;
                 // Apply accumulated Givens rotations to the new column.
                 for i in 0..k {
@@ -129,11 +146,19 @@ impl IterativeSolver for Gmres {
                 if hkk == 0.0 {
                     break; // lucky breakdown: exact solution in subspace
                 }
+                if let Some(kind) = stall.observe(g[k + 1].abs()) {
+                    // Keep the partial progress of this cycle, then stop.
+                    breakdown = Some(kind);
+                    break;
+                }
                 v.push(w.iter().map(|wj| wj / hkk).collect());
             }
 
             if k_used == 0 {
-                break 'outer; // no progress possible
+                // The Arnoldi process produced no usable direction: the
+                // Krylov basis collapsed at the first step.
+                breakdown = Some(BreakdownKind::RhoZero);
+                break 'outer;
             }
             // Back-solve the k_used × k_used triangular system H y = g.
             let mut y = vec![0.0; k_used];
@@ -161,9 +186,12 @@ impl IterativeSolver for Gmres {
                 converged = true;
                 break;
             }
+            if breakdown.is_some() {
+                break; // stagnation detected inside the cycle
+            }
         }
 
-        crate::solver::finish(a, x, b, stop, iterations, converged)
+        crate::solver::finish(a, x, b, stop, iterations, converged, breakdown)
     }
 }
 
@@ -172,11 +200,10 @@ mod tests {
     use super::*;
     use crate::precond::{BlockJacobi, Identity, Jacobi};
     use pp_portable::Matrix;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use pp_portable::TestRng;
 
     fn general_system(n: usize, seed: u64) -> (Csr, Vec<f64>, Vec<f64>) {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = TestRng::seed_from_u64(seed);
         let a = Matrix::from_fn(n, n, pp_portable::Layout::Right, |i, j| {
             if i == j {
                 7.0
@@ -187,7 +214,7 @@ mod tests {
             }
         });
         let csr = Csr::from_dense(&a, 0.0);
-        let mut rng2 = StdRng::seed_from_u64(seed + 1);
+        let mut rng2 = TestRng::seed_from_u64(seed + 1);
         let x_true: Vec<f64> = (0..n).map(|_| rng2.gen_range(-2.0..2.0)).collect();
         let b = csr.spmv_alloc(&x_true);
         (csr, x_true, b)
@@ -252,10 +279,7 @@ mod tests {
     fn max_iters_respected() {
         let (a, _, b) = general_system(50, 5);
         let mut x = vec![0.0; 50];
-        let stop = StopCriteria {
-            tol: 1e-300,
-            max_iters: 7,
-        };
+        let stop = StopCriteria::with_tol(1e-300).with_max_iters(7);
         let res = Gmres::new(3).solve(&a, &Identity, &b, &mut x, &stop);
         assert!(res.iterations <= 7);
         assert!(!res.converged);
@@ -265,5 +289,55 @@ mod tests {
     #[should_panic(expected = "restart must be positive")]
     fn zero_restart_rejected() {
         let _ = Gmres::new(0);
+    }
+
+    // ---- one test per BreakdownKind ----
+
+    #[test]
+    fn breakdown_rho_zero_on_collapsed_basis() {
+        // A = 0: the Arnoldi process yields w = A v₁ = 0 and the Krylov
+        // basis collapses at the first step with no usable direction.
+        let a = Csr::from_dense(&Matrix::zeros(3, 3, pp_portable::Layout::Right), 0.0);
+        let b = [1.0, 2.0, 3.0];
+        let mut x = [0.0; 3];
+        let res =
+            Gmres::default().solve(&a, &Identity, &b, &mut x, &StopCriteria::with_tol(1e-12));
+        assert!(!res.converged);
+        assert_eq!(res.breakdown, Some(BreakdownKind::RhoZero));
+        assert!(res.breakdown.unwrap().is_hard());
+    }
+
+    #[test]
+    fn breakdown_non_finite_detected_immediately() {
+        let (a, _, mut b) = general_system(10, 6);
+        b[2] = f64::NAN;
+        let mut x = vec![0.0; 10];
+        let res =
+            Gmres::default().solve(&a, &Identity, &b, &mut x, &StopCriteria::with_tol(1e-12));
+        assert!(!res.converged);
+        assert_eq!(res.breakdown, Some(BreakdownKind::NonFiniteResidual));
+        assert_eq!(res.iterations, 0, "must not spin to max_iters");
+    }
+
+    #[test]
+    fn breakdown_stagnation_at_the_rounding_floor() {
+        let (a, _, b) = general_system(24, 7);
+        let mut x = vec![0.0; 24];
+        let stop = StopCriteria::with_tol(1e-300).with_stagnation(4, 0.5);
+        let res = Gmres::new(8).solve(&a, &Identity, &b, &mut x, &stop);
+        assert!(!res.converged);
+        assert_eq!(res.breakdown, Some(BreakdownKind::Stagnation));
+        assert!(res.iterations < stop.max_iters);
+    }
+
+    #[test]
+    fn breakdown_max_iters_reported() {
+        let (a, _, b) = general_system(50, 8);
+        let mut x = vec![0.0; 50];
+        let stop = StopCriteria::with_tol(1e-300).with_max_iters(3);
+        let res = Gmres::new(3).solve(&a, &Identity, &b, &mut x, &stop);
+        assert!(!res.converged);
+        assert_eq!(res.breakdown, Some(BreakdownKind::MaxIters));
+        assert!(!res.breakdown.unwrap().is_hard());
     }
 }

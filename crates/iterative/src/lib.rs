@@ -19,10 +19,32 @@
 //!
 //! The solver iteration counts this crate produces are the quantity
 //! reported in the paper's Table IV.
+//!
+//! ## Fault handling
+//!
+//! At the paper's scale (up to 10¹² lanes per advection step) individual
+//! right-hand sides *will* go wrong, and one bad lane must never doom its
+//! batch. The fault layer is:
+//!
+//! * [`BreakdownKind`] — the typed taxonomy of why a Krylov solve stopped
+//!   short (ρ → 0, ω → 0, NaN/Inf, stagnation, iteration budget), carried
+//!   on every [`SolveResult`];
+//! * [`LaneOutcome`] — per-lane health reported by the chunked driver:
+//!   healthy lanes keep their solutions, broken lanes carry their
+//!   diagnosis;
+//! * [`FaultInjector`] — deterministic fault injection (NaN/Inf lanes,
+//!   near-singular perturbations, iteration starvation) for exercising
+//!   the above in tests.
+
+// Non-test code in this crate is free of `unwrap()`; keep it that way
+// (failures must surface as typed errors or documented invariants).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod bicg;
 pub mod bicgstab;
+pub mod breakdown;
 pub mod cg;
+pub mod fault;
 pub mod gmres;
 pub mod logger;
 pub mod multirhs;
@@ -32,10 +54,12 @@ pub mod stop;
 
 pub use bicg::BiCg;
 pub use bicgstab::BiCgStab;
+pub use breakdown::BreakdownKind;
 pub use cg::Cg;
+pub use fault::FaultInjector;
 pub use gmres::Gmres;
-pub use logger::ConvergenceLogger;
-pub use multirhs::{ChunkedSolver, CPU_COLS_PER_CHUNK, GPU_COLS_PER_CHUNK};
+pub use logger::{ConvergenceLogger, RecoveryEvent, RecoveryStage};
+pub use multirhs::{ChunkedSolver, LaneOutcome, CPU_COLS_PER_CHUNK, GPU_COLS_PER_CHUNK};
 pub use precond::{BlockJacobi, Identity, Jacobi, Preconditioner};
 pub use solver::{IterativeSolver, SolveResult};
-pub use stop::StopCriteria;
+pub use stop::{ResidualVerdict, StopCriteria};

@@ -1,5 +1,6 @@
 //! The common solver interface and small shared vector helpers.
 
+use crate::breakdown::BreakdownKind;
 use crate::precond::Preconditioner;
 use crate::stop::StopCriteria;
 use pp_sparse::Csr;
@@ -13,6 +14,30 @@ pub struct SolveResult {
     pub converged: bool,
     /// Final relative residual `‖A x − b‖ / ‖b‖`.
     pub relative_residual: f64,
+    /// Why the solve fell short, when it did (`None` iff `converged`).
+    pub breakdown: Option<BreakdownKind>,
+}
+
+impl SolveResult {
+    /// A converged result (no breakdown).
+    pub fn converged(iterations: usize, relative_residual: f64) -> Self {
+        Self {
+            iterations,
+            converged: true,
+            relative_residual,
+            breakdown: None,
+        }
+    }
+
+    /// A failed result with its diagnosis.
+    pub fn broken(iterations: usize, relative_residual: f64, kind: BreakdownKind) -> Self {
+        Self {
+            iterations,
+            converged: false,
+            relative_residual,
+            breakdown: Some(kind),
+        }
+    }
 }
 
 /// A Krylov method that solves `A x = b` for one right-hand side.
@@ -38,7 +63,7 @@ pub trait IterativeSolver: Send + Sync {
 
 /// Euclidean norm.
 #[inline]
-pub(crate) fn norm2(v: &[f64]) -> f64 {
+pub fn norm2(v: &[f64]) -> f64 {
     v.iter().map(|x| x * x).sum::<f64>().sqrt()
 }
 
@@ -60,7 +85,7 @@ pub(crate) fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
 
 /// `r ← b − A x`.
 #[inline]
-pub(crate) fn residual_into(a: &Csr, x: &[f64], b: &[f64], r: &mut [f64]) {
+pub fn residual_into(a: &Csr, x: &[f64], b: &[f64], r: &mut [f64]) {
     a.spmv_into(x, r);
     for (ri, bi) in r.iter_mut().zip(b) {
         *ri = bi - *ri;
@@ -74,6 +99,12 @@ pub(crate) fn residual_into(a: &Csr, x: &[f64], b: &[f64], r: &mut [f64]) {
 /// above the threshold from rounding alone. The true relative residual is
 /// recomputed from scratch and reported for inspection; `converged` is
 /// also granted when it independently satisfies the tolerance.
+///
+/// `breakdown` is the loop's diagnosis when it bailed early; a solve that
+/// ends up converged drops it, a solve that merely ran out of iterations
+/// is tagged [`BreakdownKind::MaxIters`]. A non-finite final residual
+/// always overrides the diagnosis with
+/// [`BreakdownKind::NonFiniteResidual`].
 pub(crate) fn finish(
     a: &Csr,
     x: &[f64],
@@ -81,17 +112,46 @@ pub(crate) fn finish(
     stop: &StopCriteria,
     iterations: usize,
     internal_converged: bool,
+    breakdown: Option<BreakdownKind>,
 ) -> SolveResult {
     let relative_residual = true_relative_residual(a, x, b);
-    let true_converged = if norm2(b) == 0.0 {
+    let norm_b = norm2(b);
+    let true_converged = if !relative_residual.is_finite() || !norm_b.is_finite() {
+        false
+    } else if norm_b == 0.0 {
         relative_residual == 0.0
     } else {
         relative_residual < stop.tol
     };
+    // The internal (recurrence) criterion is honoured only while the true
+    // residual is in the same ballpark — a rounding floor just above tol
+    // is fine, but on near-singular systems the recurrence residual can
+    // collapse while the true residual explodes, and that must not be
+    // reported as convergence.
+    let internal_trustworthy = internal_converged
+        && relative_residual.is_finite()
+        && if norm_b == 0.0 {
+            relative_residual == 0.0
+        } else {
+            relative_residual <= stop.tol.max(f64::EPSILON) * 1e6
+        };
+    let converged = internal_trustworthy || true_converged;
+    let breakdown = if converged {
+        None
+    } else if !relative_residual.is_finite() {
+        Some(BreakdownKind::NonFiniteResidual)
+    } else if internal_converged {
+        // False convergence: the recurrence drifted away from reality.
+        // Soft diagnosis so the recovery ladder retries the lane.
+        Some(BreakdownKind::Stagnation)
+    } else {
+        breakdown.or(Some(BreakdownKind::MaxIters))
+    };
     SolveResult {
         iterations,
-        converged: internal_converged || true_converged,
+        converged,
         relative_residual,
+        breakdown,
     }
 }
 

@@ -1,13 +1,13 @@
-//! Property-based tests for the Krylov solvers: every solver recovers
-//! the true solution of random well-conditioned systems, with and
-//! without preconditioning.
+//! Randomised property tests for the Krylov solvers: every solver
+//! recovers the true solution of random well-conditioned systems, with
+//! and without preconditioning. Driven by the deterministic [`TestRng`]
+//! so runs are reproducible and hermetic.
 
 use pp_iterative::{
     BiCg, BiCgStab, BlockJacobi, Cg, Gmres, Identity, IterativeSolver, StopCriteria,
 };
-use pp_portable::{Layout, Matrix};
+use pp_portable::{Layout, Matrix, TestRng};
 use pp_sparse::Csr;
-use proptest::prelude::*;
 
 /// Random diagonally dominant sparse system (nonsingular by construction;
 /// SPD when `symmetric`).
@@ -60,37 +60,52 @@ fn check(solver: &dyn IterativeSolver, a: &Csr, b: &[f64], x_true: &[f64], preco
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// CG recovers the solution of random SPD systems.
-    #[test]
-    fn cg_recovers_spd(n in 2usize..60, seed in 0u64..400, block in 0usize..9) {
+/// CG recovers the solution of random SPD systems.
+#[test]
+fn cg_recovers_spd() {
+    let mut g = TestRng::seed_from_u64(0x30);
+    for _ in 0..48 {
+        let n = g.gen_range(2usize..60);
+        let seed = g.gen_range(0u64..400);
+        let block = g.gen_range(0usize..9);
         let (a, x_true, b) = system(n, seed, true);
         check(&Cg, &a, &b, &x_true, block.min(n));
     }
+}
 
-    /// BiCGStab recovers the solution of random non-symmetric systems.
-    #[test]
-    fn bicgstab_recovers_general(n in 2usize..60, seed in 0u64..400, block in 0usize..9) {
+/// BiCGStab recovers the solution of random non-symmetric systems.
+#[test]
+fn bicgstab_recovers_general() {
+    let mut g = TestRng::seed_from_u64(0x31);
+    for _ in 0..48 {
+        let n = g.gen_range(2usize..60);
+        let seed = g.gen_range(0u64..400);
+        let block = g.gen_range(0usize..9);
         let (a, x_true, b) = system(n, seed, false);
         check(&BiCgStab, &a, &b, &x_true, block.min(n));
     }
+}
 
-    /// BiCG recovers the solution of random non-symmetric systems.
-    #[test]
-    fn bicg_recovers_general(n in 2usize..50, seed in 0u64..400) {
+/// BiCG recovers the solution of random non-symmetric systems.
+#[test]
+fn bicg_recovers_general() {
+    let mut g = TestRng::seed_from_u64(0x32);
+    for _ in 0..48 {
+        let n = g.gen_range(2usize..50);
+        let seed = g.gen_range(0u64..400);
         let (a, x_true, b) = system(n, seed, false);
         check(&BiCg, &a, &b, &x_true, 0);
     }
+}
 
-    /// GMRES recovers the solution even with short restarts.
-    #[test]
-    fn gmres_recovers_general(
-        n in 2usize..50,
-        seed in 0u64..400,
-        restart in 3usize..40,
-    ) {
+/// GMRES recovers the solution even with short restarts.
+#[test]
+fn gmres_recovers_general() {
+    let mut g = TestRng::seed_from_u64(0x33);
+    for _ in 0..48 {
+        let n = g.gen_range(2usize..50);
+        let seed = g.gen_range(0u64..400);
+        let restart = g.gen_range(3usize..40);
         let (a, x_true, b) = system(n, seed, false);
         check(&Gmres::new(restart), &a, &b, &x_true, 4.min(n));
     }

@@ -294,11 +294,9 @@ pub fn gbtrf(a: &BandedMatrix) -> Result<BandedLu> {
 mod tests {
     use super::*;
     use crate::naive::{matvec, relative_residual, solve_dense};
-    use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use pp_portable::TestRng;
 
-    fn random_banded(rng: &mut StdRng, n: usize, kl: usize, ku: usize) -> BandedMatrix {
+    fn random_banded(rng: &mut TestRng, n: usize, kl: usize, ku: usize) -> BandedMatrix {
         BandedMatrix::from_fn(n, kl, ku, |i, j| {
             let v: f64 = rng.gen_range(-1.0..1.0);
             if i == j {
@@ -331,7 +329,7 @@ mod tests {
 
     #[test]
     fn to_dense_matches_get() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = TestRng::seed_from_u64(1);
         let m = random_banded(&mut rng, 7, 2, 3);
         let d = m.to_dense();
         for i in 0..7 {
@@ -343,7 +341,7 @@ mod tests {
 
     #[test]
     fn factor_solve_matches_dense_reference() {
-        let mut rng = StdRng::seed_from_u64(23);
+        let mut rng = TestRng::seed_from_u64(23);
         for (n, kl, ku) in [(1, 0, 0), (5, 1, 1), (9, 2, 3), (20, 3, 2), (50, 4, 4)] {
             let a = random_banded(&mut rng, n, kl, ku);
             let dense = a.to_dense();
@@ -419,19 +417,19 @@ mod tests {
         }
     }
 
-    proptest! {
-        /// Property: solve(A, A·x) == x for random diagonally-dominant
-        /// banded matrices of arbitrary bandwidths.
-        #[test]
-        fn prop_banded_solve_recovers(
-            n in 1usize..30,
-            kl in 0usize..4,
-            ku in 0usize..4,
-            seed in 0u64..500,
-        ) {
+    /// Property: solve(A, A·x) == x for random diagonally-dominant
+    /// banded matrices of arbitrary bandwidths.
+    #[test]
+    fn prop_banded_solve_recovers() {
+        let mut g = TestRng::seed_from_u64(0x5EED_BB27);
+        for _ in 0..64 {
+            let n = g.gen_range(1usize..30);
+            let kl = g.gen_range(0usize..4);
+            let ku = g.gen_range(0usize..4);
+            let seed = g.gen_range(0u64..500);
             let kl = kl.min(n - 1);
             let ku = ku.min(n - 1);
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = TestRng::seed_from_u64(seed);
             let a = random_banded(&mut rng, n, kl, ku);
             let x_true: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
             let b = matvec(&a.to_dense(), &x_true);
@@ -439,7 +437,7 @@ mod tests {
             let mut x = b.clone();
             f.solve_slice(&mut x);
             for (u, v) in x.iter().zip(&x_true) {
-                prop_assert!((u - v).abs() < 1e-8);
+                assert!((u - v).abs() < 1e-8);
             }
         }
     }

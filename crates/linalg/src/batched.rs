@@ -67,10 +67,9 @@ mod tests {
     use crate::pb::{pbtrf, SymBandedMatrix};
     use crate::pt::pttrf;
     use pp_portable::{Layout, Parallel, Serial};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use pp_portable::TestRng;
 
-    fn rhs_block(rng: &mut StdRng, n: usize, batch: usize, layout: Layout) -> Matrix {
+    fn rhs_block(rng: &mut TestRng, n: usize, batch: usize, layout: Layout) -> Matrix {
         Matrix::from_fn(n, batch, layout, |_, _| rng.gen_range(-2.0..2.0))
     }
 
@@ -91,7 +90,7 @@ mod tests {
             }
         });
         for layout in [Layout::Left, Layout::Right] {
-            let mut rng = StdRng::seed_from_u64(77);
+            let mut rng = TestRng::seed_from_u64(77);
             let b = rhs_block(&mut rng, n, batch, layout);
             let mut x_ser = b.clone();
             let mut x_par = b.clone();
@@ -110,7 +109,7 @@ mod tests {
 
     #[test]
     fn batched_getrs_matches_per_lane_reference() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = TestRng::seed_from_u64(3);
         let n = 7;
         let a = Matrix::from_fn(n, n, Layout::Right, |i, j| {
             let v: f64 = rng.gen_range(-1.0..1.0);
@@ -134,7 +133,7 @@ mod tests {
 
     #[test]
     fn batched_banded_solvers_residuals() {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = TestRng::seed_from_u64(9);
         let n = 25;
         let batch = 11;
 

@@ -84,10 +84,9 @@ mod tests {
     use super::*;
     use crate::naive::matvec;
     use pp_portable::{Layout, Parallel, Serial};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use pp_portable::TestRng;
 
-    fn random_matrix(rng: &mut StdRng, m: usize, n: usize, layout: Layout) -> Matrix {
+    fn random_matrix(rng: &mut TestRng, m: usize, n: usize, layout: Layout) -> Matrix {
         Matrix::from_fn(m, n, layout, |_, _| rng.gen_range(-1.0..1.0))
     }
 
@@ -102,7 +101,7 @@ mod tests {
 
     #[test]
     fn gemm_matches_reference_all_layouts() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = TestRng::seed_from_u64(42);
         for la in [Layout::Left, Layout::Right] {
             for lc in [Layout::Left, Layout::Right] {
                 let a = random_matrix(&mut rng, 7, 5, la);
@@ -117,7 +116,7 @@ mod tests {
 
     #[test]
     fn gemm_parallel_matches_serial() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = TestRng::seed_from_u64(7);
         let a = random_matrix(&mut rng, 20, 30, Layout::Left);
         let b = random_matrix(&mut rng, 30, 40, Layout::Left);
         let mut c1 = random_matrix(&mut rng, 20, 40, Layout::Left);
@@ -147,7 +146,7 @@ mod tests {
 
     #[test]
     fn gemv_matches_matvec() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = TestRng::seed_from_u64(3);
         let a = random_matrix(&mut rng, 6, 4, Layout::Right);
         let x: Vec<f64> = (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let mut y = vec![0.0; 6];

@@ -109,8 +109,7 @@ mod tests {
     use crate::naive::{matvec, solve_dense};
     use crate::pt::pttrf;
     use pp_portable::Layout;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use pp_portable::TestRng;
 
     #[test]
     fn pttrs_lane_solves_spd_tridiagonal() {
@@ -169,7 +168,7 @@ mod tests {
 
     #[test]
     fn getrs_lane_matches_naive_reference() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = TestRng::seed_from_u64(11);
         for n in [1, 2, 3, 5, 8, 17] {
             // Diagonally dominated random matrix: always nonsingular.
             let a = Matrix::from_fn(n, n, Layout::Right, |i, j| {

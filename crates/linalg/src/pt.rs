@@ -90,9 +90,7 @@ mod tests {
     use super::*;
     use crate::naive::{relative_residual, solve_dense};
     use pp_portable::{Layout, Matrix};
-    use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use pp_portable::TestRng;
 
     fn tridiag(d: &[f64], e: &[f64]) -> Matrix {
         let n = d.len();
@@ -131,7 +129,7 @@ mod tests {
 
     #[test]
     fn solve_matches_dense_reference() {
-        let mut rng = StdRng::seed_from_u64(17);
+        let mut rng = TestRng::seed_from_u64(17);
         for n in [1usize, 2, 3, 10, 50] {
             let d: Vec<f64> = (0..n).map(|_| rng.gen_range(3.0..5.0)).collect();
             let e: Vec<f64> = (0..n.saturating_sub(1))
@@ -176,15 +174,15 @@ mod tests {
         assert_eq!(f.n(), 0);
     }
 
-    proptest! {
-        /// Property: for random diagonally-dominant SPD tridiagonal
-        /// matrices, solve(A, A·x) recovers x.
-        #[test]
-        fn prop_solve_recovers_solution(
-            n in 1usize..40,
-            seed in 0u64..1000,
-        ) {
-            let mut rng = StdRng::seed_from_u64(seed);
+    /// Property: for random diagonally-dominant SPD tridiagonal
+    /// matrices, solve(A, A·x) recovers x.
+    #[test]
+    fn prop_solve_recovers_solution() {
+        let mut g = TestRng::seed_from_u64(0x5EED_3F2D);
+        for _ in 0..64 {
+            let n = g.gen_range(1usize..40);
+            let seed = g.gen_range(0u64..1000);
+            let mut rng = TestRng::seed_from_u64(seed);
             let e: Vec<f64> = (0..n - 1).map(|_| rng.gen_range(-1.0..1.0)).collect();
             // Strict diagonal dominance guarantees SPD here.
             let d: Vec<f64> = (0..n)
@@ -200,9 +198,9 @@ mod tests {
             let f = pttrf(&d, &e).unwrap();
             let mut x = b.clone();
             f.solve_slice(&mut x);
-            prop_assert!(relative_residual(&a, &x, &b) < 1e-10);
+            assert!(relative_residual(&a, &x, &b) < 1e-10);
             for (u, v) in x.iter().zip(&x_true) {
-                prop_assert!((u - v).abs() < 1e-8);
+                assert!((u - v).abs() < 1e-8);
             }
         }
     }

@@ -239,8 +239,7 @@ mod tests {
     use crate::batched;
     use crate::pt::pttrf;
     use pp_portable::{Layout, Parallel, Serial};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use pp_portable::TestRng;
 
     fn factors(n: usize) -> PtFactors {
         pttrf(&vec![4.0; n], &vec![-1.0; n - 1]).unwrap()
@@ -250,7 +249,7 @@ mod tests {
     fn tiled_matches_lane_at_a_time_both_layouts() {
         let n = 37;
         let f = factors(n);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = TestRng::seed_from_u64(3);
         for layout in [Layout::Left, Layout::Right] {
             for batch in [1usize, 7, 64, 130] {
                 let b0 = Matrix::from_fn(n, batch, layout, |_, _| rng.gen_range(-2.0..2.0));
@@ -311,7 +310,7 @@ mod tests {
             &SymBandedMatrix::from_fn(n, 2, |i, j| if i == j { 6.0 } else { -1.0 }).unwrap(),
         )
         .unwrap();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = TestRng::seed_from_u64(5);
         for layout in [Layout::Left, Layout::Right] {
             let b0 = Matrix::from_fn(n, 45, layout, |_, _| rng.gen_range(-2.0..2.0));
             let mut lane_wise = b0.clone();
@@ -341,7 +340,7 @@ mod tests {
         })
         .unwrap();
         let f = gbtrf(&a).unwrap();
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = TestRng::seed_from_u64(6);
         for layout in [Layout::Left, Layout::Right] {
             let b0 = Matrix::from_fn(n, 23, layout, |_, _| rng.gen_range(-2.0..2.0));
             let mut lane_wise = b0.clone();

@@ -1,10 +1,8 @@
 //! Hardware descriptors — the paper's Table II, plus the parameters the
 //! cache simulator needs.
 
-use serde::{Deserialize, Serialize};
-
 /// Which of the paper's three evaluation platforms a descriptor models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceKind {
     /// Intel Xeon Gold 6346 ("Icelake") — the *measured* platform here.
     Icelake,
@@ -15,7 +13,7 @@ pub enum DeviceKind {
 }
 
 /// One processor of Table II.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Device {
     /// Which platform this is.
     pub kind: DeviceKind,
@@ -206,10 +204,11 @@ mod tests {
     }
 
     #[test]
-    fn descriptors_are_serialisable() {
-        // Pin the Serialize derive without pulling in a format crate.
-        fn assert_ser<T: serde::Serialize>() {}
-        assert_ser::<Device>();
-        assert_ser::<DeviceKind>();
+    fn descriptors_are_plain_data() {
+        // Descriptors must stay freely copyable between threads for the
+        // batched model sweeps.
+        fn assert_send_sync<T: Send + Sync + Clone>() {}
+        assert_send_sync::<Device>();
+        assert_send_sync::<DeviceKind>();
     }
 }

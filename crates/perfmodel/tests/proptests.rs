@@ -1,22 +1,28 @@
-//! Property-based tests for the cache simulator: conservation laws that
-//! must hold for any access sequence, and monotonicity of the traffic
-//! model.
+//! Randomised property tests for the cache simulator: conservation laws
+//! that must hold for any access sequence, and monotonicity of the
+//! traffic model. Driven by the deterministic [`TestRng`] so runs are
+//! reproducible and hermetic.
 
 use pp_perfmodel::traffic::{simulate_builder_traffic, BuilderKernel, KernelVersion};
 use pp_perfmodel::{AccessKind, Cache, Device};
-use proptest::prelude::*;
+use pp_portable::TestRng;
 
-proptest! {
-    /// Conservation: memory reads equal misses × line size; hits never
-    /// exceed accesses; flushing writes back at most the lines ever
-    /// stored to.
-    #[test]
-    fn cache_conservation_laws(
-        size_kib in 1usize..64,
-        line in prop_oneof![Just(32usize), Just(64), Just(128)],
-        assoc in 1usize..16,
-        ops in prop::collection::vec((0u64..1 << 16, any::<bool>()), 1..400),
-    ) {
+/// Conservation: memory reads equal misses × line size; hits never
+/// exceed accesses; flushing writes back at most the lines ever stored
+/// to.
+#[test]
+fn cache_conservation_laws() {
+    let mut g = TestRng::seed_from_u64(0x40);
+    for _ in 0..64 {
+        let size_kib = g.gen_range(1usize..64);
+        let line = [32usize, 64, 128][g.gen_range(0usize..3)];
+        let assoc = g.gen_range(1usize..16);
+        let ops: Vec<(u64, bool)> = {
+            let len = g.gen_range(1usize..400);
+            (0..len)
+                .map(|_| (g.gen_range(0u64..(1 << 16)), g.gen_bool(0.5)))
+                .collect()
+        };
         let mut c = Cache::new(size_kib * 1024, line, assoc);
         let mut stores = 0u64;
         for &(addr, is_store) in &ops {
@@ -27,27 +33,29 @@ proptest! {
             c.access(addr, kind);
         }
         let before_flush = c.stats();
-        prop_assert_eq!(before_flush.loads + before_flush.stores, ops.len() as u64);
-        prop_assert!(before_flush.load_hits <= before_flush.loads);
-        prop_assert!(before_flush.store_hits <= before_flush.stores);
+        assert_eq!(before_flush.loads + before_flush.stores, ops.len() as u64);
+        assert!(before_flush.load_hits <= before_flush.loads);
+        assert!(before_flush.store_hits <= before_flush.stores);
         let misses = ops.len() as u64 - before_flush.load_hits - before_flush.store_hits;
-        prop_assert_eq!(before_flush.mem_read_bytes, misses * line as u64);
+        assert_eq!(before_flush.mem_read_bytes, misses * line as u64);
 
         c.flush();
         let after = c.stats();
         // Every byte written back corresponds to a line dirtied by some
         // store; a line can be written back more than once only if it was
         // re-dirtied after an eviction, bounded by the store count.
-        prop_assert!(after.mem_write_bytes <= stores * line as u64);
+        assert!(after.mem_write_bytes <= stores * line as u64);
     }
+}
 
-    /// A second identical pass over a working set that fits in the cache
-    /// is all hits.
-    #[test]
-    fn resident_set_rehits(
-        lines in 1usize..32,
-        assoc in 2usize..8,
-    ) {
+/// A second identical pass over a working set that fits in the cache is
+/// all hits.
+#[test]
+fn resident_set_rehits() {
+    let mut g = TestRng::seed_from_u64(0x41);
+    for _ in 0..64 {
+        let lines = g.gen_range(1usize..32);
+        let assoc = g.gen_range(2usize..8);
         let line = 64;
         // Capacity comfortably above the working set.
         let mut c = Cache::new(lines * line * assoc * 2, line, assoc);
@@ -55,21 +63,23 @@ proptest! {
             for i in 0..lines {
                 let hit = c.access((i * line) as u64, AccessKind::Load);
                 if pass == 1 {
-                    prop_assert!(hit, "line {i} missed on the second pass");
+                    assert!(hit, "line {i} missed on the second pass");
                 }
             }
         }
     }
+}
 
-    /// Traffic model sanity for arbitrary problem shapes: every version
-    /// moves at least the compulsory traffic and the spmv version never
-    /// moves more than the dense-corner fused version.
-    #[test]
-    fn traffic_model_bounds(
-        n in 16usize..96,
-        batch_factor in 1usize..6,
-        cache_kib in 8usize..128,
-    ) {
+/// Traffic model sanity for arbitrary problem shapes: every version
+/// moves at least the compulsory traffic and the spmv version never
+/// moves more than the dense-corner fused version.
+#[test]
+fn traffic_model_bounds() {
+    let mut g = TestRng::seed_from_u64(0x42);
+    for _ in 0..48 {
+        let n = g.gen_range(16usize..96);
+        let batch_factor = g.gen_range(1usize..6);
+        let cache_kib = g.gen_range(8usize..128);
         let mut device = Device::a100();
         device.shared_cache_mib = cache_kib as f64 / 1024.0;
         device.resident_lanes = 128;
@@ -77,18 +87,17 @@ proptest! {
         let batch = 128 * batch_factor;
 
         let fused = simulate_builder_traffic(&device, KernelVersion::Fused, &kernel, batch);
-        let spmv =
-            simulate_builder_traffic(&device, KernelVersion::FusedSpmv, &kernel, batch);
+        let spmv = simulate_builder_traffic(&device, KernelVersion::FusedSpmv, &kernel, batch);
         // Compulsory: every right-hand side byte must enter memory once.
         let compulsory = 8.0 * (n * batch) as f64;
-        prop_assert!(fused.total_bytes() >= compulsory * 0.9);
-        prop_assert!(spmv.total_bytes() >= compulsory * 0.9);
+        assert!(fused.total_bytes() >= compulsory * 0.9);
+        assert!(spmv.total_bytes() >= compulsory * 0.9);
         // Sparse corners never move meaningfully more than dense ones; at
         // tiny n the COO index arrays cost a handful of extra cache lines,
         // hence the absolute slack.
-        prop_assert!(spmv.total_bytes() <= fused.total_bytes() * 1.02 + 8192.0);
+        assert!(spmv.total_bytes() <= fused.total_bytes() * 1.02 + 8192.0);
         // Predicted times are positive and finite.
-        prop_assert!(spmv.predicted_time_s(&device).is_finite());
-        prop_assert!(spmv.predicted_time_s(&device) > 0.0);
+        assert!(spmv.predicted_time_s(&device).is_finite());
+        assert!(spmv.predicted_time_s(&device) > 0.0);
     }
 }

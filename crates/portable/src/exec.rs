@@ -3,13 +3,14 @@
 //! The paper's kernels all have the shape
 //! `Kokkos::parallel_for(batch, LAMBDA(i) { serial work on lane i })`.
 //! [`ExecSpace`] captures that: [`Serial`] runs lanes in a plain loop (the
-//! reference / debugging space), [`Parallel`] distributes lanes over the
-//! rayon thread pool (the host-CPU OpenMP analogue).
+//! reference / debugging space), [`Parallel`] distributes lanes over
+//! scoped worker threads (the host-CPU OpenMP analogue — see
+//! [`crate::par`]).
 
 use crate::matrix::Matrix;
+use crate::par;
 use crate::ptr::SharedMutPtr;
 use crate::strided::StridedMut;
-use rayon::prelude::*;
 
 /// A place batched work can execute.
 ///
@@ -99,7 +100,7 @@ impl ExecSpace for Serial {
     }
 }
 
-/// Distribute lanes over the global rayon thread pool.
+/// Distribute lanes over scoped worker threads.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Parallel;
 
@@ -110,11 +111,11 @@ impl ExecSpace for Parallel {
 
     #[inline]
     fn for_each<F: Fn(usize) + Sync + Send>(&self, n: usize, f: F) {
-        (0..n).into_par_iter().for_each(f);
+        par::parallel_for(n, f);
     }
 
     fn reduce_sum<F: Fn(usize) -> f64 + Sync + Send>(&self, n: usize, f: F) -> f64 {
-        (0..n).into_par_iter().map(f).sum()
+        par::parallel_sum(n, f)
     }
 }
 

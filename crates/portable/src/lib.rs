@@ -56,8 +56,10 @@ pub mod error;
 pub mod exec;
 pub mod layout;
 pub mod matrix;
+pub mod par;
 pub mod ptr;
 pub mod strided;
+pub mod testrng;
 pub mod transpose;
 
 pub use block::{for_each_lane_block_mut, BlockMut};
@@ -65,5 +67,7 @@ pub use error::{Error, Result};
 pub use exec::{ExecSpace, Parallel, Serial};
 pub use layout::Layout;
 pub use matrix::Matrix;
+pub use par::{num_threads, parallel_for, parallel_for_each_mut, parallel_sum};
 pub use strided::{Strided, StridedMut};
+pub use testrng::TestRng;
 pub use transpose::{transpose, transpose_into, transpose_into_with, transpose_reinterpret};

@@ -1,0 +1,188 @@
+//! Minimal std-only data parallelism.
+//!
+//! The workspace must build in hermetic environments with no external
+//! crates, so the rayon-style "parallel for over indices" the execution
+//! spaces need is implemented here directly on `std::thread::scope`:
+//! a handful of worker threads pull fixed-size index chunks off a shared
+//! atomic counter until the range is exhausted. That is exactly the
+//! schedule the paper's `Kokkos::parallel_for(batch, ...)` relies on —
+//! independent lanes, dynamic load balancing, no per-lane allocation.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use for batch dispatch.
+///
+/// Follows the hardware's available parallelism; at least 1.
+pub fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Call `f(i)` for every `i in 0..n`, distributing indices over worker
+/// threads. Falls back to a plain loop when `n` is small or only one
+/// hardware thread is available.
+///
+/// Chunks are claimed dynamically (atomic fetch-add), so uneven lane
+/// costs — exactly what fault recovery produces, where a few lanes
+/// iterate to their budget while the rest converge quickly — do not
+/// serialise the batch.
+pub fn parallel_for<F: Fn(usize) + Sync>(n: usize, f: F) {
+    let threads = num_threads().min(n);
+    if threads <= 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    // ~8 chunks per worker keeps claim overhead negligible while still
+    // load-balancing ragged lane costs.
+    let chunk = n.div_ceil(threads * 8).max(1);
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                for i in start..(start + chunk).min(n) {
+                    f(i);
+                }
+            });
+        }
+    });
+}
+
+/// Call `f(i, &mut items[i])` for every element, distributing elements
+/// over worker threads. Each index is claimed exactly once, so the
+/// mutable accesses are disjoint.
+///
+/// This is the shape the chunked multi-RHS solver needs: a vector of
+/// per-lane work slots, each mutated by exactly one worker, with dynamic
+/// claiming so a few pathological lanes (breakdown retries, iteration
+/// budgets) don't serialise the rest of the batch.
+pub fn parallel_for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    let threads = num_threads().min(n);
+    if threads <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    struct Slots<T>(*mut T);
+    // SAFETY: each index is claimed by exactly one worker (atomic
+    // fetch-add), so no two threads ever form a `&mut` to the same slot.
+    unsafe impl<T: Send> Sync for Slots<T> {}
+    let slots = Slots(items.as_mut_ptr());
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let slots = &slots;
+    let next = &next;
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // SAFETY: `i < n` and each `i` is produced exactly once.
+                f(i, unsafe { &mut *slots.0.add(i) });
+            });
+        }
+    });
+}
+
+/// Sum `f(i)` over `i in 0..n` with per-worker partial sums.
+///
+/// Summation order differs from the serial loop (partials are combined
+/// per worker), as it does under rayon or OpenMP reductions.
+pub fn parallel_sum<F: Fn(usize) -> f64 + Sync>(n: usize, f: F) -> f64 {
+    let threads = num_threads().min(n);
+    if threads <= 1 {
+        return (0..n).map(f).sum();
+    }
+    let chunk = n.div_ceil(threads * 8).max(1);
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut acc = 0.0;
+                    loop {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        for i in start..(start + chunk).min(n) {
+                            acc += f(i);
+                        }
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel_sum worker panicked"))
+            .sum()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn visits_every_index_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..1237).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(1237, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_and_one_sized_ranges() {
+        parallel_for(0, |_| panic!("must not be called"));
+        let count = AtomicUsize::new(0);
+        parallel_for(1, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn sum_matches_closed_form() {
+        let expected = (0..5000).map(|i| i as f64).sum::<f64>();
+        assert_eq!(parallel_sum(5000, |i| i as f64), expected);
+        assert_eq!(parallel_sum(0, |_| 1.0), 0.0);
+        assert_eq!(parallel_sum(1, |_| 2.5), 2.5);
+    }
+
+    #[test]
+    fn at_least_one_thread_reported() {
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_slot_once() {
+        let mut items: Vec<u64> = vec![0; 997];
+        parallel_for_each_mut(&mut items, |i, slot| {
+            *slot += i as u64 + 1;
+        });
+        for (i, v) in items.iter().enumerate() {
+            assert_eq!(*v, i as u64 + 1);
+        }
+        let mut empty: Vec<u64> = Vec::new();
+        parallel_for_each_mut(&mut empty, |_, _| panic!("must not run"));
+    }
+}

@@ -126,10 +126,9 @@ impl Csc {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use pp_portable::TestRng;
 
-    fn random_sparse(rng: &mut StdRng, m: usize, n: usize) -> Matrix {
+    fn random_sparse(rng: &mut TestRng, m: usize, n: usize) -> Matrix {
         Matrix::from_fn(m, n, pp_portable::Layout::Right, |_, _| {
             if rng.gen_bool(0.25) {
                 rng.gen_range(-1.0..1.0)
@@ -141,7 +140,7 @@ mod tests {
 
     #[test]
     fn round_trip_matches_dense() {
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = TestRng::seed_from_u64(8);
         let a = random_sparse(&mut rng, 13, 9);
         let csc = Csc::from_dense(&a, 0.0);
         assert_eq!(csc.to_dense().max_abs_diff(&a), 0.0);
@@ -149,7 +148,7 @@ mod tests {
 
     #[test]
     fn csc_and_csr_agree() {
-        let mut rng = StdRng::seed_from_u64(12);
+        let mut rng = TestRng::seed_from_u64(12);
         let a = random_sparse(&mut rng, 11, 17);
         let coo = Coo::from_dense(&a, 0.0);
         let csr = Csr::from_coo(&coo);
@@ -166,7 +165,7 @@ mod tests {
 
     #[test]
     fn transpose_spmv_matches_explicit_transpose() {
-        let mut rng = StdRng::seed_from_u64(21);
+        let mut rng = TestRng::seed_from_u64(21);
         let a = random_sparse(&mut rng, 6, 10);
         let csc = Csc::from_dense(&a, 0.0);
         let x: Vec<f64> = (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect();
@@ -182,7 +181,7 @@ mod tests {
 
     #[test]
     fn rows_sorted_within_columns() {
-        let mut rng = StdRng::seed_from_u64(30);
+        let mut rng = TestRng::seed_from_u64(30);
         let a = random_sparse(&mut rng, 14, 6);
         let csc = Csc::from_dense(&a, 0.0);
         for j in 0..6 {

@@ -258,8 +258,7 @@ impl Csr {
 mod tests {
     use super::*;
     use pp_portable::{Parallel, Serial};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use pp_portable::TestRng;
 
     fn sample() -> Matrix {
         Matrix::from_rows(&[
@@ -308,7 +307,7 @@ mod tests {
 
     #[test]
     fn spmv_matches_dense() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = TestRng::seed_from_u64(4);
         let a = Matrix::from_fn(30, 30, pp_portable::Layout::Right, |_, _| {
             if rng.gen_bool(0.2) {
                 rng.gen_range(-1.0..1.0)

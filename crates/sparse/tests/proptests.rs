@@ -1,12 +1,12 @@
-//! Property-based tests for the sparse formats: conversions are lossless
-//! and every spmv variant computes the same product.
+//! Randomised property tests for the sparse formats: conversions are
+//! lossless and every spmv variant computes the same product. Driven by
+//! the deterministic [`TestRng`] so runs are reproducible and hermetic.
 
-use pp_portable::{Layout, Matrix, Serial, Strided, StridedMut};
+use pp_portable::{Layout, Matrix, Serial, Strided, StridedMut, TestRng};
 use pp_sparse::{Coo, Csc, Csr, SparsityPattern};
-use proptest::prelude::*;
 
 /// A random sparse matrix as a dense generator (deterministic in the
-/// proptest inputs, so shrinking works).
+/// inputs, so failures reproduce).
 fn sparse_dense(m: usize, n: usize, density_pct: usize, seed: u64) -> Matrix {
     Matrix::from_fn(m, n, Layout::Right, |i, j| {
         let h = (i as u64)
@@ -21,31 +21,33 @@ fn sparse_dense(m: usize, n: usize, density_pct: usize, seed: u64) -> Matrix {
     })
 }
 
-proptest! {
-    /// COO -> CSR -> dense and COO -> CSC -> dense reproduce the source.
-    #[test]
-    fn conversion_round_trips(
-        m in 1usize..25,
-        n in 1usize..25,
-        density in 0usize..60,
-        seed in 0u64..500,
-    ) {
+/// COO -> CSR -> dense and COO -> CSC -> dense reproduce the source.
+#[test]
+fn conversion_round_trips() {
+    let mut g = TestRng::seed_from_u64(0x20);
+    for _ in 0..64 {
+        let m = g.gen_range(1usize..25);
+        let n = g.gen_range(1usize..25);
+        let density = g.gen_range(0usize..60);
+        let seed = g.gen_range(0u64..500);
         let a = sparse_dense(m, n, density, seed);
         let coo = Coo::from_dense(&a, 0.0);
-        prop_assert_eq!(Csr::from_coo(&coo).to_dense().max_abs_diff(&a), 0.0);
-        prop_assert_eq!(Csc::from_coo(&coo).to_dense().max_abs_diff(&a), 0.0);
-        prop_assert_eq!(coo.to_dense().max_abs_diff(&a), 0.0);
+        assert_eq!(Csr::from_coo(&coo).to_dense().max_abs_diff(&a), 0.0);
+        assert_eq!(Csc::from_coo(&coo).to_dense().max_abs_diff(&a), 0.0);
+        assert_eq!(coo.to_dense().max_abs_diff(&a), 0.0);
     }
+}
 
-    /// All four spmv implementations (dense reference, COO lane, CSR,
-    /// CSC) agree.
-    #[test]
-    fn spmv_variants_agree(
-        m in 1usize..20,
-        n in 1usize..20,
-        density in 5usize..70,
-        seed in 0u64..500,
-    ) {
+/// All four spmv implementations (dense reference, COO lane, CSR, CSC)
+/// agree.
+#[test]
+fn spmv_variants_agree() {
+    let mut g = TestRng::seed_from_u64(0x21);
+    for _ in 0..64 {
+        let m = g.gen_range(1usize..20);
+        let n = g.gen_range(1usize..20);
+        let density = g.gen_range(5usize..70);
+        let seed = g.gen_range(0u64..500);
         let a = sparse_dense(m, n, density, seed);
         let x: Vec<f64> = (0..n).map(|j| ((j * 37 + 11) % 19) as f64 - 9.0).collect();
         let reference: Vec<f64> = (0..m)
@@ -70,46 +72,50 @@ proptest! {
         csc.spmv_into(&x, &mut y_csc);
 
         for i in 0..m {
-            prop_assert!((y_coo[i] - reference[i]).abs() < 1e-11);
-            prop_assert!((y_csr[i] - reference[i]).abs() < 1e-11);
-            prop_assert!((y_csr_par[i] - reference[i]).abs() < 1e-11);
-            prop_assert!((y_csc[i] - reference[i]).abs() < 1e-11);
+            assert!((y_coo[i] - reference[i]).abs() < 1e-11);
+            assert!((y_csr[i] - reference[i]).abs() < 1e-11);
+            assert!((y_csr_par[i] - reference[i]).abs() < 1e-11);
+            assert!((y_csc[i] - reference[i]).abs() < 1e-11);
         }
     }
+}
 
-    /// CSR transpose-spmv equals spmv of the explicit transpose.
-    #[test]
-    fn transpose_spmv_consistent(
-        m in 1usize..18,
-        n in 1usize..18,
-        seed in 0u64..300,
-    ) {
+/// CSR transpose-spmv equals spmv of the explicit transpose.
+#[test]
+fn transpose_spmv_consistent() {
+    let mut g = TestRng::seed_from_u64(0x22);
+    for _ in 0..64 {
+        let m = g.gen_range(1usize..18);
+        let n = g.gen_range(1usize..18);
+        let seed = g.gen_range(0u64..300);
         let a = sparse_dense(m, n, 30, seed);
         let csr = Csr::from_dense(&a, 0.0);
         let x: Vec<f64> = (0..m).map(|i| (i as f64) * 0.5 - 1.0).collect();
         let mut y = vec![0.0; n];
         csr.spmv_transpose_into(&x, &mut y);
-        for j in 0..n {
+        for (j, &yj) in y.iter().enumerate() {
             let expected: f64 = (0..m).map(|i| a.get(i, j) * x[i]).sum();
-            prop_assert!((y[j] - expected).abs() < 1e-11);
+            assert!((yj - expected).abs() < 1e-11);
         }
     }
+}
 
-    /// nnz is consistent across formats and the pattern.
-    #[test]
-    fn nnz_consistency(
-        m in 1usize..20,
-        n in 1usize..20,
-        density in 0usize..80,
-        seed in 0u64..300,
-    ) {
+/// nnz is consistent across formats and the pattern.
+#[test]
+fn nnz_consistency() {
+    let mut g = TestRng::seed_from_u64(0x23);
+    for _ in 0..64 {
+        let m = g.gen_range(1usize..20);
+        let n = g.gen_range(1usize..20);
+        let density = g.gen_range(0usize..80);
+        let seed = g.gen_range(0u64..300);
         let a = sparse_dense(m, n, density, seed);
         let coo = Coo::from_dense(&a, 0.0);
         let csr = Csr::from_coo(&coo);
         let csc = Csc::from_coo(&coo);
         let pat = SparsityPattern::from_dense(&a, 0.0);
-        prop_assert_eq!(coo.nnz(), csr.nnz());
-        prop_assert_eq!(csr.nnz(), csc.nnz());
-        prop_assert_eq!(csc.nnz(), pat.nnz());
+        assert_eq!(coo.nnz(), csr.nnz());
+        assert_eq!(csr.nnz(), csc.nnz());
+        assert_eq!(csc.nnz(), pat.nnz());
     }
 }

@@ -1,0 +1,56 @@
+//! Demonstration of the fault-handling layer: poison a batch, watch the
+//! per-lane outcomes, and climb the recovery ladder.
+//!
+//! Run with: `cargo run --release --example fault_recovery`
+
+use batched_splines::prelude::*;
+use pp_portable::TestRng;
+
+fn rhs(n: usize, lanes: usize, seed: u64) -> Matrix {
+    let mut rng = TestRng::seed_from_u64(seed);
+    Matrix::from_fn(n, lanes, Layout::Left, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+fn main() {
+    let n = 32;
+    let space =
+        PeriodicSplineSpace::new(Breaks::uniform(n, 0.0, 1.0).unwrap(), 3).unwrap();
+
+    // --- Scenario 1: NaN-poisoned lanes, recovery disabled -------------
+    let mut b = rhs(n, 6, 42);
+    let mut injector = FaultInjector::new(7);
+    let poisoned = injector.poison_nan_lanes(&mut b, 2);
+    println!("scenario 1: lanes {poisoned:?} poisoned with NaN, no recovery");
+
+    let solver = IterativeSplineSolver::new(space.clone(), IterativeConfig::gpu()).unwrap();
+    let log = solver
+        .solve_with_recovery(&mut b, None, &RecoveryPolicy::disabled())
+        .unwrap();
+    for lane in 0..6 {
+        println!("  lane {lane}: {:?}", log.lane_outcome(lane));
+    }
+    println!("  breakdown census: {:?}", log.breakdown_census());
+
+    // --- Scenario 2: starved solver, full ladder rescues ---------------
+    let mut cfg = IterativeConfig::gpu();
+    cfg.max_block_size = 2;
+    cfg.stop = FaultInjector::starved(&cfg.stop, 2);
+    let starved = IterativeSplineSolver::new(space, cfg).unwrap();
+
+    let mut b = rhs(n, 4, 9);
+    println!("\nscenario 2: all lanes starved to 2 iterations, full ladder");
+    let log = starved
+        .solve_with_recovery(&mut b, None, &RecoveryPolicy::default())
+        .unwrap();
+    for event in log.recovery_events() {
+        println!(
+            "  rung {:?}: attempted {:?}, recovered {:?}",
+            event.stage, event.lanes_attempted, event.lanes_recovered
+        );
+    }
+    println!(
+        "  all converged: {} (outcomes {:?})",
+        log.all_converged(),
+        log.outcomes()
+    );
+}

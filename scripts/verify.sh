@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, full workspace test suite, and lint-clean
+# clippy. CI and pre-merge both run exactly this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: all checks passed"

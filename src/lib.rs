@@ -63,11 +63,11 @@ pub use pp_splinesolver as splinesolver;
 pub mod prelude {
     pub use pp_advection::{Advection1D, SplineBackend, VlasovPoisson1D1V};
     pub use pp_bsplines::{Breaks, PeriodicSplineSpace};
-    pub use pp_iterative::StopCriteria;
+    pub use pp_iterative::{BreakdownKind, FaultInjector, LaneOutcome, StopCriteria};
     pub use pp_perfmodel::{glups, Device};
     pub use pp_portable::{ExecSpace, Layout, Matrix, Parallel, Serial};
     pub use pp_splinesolver::{
-        BuilderVersion, IterativeConfig, IterativeSplineSolver, KrylovKind, SplineBuilder,
-        SplineEvaluator,
+        BuilderVersion, IterativeConfig, IterativeSplineSolver, KrylovKind, RecoveryPolicy,
+        SplineBuilder, SplineEvaluator,
     };
 }

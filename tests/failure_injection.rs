@@ -122,3 +122,257 @@ fn error_messages_carry_context() {
     let e = Breaks::from_points(vec![0.0, 2.0, 1.0]).unwrap_err();
     assert!(e.to_string().contains("index 1"), "{e}");
 }
+
+// ---- fault-handling layer: typed per-lane outcomes and the recovery
+// ladder (the robustness tentpole) ----
+
+use pp_iterative::RecoveryStage;
+use pp_portable::TestRng;
+
+fn random_rhs(n: usize, lanes: usize, seed: u64) -> Matrix {
+    let mut rng = TestRng::seed_from_u64(seed);
+    Matrix::from_fn(n, lanes, Layout::Left, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+fn direct_reference(space: &PeriodicSplineSpace, rhs: &Matrix) -> Matrix {
+    let builder = SplineBuilder::new(space.clone(), BuilderVersion::FusedSpmv).unwrap();
+    let mut x = rhs.clone();
+    builder.solve_in_place(&Parallel, &mut x).unwrap();
+    x
+}
+
+/// The acceptance scenario: a batch with injected NaN lanes returns typed
+/// per-lane outcomes — healthy lanes match the direct solver to 1e-12,
+/// poisoned lanes report their `BreakdownKind` — with zero panics.
+#[test]
+fn poisoned_batch_isolates_lanes_and_types_outcomes() {
+    let n = 32;
+    let space = PeriodicSplineSpace::new(Breaks::uniform(n, 0.0, 1.0).unwrap(), 3).unwrap();
+    let rhs = random_rhs(n, 8, 42);
+    let reference = direct_reference(&space, &rhs);
+
+    let mut b = rhs.clone();
+    let mut injector = FaultInjector::new(7);
+    let poisoned = injector.poison_nan_lanes(&mut b, 2);
+    assert_eq!(poisoned.len(), 2);
+
+    let solver = IterativeSplineSolver::new(space, IterativeConfig::gpu()).unwrap();
+    let log = solver
+        .solve_with_recovery(&mut b, None, &RecoveryPolicy::disabled())
+        .unwrap();
+
+    assert_eq!(log.count(), 8);
+    for lane in 0..8 {
+        if poisoned.contains(&lane) {
+            assert_eq!(
+                log.lane_outcome(lane),
+                LaneOutcome::Broke(BreakdownKind::NonFiniteResidual),
+                "lane {lane}"
+            );
+        } else {
+            assert!(log.lane_outcome(lane).is_healthy(), "lane {lane}");
+            for i in 0..n {
+                assert!(
+                    (b.get(i, lane) - reference.get(i, lane)).abs() < 1e-12,
+                    "lane {lane} row {i}"
+                );
+            }
+        }
+    }
+    assert_eq!(
+        log.breakdown_census(),
+        vec![(BreakdownKind::NonFiniteResidual, 2)]
+    );
+}
+
+/// NaN lanes survive the *full* ladder as broken (the direct fallback
+/// verifies finiteness and refuses to declare them converged), while the
+/// recovery report shows each rung attempting them.
+#[test]
+fn nan_lanes_stay_broken_through_full_ladder() {
+    let n = 24;
+    let space = PeriodicSplineSpace::new(Breaks::uniform(n, 0.0, 1.0).unwrap(), 3).unwrap();
+    let mut b = random_rhs(n, 4, 1);
+    let mut injector = FaultInjector::new(3);
+    let poisoned = injector.poison_inf_lanes(&mut b, 1);
+
+    let solver = IterativeSplineSolver::new(space, IterativeConfig::gpu()).unwrap();
+    let log = solver
+        .solve_with_recovery(&mut b, None, &RecoveryPolicy::default())
+        .unwrap();
+
+    assert!(!log.all_converged());
+    assert_eq!(log.failed_lanes(), poisoned);
+    // Every rung ran over exactly the poisoned lane and rescued nothing.
+    let events = log.recovery_events();
+    assert_eq!(events.len(), 3);
+    for (event, stage) in events.iter().zip([
+        RecoveryStage::Reprecondition,
+        RecoveryStage::SolverSwitch,
+        RecoveryStage::DirectFallback,
+    ]) {
+        assert_eq!(event.stage, stage);
+        assert_eq!(event.lanes_attempted, poisoned);
+        assert!(event.lanes_recovered.is_empty());
+    }
+    // Healthy lanes still converged and hold finite solutions.
+    for lane in 0..4 {
+        if !poisoned.contains(&lane) {
+            assert!(log.lane_outcome(lane).is_healthy());
+            assert!(b.col(lane).to_vec().iter().all(|v| v.is_finite()));
+        }
+    }
+}
+
+/// Iteration-starved lanes stall, and the ladder's direct fallback
+/// rescues every one of them end to end.
+#[test]
+fn starved_batch_rescued_by_direct_fallback() {
+    let n = 32;
+    let space = PeriodicSplineSpace::new(Breaks::uniform(n, 0.0, 1.0).unwrap(), 4).unwrap();
+    let rhs = random_rhs(n, 5, 9);
+    let reference = direct_reference(&space, &rhs);
+
+    let mut cfg = IterativeConfig::gpu();
+    // A weak preconditioner (tiny blocks) so convergence genuinely takes
+    // many iterations, then starve the solver of them.
+    cfg.max_block_size = 2;
+    cfg.stop = FaultInjector::starved(&cfg.stop, 2);
+    let solver = IterativeSplineSolver::new(space, cfg).unwrap();
+
+    // Without recovery every lane stalls (MaxIters)...
+    let mut b0 = rhs.clone();
+    let log0 = solver
+        .solve_with_recovery(&mut b0, None, &RecoveryPolicy::disabled())
+        .unwrap();
+    assert!(log0
+        .outcomes()
+        .iter()
+        .all(|o| *o == LaneOutcome::Stalled));
+    assert_eq!(log0.breakdown_census(), vec![(BreakdownKind::MaxIters, 5)]);
+
+    // ...and the ladder's last rung rescues all of them.
+    let mut b = rhs.clone();
+    let log = solver
+        .solve_with_recovery(&mut b, None, &RecoveryPolicy::default())
+        .unwrap();
+    assert!(log.all_converged(), "{:?}", log.outcomes());
+    assert!(b.max_abs_diff(&reference) < 1e-10);
+    let events = log.recovery_events();
+    assert_eq!(
+        events.last().unwrap().stage,
+        RecoveryStage::DirectFallback
+    );
+    assert_eq!(events.last().unwrap().lanes_recovered.len(), 5);
+}
+
+/// The solver-switch rung: CG on a strongly graded quintic spline matrix
+/// (non-symmetric, ill-conditioned by the mesh grading) stalls within the
+/// iteration budget, and the switch to GMRES — with the other rungs
+/// disabled, to prove the switch alone suffices — rescues every lane.
+#[test]
+fn solver_switch_rescues_wrong_method_choice() {
+    let n = 32;
+    let space =
+        PeriodicSplineSpace::new(Breaks::graded(n, 0.0, 1.0, 0.8).unwrap(), 5).unwrap();
+    let rhs = random_rhs(n, 3, 5);
+    let reference = direct_reference(&space, &rhs);
+
+    let mut cfg = IterativeConfig::gpu();
+    cfg.kind = KrylovKind::Cg; // wrong: the matrix is not symmetric
+    cfg.max_block_size = 2; // weak enough that CG must genuinely iterate
+    cfg.stop = cfg.stop.with_max_iters(35); // CG needs >35 here; GMRES ~25
+    let solver = IterativeSplineSolver::new(space, cfg).unwrap();
+
+    // Without recovery every lane stalls on the wrong method...
+    let mut b0 = rhs.clone();
+    let log0 = solver
+        .solve_with_recovery(&mut b0, None, &RecoveryPolicy::disabled())
+        .unwrap();
+    assert!(
+        log0.outcomes().iter().all(|o| !o.is_healthy()),
+        "{:?}",
+        log0.outcomes()
+    );
+
+    // ...and the switch rescues all of them.
+    let mut b = rhs.clone();
+    let policy = RecoveryPolicy {
+        reprecondition: false,
+        direct_fallback: false,
+        ..RecoveryPolicy::default()
+    };
+    let log = solver.solve_with_recovery(&mut b, None, &policy).unwrap();
+
+    assert!(log.all_converged(), "{:?}", log.outcomes());
+    assert!(b.max_abs_diff(&reference) < 1e-10);
+    let events = log.recovery_events();
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].stage, RecoveryStage::SolverSwitch);
+    assert_eq!(events[0].lanes_recovered, events[0].lanes_attempted);
+    assert_eq!(events[0].lanes_attempted, vec![0, 1, 2]);
+}
+
+/// A near-singular system (one row scaled to ~machine epsilon) produces a
+/// typed breakdown or stall — never a panic, never fake convergence.
+#[test]
+fn near_singular_system_breaks_down_typed() {
+    use pp_iterative::{BiCgStab, BlockJacobi, ChunkedSolver, ConvergenceLogger};
+    use pp_sparse::Csr;
+
+    let n = 16;
+    let dense = PMatrix::from_fn(n, n, Layout::Right, |i, j| {
+        if i == j {
+            4.0
+        } else if i.abs_diff(j) == 1 {
+            -1.0
+        } else {
+            0.0
+        }
+    });
+    let a = Csr::from_dense(&dense, 0.0);
+    let mut injector = FaultInjector::new(11);
+    let bad = injector.near_singular(&a, 1e-18);
+
+    let mut b = Matrix::zeros(n, 2, Layout::Left);
+    b.fill(1.0);
+    let bj = BlockJacobi::new(&bad, 4);
+    let stop = StopCriteria::with_tol(1e-15)
+        .with_max_iters(500)
+        .with_stagnation(25, 0.01);
+    let driver = ChunkedSolver::new(&BiCgStab, &bj, stop, 64);
+    let mut log = ConvergenceLogger::new();
+    let outcomes = driver.solve_in_place(&bad, &mut b, None, &mut log);
+
+    for (lane, outcome) in outcomes.iter().enumerate() {
+        assert!(
+            !outcome.is_healthy(),
+            "lane {lane} claimed convergence on a near-singular system: {:?}",
+            log.lane_result(lane)
+        );
+    }
+}
+
+/// The retry budget is honoured: with `max_attempts = 1` only the first
+/// enabled rung runs, even if lanes remain broken.
+#[test]
+fn retry_budget_bounds_the_ladder() {
+    let n = 24;
+    let space = PeriodicSplineSpace::new(Breaks::uniform(n, 0.0, 1.0).unwrap(), 3).unwrap();
+    let mut b = random_rhs(n, 3, 2);
+    let mut injector = FaultInjector::new(1);
+    injector.poison_nan_lanes(&mut b, 1);
+
+    let solver = IterativeSplineSolver::new(space, IterativeConfig::gpu()).unwrap();
+    let policy = RecoveryPolicy {
+        max_attempts: 1,
+        ..RecoveryPolicy::default()
+    };
+    let log = solver.solve_with_recovery(&mut b, None, &policy).unwrap();
+    assert_eq!(log.recovery_events().len(), 1);
+    assert_eq!(
+        log.recovery_events()[0].stage,
+        RecoveryStage::Reprecondition
+    );
+    assert!(!log.all_converged());
+}
