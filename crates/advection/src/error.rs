@@ -12,6 +12,14 @@ pub enum Error {
     },
     /// Underlying spline-solver error.
     Spline(pp_splinesolver::Error),
+    /// A non-finite (NaN/Inf) value was found in advection input —
+    /// distribution values, characteristic feet, or displacements.
+    NonFiniteInput {
+        /// Batch lane of the offending value.
+        lane: usize,
+        /// Position within the lane.
+        index: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -19,6 +27,10 @@ impl fmt::Display for Error {
         match self {
             Error::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
             Error::Spline(e) => write!(f, "spline solver: {e}"),
+            Error::NonFiniteInput { lane, index } => write!(
+                f,
+                "non-finite value in advection input at lane {lane}, index {index}"
+            ),
         }
     }
 }
@@ -27,9 +39,29 @@ impl std::error::Error for Error {}
 
 impl From<pp_splinesolver::Error> for Error {
     fn from(e: pp_splinesolver::Error) -> Self {
-        Error::Spline(e)
+        match e {
+            pp_splinesolver::Error::NonFiniteInput { lane, index } => {
+                Error::NonFiniteInput { lane, index }
+            }
+            other => Error::Spline(other),
+        }
     }
 }
 
+
 /// Convenience alias.
 pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_finite_conversion_is_specialised() {
+        let e: Error = pp_splinesolver::Error::NonFiniteInput { lane: 4, index: 1 }.into();
+        assert_eq!(e, Error::NonFiniteInput { lane: 4, index: 1 });
+        let msg = e.to_string();
+        assert!(msg.contains("lane 4"), "{msg}");
+        assert!(msg.contains("index 1"), "{msg}");
+    }
+}

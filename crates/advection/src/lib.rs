@@ -35,5 +35,5 @@ pub mod vlasov;
 
 pub use error::{Error, Result};
 pub use rotation2d::Rotation2D;
-pub use semilagrangian::{Advection1D, SplineBackend, StepTimings};
+pub use semilagrangian::{Advection1D, AdvectionDiagnostics, SplineBackend, StepTimings};
 pub use vlasov::VlasovPoisson1D1V;

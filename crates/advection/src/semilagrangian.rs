@@ -4,8 +4,10 @@ use crate::error::{Error, Result};
 use pp_bsplines::PeriodicSplineSpace;
 use pp_portable::{transpose_into_with, ExecSpace, Layout, Matrix};
 use pp_splinesolver::{
-    BuilderVersion, IterativeConfig, IterativeSplineSolver, SplineBuilder, SplineEvaluator,
+    BuilderVersion, IterativeConfig, IterativeSplineSolver, LaneReport, SplineBuilder,
+    SplineEvaluator, VerifiedBuilder, VerifyConfig,
 };
+use std::fmt;
 use std::time::{Duration, Instant};
 
 /// Which spline construction backend drives the advection — the paper's
@@ -20,6 +22,11 @@ pub enum SplineBackend {
     DirectTiled(SplineBuilder, usize),
     /// Krylov iterative solver (`pp-splinesolver::IterativeSplineSolver`).
     Iterative(Box<IterativeSplineSolver>),
+    /// Direct builder with per-lane verification, quarantine and the
+    /// factorization fallback ladder
+    /// (`pp-splinesolver::VerifiedBuilder`). Fills
+    /// [`Advection1D::last_diagnostics`] each step.
+    DirectVerified(Box<VerifiedBuilder>),
 }
 
 impl SplineBackend {
@@ -43,11 +50,24 @@ impl SplineBackend {
         )))
     }
 
+    /// Direct backend wrapped in per-lane verification (residual checks,
+    /// refinement, quarantine, fallback ladder).
+    pub fn direct_verified(
+        space: PeriodicSplineSpace,
+        version: BuilderVersion,
+        config: VerifyConfig,
+    ) -> Result<Self> {
+        Ok(SplineBackend::DirectVerified(Box::new(
+            SplineBuilder::new(space, version)?.verified(config),
+        )))
+    }
+
     fn space(&self) -> &PeriodicSplineSpace {
         match self {
             SplineBackend::Direct(b) => b.space(),
             SplineBackend::DirectTiled(b, _) => b.space(),
             SplineBackend::Iterative(s) => s.space(),
+            SplineBackend::DirectVerified(b) => b.builder().space(),
         }
     }
 
@@ -57,7 +77,62 @@ impl SplineBackend {
             SplineBackend::Direct(_) => "kokkos-kernels",
             SplineBackend::DirectTiled(..) => "kokkos-kernels-tiled",
             SplineBackend::Iterative(_) => "ginkgo",
+            SplineBackend::DirectVerified(_) => "kokkos-kernels-verified",
         }
+    }
+}
+
+/// What the verified spline backend observed during one advection step.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AdvectionDiagnostics {
+    /// Lanes whose input or solve was unrecoverable (zeroed and flagged).
+    pub quarantined_lanes: Vec<usize>,
+    /// Lanes rescued by a factorization-ladder rung.
+    pub recovered_lanes: Vec<usize>,
+    /// Lanes fixed by iterative refinement alone.
+    pub refined_lanes: Vec<usize>,
+    /// Total refinement steps spent across the batch.
+    pub refinement_steps: usize,
+    /// Worst relative residual over the healthy lanes.
+    pub worst_residual: f64,
+    /// Largest characteristic foot displacement `max |x_i − foot(i,j)|`
+    /// this step — a CFL-style sanity figure for the semi-Lagrangian step.
+    pub max_foot_displacement: f64,
+}
+
+impl AdvectionDiagnostics {
+    /// `true` when no lane needed repair or quarantine.
+    pub fn all_clean(&self) -> bool {
+        self.quarantined_lanes.is_empty()
+            && self.recovered_lanes.is_empty()
+            && self.refined_lanes.is_empty()
+    }
+
+    fn from_report(report: &LaneReport, max_foot_displacement: f64) -> Self {
+        AdvectionDiagnostics {
+            quarantined_lanes: report.quarantined_lanes(),
+            recovered_lanes: report.recovered_lanes(),
+            refined_lanes: report.refined_lanes(),
+            refinement_steps: report.total_refine_steps(),
+            worst_residual: report.worst_residual(),
+            max_foot_displacement,
+        }
+    }
+}
+
+impl fmt::Display for AdvectionDiagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} quarantined, {} recovered, {} refined ({} step(s)), \
+             worst residual {:.3e}, max foot displacement {:.3e}",
+            self.quarantined_lanes.len(),
+            self.recovered_lanes.len(),
+            self.refined_lanes.len(),
+            self.refinement_steps,
+            self.worst_residual,
+            self.max_foot_displacement
+        )
     }
 }
 
@@ -123,6 +198,8 @@ pub struct Advection1D {
     /// Scratch: interpolated result `(Nx, Nv)`.
     interp: Matrix,
     dt: f64,
+    /// Verification report of the most recent step (verified backend only).
+    last_diagnostics: Option<AdvectionDiagnostics>,
 }
 
 impl Advection1D {
@@ -149,6 +226,7 @@ impl Advection1D {
             feet: Matrix::zeros(nx, nv, Layout::Left),
             interp: Matrix::zeros(nx, nv, Layout::Left),
             dt,
+            last_diagnostics: None,
         };
         me.compute_feet();
         Ok(me)
@@ -177,6 +255,12 @@ impl Advection1D {
     /// Backend label for reports.
     pub fn backend_label(&self) -> &'static str {
         self.backend.label()
+    }
+
+    /// Verification diagnostics of the most recent step. `None` until a
+    /// [`SplineBackend::DirectVerified`] step has run.
+    pub fn last_diagnostics(&self) -> Option<&AdvectionDiagnostics> {
+        self.last_diagnostics.as_ref()
     }
 
     /// Change the time step (recomputes the characteristic feet).
@@ -218,6 +302,20 @@ impl Advection1D {
         }
         let mut t = StepTimings::default();
 
+        // Input sanitization for the verified path: the builder quarantines
+        // poisoned distribution lanes itself, but non-finite characteristic
+        // feet would poison the interpolation stage instead — reject them
+        // before any work runs.
+        if matches!(self.backend, SplineBackend::DirectVerified(_)) {
+            for j in 0..nv {
+                for i in 0..nx {
+                    if !self.feet.get(i, j).is_finite() {
+                        return Err(Error::NonFiniteInput { lane: j, index: i });
+                    }
+                }
+            }
+        }
+
         // Line 3: transpose to lane-contiguous (Nx, Nv).
         let t0 = Instant::now();
         transpose_into_with(exec, f, &mut self.eta).expect("shape fixed at construction");
@@ -225,6 +323,7 @@ impl Advection1D {
 
         // Line 4: build splines, batched over v (the measured region).
         let t0 = Instant::now();
+        let mut report = None;
         match &self.backend {
             SplineBackend::Direct(builder) => builder.solve_in_place(exec, &mut self.eta)?,
             SplineBackend::DirectTiled(builder, tile) => {
@@ -233,8 +332,21 @@ impl Advection1D {
             SplineBackend::Iterative(solver) => {
                 solver.solve_in_place(&mut self.eta, self.eta_prev.as_ref())?;
             }
+            SplineBackend::DirectVerified(builder) => {
+                report = Some(builder.solve_in_place(exec, &mut self.eta)?);
+            }
         }
         t.splines_solve = t0.elapsed();
+
+        if let Some(report) = report {
+            let mut max_disp = 0.0_f64;
+            for j in 0..nv {
+                for i in 0..nx {
+                    max_disp = max_disp.max((self.x_points[i] - self.feet.get(i, j)).abs());
+                }
+            }
+            self.last_diagnostics = Some(AdvectionDiagnostics::from_report(&report, max_disp));
+        }
 
         // Lines 6-10: follow characteristics and interpolate.
         let t0 = Instant::now();
@@ -276,6 +388,11 @@ impl Advection1D {
                     self.nv()
                 ),
             });
+        }
+        // A non-finite displacement would silently poison a whole lane's
+        // feet; reject it at the boundary for every backend.
+        if let Some(j) = displacements.iter().position(|d| !d.is_finite()) {
+            return Err(Error::NonFiniteInput { lane: j, index: 0 });
         }
         for j in 0..self.nv() {
             let d = displacements[j];
@@ -483,6 +600,86 @@ mod tests {
         let mut adv = make(32, 2, 3, BuilderVersion::Fused);
         let mut bad = Matrix::zeros(3, 32, Layout::Right);
         assert!(adv.step(&Serial, &mut bad).is_err());
+    }
+
+    #[test]
+    fn verified_backend_matches_direct_and_reports_clean() {
+        let space =
+            PeriodicSplineSpace::new(Breaks::uniform(48, 0.0, 1.0).unwrap(), 3).unwrap();
+        let velocities = vec![0.3, -0.2, 0.7];
+        let mut adv_d = Advection1D::new(
+            SplineBackend::direct(space.clone(), BuilderVersion::FusedSpmv).unwrap(),
+            velocities.clone(),
+            0.02,
+        )
+        .unwrap();
+        let mut adv_v = Advection1D::new(
+            SplineBackend::direct_verified(
+                space,
+                BuilderVersion::FusedSpmv,
+                pp_splinesolver::VerifyConfig::default(),
+            )
+            .unwrap(),
+            velocities,
+            0.02,
+        )
+        .unwrap();
+        assert_eq!(adv_v.backend_label(), "kokkos-kernels-verified");
+        assert!(adv_v.last_diagnostics().is_none());
+
+        let mut fd = adv_d.init_distribution(gaussian);
+        let mut fv = fd.clone();
+        for _ in 0..5 {
+            adv_d.step(&Parallel, &mut fd).unwrap();
+            adv_v.step(&Parallel, &mut fv).unwrap();
+        }
+        // Healthy lanes are bit-identical to the unverified direct path.
+        assert_eq!(fd.max_abs_diff(&fv), 0.0);
+
+        let diag = adv_v.last_diagnostics().unwrap();
+        assert!(diag.all_clean(), "{diag}");
+        assert!(diag.worst_residual < 1e-11);
+        // max |v·dt| = 0.7 * 0.02.
+        assert!((diag.max_foot_displacement - 0.014).abs() < 1e-12);
+    }
+
+    #[test]
+    fn verified_backend_quarantines_poisoned_lane() {
+        let space =
+            PeriodicSplineSpace::new(Breaks::uniform(32, 0.0, 1.0).unwrap(), 3).unwrap();
+        let mut adv = Advection1D::new(
+            SplineBackend::direct_verified(
+                space,
+                BuilderVersion::FusedSpmv,
+                pp_splinesolver::VerifyConfig::default(),
+            )
+            .unwrap(),
+            vec![0.2, 0.3, 0.4],
+            0.01,
+        )
+        .unwrap();
+        let mut f = adv.init_distribution(gaussian);
+        f.set(1, 10, f64::NAN); // poison lane 1 (lanes are rows of f)
+        adv.step(&Parallel, &mut f).unwrap();
+        let diag = adv.last_diagnostics().unwrap().clone();
+        assert_eq!(diag.quarantined_lanes, vec![1]);
+        // The poison was contained: every output value is finite, and the
+        // healthy lanes advected normally.
+        assert!(f.as_slice().iter().all(|v| v.is_finite()));
+        let s = diag.to_string();
+        assert!(s.contains("1 quarantined"), "{s}");
+    }
+
+    #[test]
+    fn non_finite_displacement_rejected() {
+        let mut adv = make(32, 3, 3, BuilderVersion::FusedSpmv);
+        let mut f = adv.init_distribution(gaussian);
+        let err = adv
+            .step_with_displacements(&Parallel, &mut f, &[0.01, f64::NAN, 0.01])
+            .unwrap_err();
+        assert_eq!(err, Error::NonFiniteInput { lane: 1, index: 0 });
+        // The standing feet must have been restored for later plain steps.
+        adv.step(&Parallel, &mut f).unwrap();
     }
 
     #[test]

@@ -14,10 +14,10 @@
 //! two-stream-instability demos.
 
 use crate::error::{Error, Result};
-use crate::semilagrangian::{Advection1D, SplineBackend};
+use crate::semilagrangian::{Advection1D, AdvectionDiagnostics, SplineBackend};
 use pp_bsplines::{Breaks, PeriodicSplineSpace};
 use pp_portable::{transpose_into_with, ExecSpace, Layout, Matrix};
-use pp_splinesolver::BuilderVersion;
+use pp_splinesolver::{BuilderVersion, VerifyConfig};
 
 /// Self-consistent 1D1V Vlasov–Poisson solver on a doubly periodic
 /// `(x, v)` grid.
@@ -49,6 +49,39 @@ impl VlasovPoisson1D1V {
         dt: f64,
         f0: impl Fn(f64, f64) -> f64,
     ) -> Result<Self> {
+        Self::build(nx, nv, lx, v_max, degree, dt, None, f0)
+    }
+
+    /// Like [`VlasovPoisson1D1V::new`], but both advections run the
+    /// verified direct backend: per-lane residual checks, quarantine of
+    /// poisoned lanes, and the factorization fallback ladder. Diagnostics
+    /// of the latest step are available via
+    /// [`VlasovPoisson1D1V::advection_diagnostics`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_verified(
+        nx: usize,
+        nv: usize,
+        lx: f64,
+        v_max: f64,
+        degree: usize,
+        dt: f64,
+        config: VerifyConfig,
+        f0: impl Fn(f64, f64) -> f64,
+    ) -> Result<Self> {
+        Self::build(nx, nv, lx, v_max, degree, dt, Some(config), f0)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        nx: usize,
+        nv: usize,
+        lx: f64,
+        v_max: f64,
+        degree: usize,
+        dt: f64,
+        verify: Option<VerifyConfig>,
+        f0: impl Fn(f64, f64) -> f64,
+    ) -> Result<Self> {
         let space_x = PeriodicSplineSpace::new(
             Breaks::uniform(nx, 0.0, lx).map_err(spline_err)?,
             degree,
@@ -63,13 +96,23 @@ impl VlasovPoisson1D1V {
         let x_grid = space_x.interpolation_points();
         let v_grid = space_v.interpolation_points();
 
+        let backend = |space: PeriodicSplineSpace| -> Result<SplineBackend> {
+            match &verify {
+                Some(config) => SplineBackend::direct_verified(
+                    space,
+                    BuilderVersion::FusedSpmv,
+                    config.clone(),
+                ),
+                None => SplineBackend::direct(space, BuilderVersion::FusedSpmv),
+            }
+        };
         let adv_x = Advection1D::new(
-            SplineBackend::direct(space_x, BuilderVersion::FusedSpmv)?,
+            backend(space_x)?,
             v_grid.clone(),
             dt / 2.0, // Strang half step
         )?;
         let adv_v = Advection1D::new(
-            SplineBackend::direct(space_v, BuilderVersion::FusedSpmv)?,
+            backend(space_v)?,
             vec![0.0; nx], // displacements supplied per step
             dt,
         )?;
@@ -107,6 +150,18 @@ impl VlasovPoisson1D1V {
     /// Latest electric field.
     pub fn e_field(&self) -> &[f64] {
         &self.e_field
+    }
+
+    /// Verification diagnostics of the latest `(x, v)` advection steps.
+    /// Both are `None` unless the solver was built with
+    /// [`VlasovPoisson1D1V::new_verified`] and a step has run.
+    pub fn advection_diagnostics(
+        &self,
+    ) -> (Option<&AdvectionDiagnostics>, Option<&AdvectionDiagnostics>) {
+        (
+            self.adv_x.last_diagnostics(),
+            self.adv_v.last_diagnostics(),
+        )
     }
 
     /// Charge density `ρ(x_i) = ∫ f dv` (uniform quadrature).
@@ -272,6 +327,39 @@ mod tests {
             e_max > 10.0 * e0,
             "two-stream field energy should grow: {e0:.3e} -> max {e_max:.3e}"
         );
+    }
+
+    #[test]
+    fn verified_solver_matches_plain_and_reports_clean() {
+        let init = two_stream(1.4, 0.01, 0.5);
+        let mut plain =
+            VlasovPoisson1D1V::new(32, 32, 4.0, 5.0, 3, 0.05, &init).unwrap();
+        let mut verified = VlasovPoisson1D1V::new_verified(
+            32,
+            32,
+            4.0,
+            5.0,
+            3,
+            0.05,
+            VerifyConfig::default(),
+            &init,
+        )
+        .unwrap();
+        assert_eq!(verified.advection_diagnostics(), (None, None));
+        for _ in 0..3 {
+            plain.step(&Parallel).unwrap();
+            verified.step(&Parallel).unwrap();
+        }
+        // Healthy batches are bit-identical, so the whole simulation is.
+        assert_eq!(
+            plain
+                .distribution()
+                .max_abs_diff(verified.distribution()),
+            0.0
+        );
+        let (dx, dv) = verified.advection_diagnostics();
+        assert!(dx.unwrap().all_clean());
+        assert!(dv.unwrap().all_clean());
     }
 
     #[test]

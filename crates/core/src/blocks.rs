@@ -96,6 +96,24 @@ impl QFactors {
             QFactors::GeneralBanded(_) => QClass::GeneralBanded,
         }
     }
+
+    /// Numerical-health report of the underlying factorisation.
+    pub fn health(&self) -> &pp_linalg::FactorHealth {
+        match self {
+            QFactors::PdsTridiagonal(f) => f.health(),
+            QFactors::PdsBanded(f) => f.health(),
+            QFactors::GeneralBanded(f) => f.health(),
+        }
+    }
+}
+
+/// How [`SchurBlocks::build`] picks the interior factorisation: follow the
+/// Table I prediction (with graceful fallback), or force one class with no
+/// fallback (the verified builder's ladder escalates explicitly).
+#[derive(Debug, Clone, Copy)]
+enum Choice {
+    Predicted { uniform: bool },
+    Forced(QClass),
 }
 
 /// The factored Schur decomposition of a periodic spline matrix.
@@ -120,10 +138,29 @@ impl SchurBlocks {
         Self::from_dense(&a, space.degree(), space.breaks().is_uniform())
     }
 
+    /// Like [`SchurBlocks::new`], but factor the interior with a **forced**
+    /// Table I class instead of the predicted one. Used by the verified
+    /// builder's fallback ladder to re-factor one rung at a time; errors
+    /// propagate instead of falling back (the ladder handles escalation).
+    pub fn with_class(space: &PeriodicSplineSpace, class: QClass) -> Result<Self> {
+        let a = assemble_interpolation_matrix(space);
+        Self::from_dense_forced(&a, space.degree(), class)
+    }
+
     /// Decompose an explicit dense periodic-spline-like matrix. `degree`
     /// bounds the interior bandwidth; `uniform` selects the Table I
     /// classification to attempt first.
     pub fn from_dense(a: &Matrix, degree: usize, uniform: bool) -> Result<Self> {
+        Self::build(a, degree, Choice::Predicted { uniform })
+    }
+
+    /// [`SchurBlocks::from_dense`] with a forced interior class and no
+    /// silent fallback.
+    pub fn from_dense_forced(a: &Matrix, degree: usize, class: QClass) -> Result<Self> {
+        Self::build(a, degree, Choice::Forced(class))
+    }
+
+    fn build(a: &Matrix, degree: usize, choice: Choice) -> Result<Self> {
         let n = a.nrows();
         let structure = SplineMatrixStructure::analyze(a, degree).ok_or_else(|| {
             Error::UnexpectedStructure {
@@ -139,27 +176,45 @@ impl SchurBlocks {
         // --- factor Q with the Table I solver, falling back gracefully ---
         // Table I: non-uniform meshes always take the general-banded path;
         // uniform meshes try the specialised SPD solvers first (with a
-        // graceful fallback should the numerics disagree).
-        let try_spd = uniform && structure.q_symmetric;
-        let q_factors: QFactors = if try_spd && kl <= 1 && ku <= 1 {
-            let d: Vec<f64> = (0..q_size).map(|i| a.get(i, i)).collect();
-            let e: Vec<f64> = (0..q_size.saturating_sub(1))
-                .map(|i| a.get(i + 1, i))
-                .collect();
-            match pttrf(&d, &e) {
-                Ok(f) => QFactors::PdsTridiagonal(f),
-                Err(_) => Self::factor_general(a, q_size, kl, ku)?,
+        // graceful fallback should the numerics disagree). A forced class
+        // skips both prediction and fallback: failures propagate so the
+        // caller's escalation ladder can move to the next rung.
+        let q_factors: QFactors = match choice {
+            Choice::Predicted { uniform } => {
+                let try_spd = uniform && structure.q_symmetric;
+                if try_spd && kl <= 1 && ku <= 1 {
+                    match Self::factor_tridiagonal(a, q_size) {
+                        Ok(f) => f,
+                        Err(_) => Self::factor_general(a, q_size, kl, ku)?,
+                    }
+                } else if try_spd {
+                    match Self::factor_spd_banded(a, q_size, kl, ku) {
+                        Ok(f) => f,
+                        Err(_) => Self::factor_general(a, q_size, kl, ku)?,
+                    }
+                } else {
+                    Self::factor_general(a, q_size, kl, ku)?
+                }
             }
-        } else if try_spd {
-            let kd = kl.max(ku);
-            let sym = SymBandedMatrix::from_fn(q_size, kd, |i, j| a.get(i, j))
-                .map_err(Error::Factorisation)?;
-            match pbtrf(&sym) {
-                Ok(f) => QFactors::PdsBanded(f),
-                Err(_) => Self::factor_general(a, q_size, kl, ku)?,
+            Choice::Forced(QClass::PdsTridiagonal) => {
+                if kl > 1 || ku > 1 {
+                    return Err(Error::UnexpectedStructure {
+                        detail: format!(
+                            "pttrf requires a tridiagonal interior, got kl = {kl}, ku = {ku}"
+                        ),
+                    });
+                }
+                Self::factor_tridiagonal(a, q_size)?
             }
-        } else {
-            Self::factor_general(a, q_size, kl, ku)?
+            Choice::Forced(QClass::PdsBanded) => {
+                if !structure.q_symmetric {
+                    return Err(Error::UnexpectedStructure {
+                        detail: "pbtrf requires a symmetric interior".to_string(),
+                    });
+                }
+                Self::factor_spd_banded(a, q_size, kl, ku)?
+            }
+            Choice::Forced(QClass::GeneralBanded) => Self::factor_general(a, q_size, kl, ku)?,
         };
         let q_class = q_factors.class();
         let q_solver = q_factors.as_lane_solver();
@@ -191,7 +246,7 @@ impl SchurBlocks {
                 delta_prime.set(i, j, v);
             }
         }
-        let delta_factors = getrf(&delta_prime).map_err(Error::Factorisation)?;
+        let delta_factors = getrf(&delta_prime).map_err(Error::from)?;
 
         // Sparse corner operands (paper §IV-D): threshold relative to each
         // block's largest entry.
@@ -221,6 +276,23 @@ impl SchurBlocks {
         })
     }
 
+    fn factor_tridiagonal(a: &Matrix, q_size: usize) -> Result<QFactors> {
+        let d: Vec<f64> = (0..q_size).map(|i| a.get(i, i)).collect();
+        let e: Vec<f64> = (0..q_size.saturating_sub(1))
+            .map(|i| a.get(i + 1, i))
+            .collect();
+        Ok(QFactors::PdsTridiagonal(
+            pttrf(&d, &e).map_err(Error::from)?,
+        ))
+    }
+
+    fn factor_spd_banded(a: &Matrix, q_size: usize, kl: usize, ku: usize) -> Result<QFactors> {
+        let kd = kl.max(ku);
+        let sym =
+            SymBandedMatrix::from_fn(q_size, kd, |i, j| a.get(i, j)).map_err(Error::from)?;
+        Ok(QFactors::PdsBanded(pbtrf(&sym).map_err(Error::from)?))
+    }
+
     fn factor_general(a: &Matrix, q_size: usize, kl: usize, ku: usize) -> Result<QFactors> {
         let banded = BandedMatrix::from_fn(
             q_size,
@@ -228,8 +300,8 @@ impl SchurBlocks {
             ku.max(1).min(q_size - 1),
             |i, j| a.get(i, j),
         )
-        .map_err(Error::Factorisation)?;
-        let f = gbtrf(&banded).map_err(Error::Factorisation)?;
+        .map_err(Error::from)?;
+        let f = gbtrf(&banded).map_err(Error::from)?;
         Ok(QFactors::GeneralBanded(f))
     }
 
@@ -292,6 +364,17 @@ impl SchurBlocks {
     /// Structural summary of the analysed matrix.
     pub fn structure(&self) -> &SplineMatrixStructure {
         &self.structure
+    }
+
+    /// Health report of the interior `Q` factorisation (rcond estimate and
+    /// pivot growth, captured at setup).
+    pub fn q_health(&self) -> &pp_linalg::FactorHealth {
+        self.q_factors.health()
+    }
+
+    /// Health report of the Schur-complement `δ′` factorisation.
+    pub fn delta_health(&self) -> &pp_linalg::FactorHealth {
+        self.delta_factors.health()
     }
 }
 
@@ -374,6 +457,59 @@ mod tests {
                 assert!(blocks.delta_factors().n() == blocks.border());
             }
         }
+    }
+
+    #[test]
+    fn health_is_exposed_for_every_config() {
+        for degree in [3, 4, 5] {
+            for uniform in [true, false] {
+                let blocks = SchurBlocks::new(&space(32, degree, uniform)).unwrap();
+                let q = blocks.q_health();
+                assert_eq!(q.routine, blocks.q_class().routine().replace("trs", "trf"));
+                assert!(!q.is_suspect(), "degree {degree} uniform {uniform}: {q}");
+                let d = blocks.delta_health();
+                assert_eq!(d.routine, "getrf");
+                assert!(!d.is_suspect(), "degree {degree} uniform {uniform}: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn forced_classes_build_the_ladder_rungs() {
+        // A uniform cubic space supports every rung of the direct ladder.
+        let sp = space(32, 3, true);
+        let reference = SchurBlocks::new(&sp).unwrap();
+        assert_eq!(reference.q_class(), QClass::PdsTridiagonal);
+
+        let b: Vec<f64> = (0..reference.q_size())
+            .map(|i| (i as f64 * 0.4).sin())
+            .collect();
+        let mut x_ref = b.clone();
+        reference.q_solver().solve_slice(&mut x_ref);
+
+        for class in [QClass::PdsBanded, QClass::GeneralBanded] {
+            let forced = SchurBlocks::with_class(&sp, class).unwrap();
+            assert_eq!(forced.q_class(), class, "forced {class:?}");
+            let mut x = b.clone();
+            forced.q_solver().solve_slice(&mut x);
+            for (u, v) in x.iter().zip(&x_ref) {
+                assert!((u - v).abs() < 1e-12, "forced {class:?}");
+            }
+        }
+
+        // Forcing an impossible class errors instead of silently falling
+        // back: a degree-4 interior is pentadiagonal, not tridiagonal.
+        let quartic = space(32, 4, true);
+        assert!(matches!(
+            SchurBlocks::with_class(&quartic, QClass::PdsTridiagonal),
+            Err(Error::UnexpectedStructure { .. })
+        ));
+        // And a non-uniform (asymmetric) interior rejects the SPD rung.
+        let graded = space(32, 3, false);
+        assert!(matches!(
+            SchurBlocks::with_class(&graded, QClass::PdsBanded),
+            Err(Error::UnexpectedStructure { .. })
+        ));
     }
 
     #[test]

@@ -65,6 +65,12 @@ impl ClampedSplineBuilder {
         self.bandwidths
     }
 
+    /// Numerical-health report of the banded factorisation (rcond estimate
+    /// and pivot growth, captured once at setup).
+    pub fn health(&self) -> &pp_linalg::FactorHealth {
+        self.factors.health()
+    }
+
     /// Solve `A X = B` in place: values at the interpolation points in,
     /// spline coefficients out. One batched `gbtrs` over the lanes.
     pub fn solve_in_place<E: ExecSpace>(&self, exec: &E, b: &mut Matrix) -> Result<()> {
@@ -149,5 +155,15 @@ mod tests {
         let builder = ClampedSplineBuilder::new(space(16, 3, true)).unwrap();
         let mut bad = Matrix::zeros(5, 4, Layout::Left);
         assert!(builder.solve_in_place(&Serial, &mut bad).is_err());
+    }
+
+    #[test]
+    fn health_is_exposed_and_sane() {
+        for degree in [3usize, 4, 5] {
+            let builder = ClampedSplineBuilder::new(space(24, degree, false)).unwrap();
+            let h = builder.health();
+            assert_eq!(h.routine, "gbtrf");
+            assert!(!h.is_suspect(), "deg {degree}: {h}");
+        }
     }
 }

@@ -31,6 +31,13 @@ pub enum Error {
     },
     /// A buffer-level operation (layout/transpose) failed.
     Portable(pp_portable::Error),
+    /// A non-finite (NaN/Inf) value was found in solver input.
+    NonFiniteInput {
+        /// Batch lane of the offending value.
+        lane: usize,
+        /// Position within the lane.
+        index: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -56,6 +63,10 @@ impl fmt::Display for Error {
                 "{lanes} lane(s) failed to converge (worst relative residual {worst_residual:.3e})"
             ),
             Error::Portable(e) => write!(f, "buffer operation failed: {e}"),
+            Error::NonFiniteInput { lane, index } => write!(
+                f,
+                "non-finite value in solver input at lane {lane}, index {index}"
+            ),
         }
     }
 }
@@ -64,7 +75,12 @@ impl std::error::Error for Error {}
 
 impl From<pp_linalg::Error> for Error {
     fn from(e: pp_linalg::Error) -> Self {
-        Error::Factorisation(e)
+        match e {
+            pp_linalg::Error::NonFinite { lane, index, .. } => {
+                Error::NonFiniteInput { lane, index }
+            }
+            other => Error::Factorisation(other),
+        }
     }
 }
 
@@ -97,5 +113,20 @@ mod tests {
         assert!(e.to_string().contains("getrf"));
         let e: Error = pp_bsplines::Error::UnsupportedDegree { degree: 7 }.into();
         assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn non_finite_conversion_is_specialised() {
+        let e: Error = pp_linalg::Error::NonFinite {
+            routine: "gbtrs",
+            lane: 9,
+            index: 2,
+        }
+        .into();
+        assert_eq!(e, Error::NonFiniteInput { lane: 9, index: 2 });
+        let msg = e.to_string();
+        assert!(msg.contains("non-finite"), "{msg}");
+        assert!(msg.contains("lane 9"), "{msg}");
+        assert!(msg.contains("index 2"), "{msg}");
     }
 }

@@ -1,6 +1,6 @@
 //! The Ginkgo-style iterative spline backend (§III-B of the paper).
 //!
-//! Same job as [`SplineBuilder`](crate::builder::SplineBuilder) — turn a
+//! Same job as [`SplineBuilder`] — turn a
 //! `(n, batch)` block of interpolation values into spline coefficients —
 //! but via Krylov iteration on the CSR-stored matrix, pipelined in chunks
 //! along the batch direction, with block-Jacobi preconditioning and
@@ -271,6 +271,23 @@ impl IterativeSplineSolver {
             });
         }
         Ok(logger)
+    }
+
+    /// Solve one right-hand side (no chunking, no warm start). Returns
+    /// `Ok(Some(x))` when the lane converged, `Ok(None)` when the Krylov
+    /// iteration failed on it — the verified builder's last ladder rung
+    /// treats `None` as "stay quarantined".
+    pub fn solve_single(&self, rhs: &[f64]) -> Result<Option<Vec<f64>>> {
+        if rhs.len() != self.space.num_basis() {
+            return Err(Error::ShapeMismatch {
+                expected_rows: self.space.num_basis(),
+                actual_rows: rhs.len(),
+            });
+        }
+        let solver = self.krylov(self.config.kind);
+        let mut x = vec![0.0; rhs.len()];
+        let res = solver.solve(&self.matrix, &self.precond, rhs, &mut x, &self.config.stop);
+        Ok(if res.converged { Some(x) } else { None })
     }
 
     /// One chunked pass over every lane with the configured solver.

@@ -66,6 +66,7 @@ pub mod error;
 pub mod evaluator;
 pub mod iterative_backend;
 pub mod tensor2d;
+pub mod verified;
 
 pub use blocks::{QClass, QFactors, SchurBlocks};
 pub use builder::{BuilderVersion, SplineBuilder};
@@ -74,3 +75,6 @@ pub use error::{Error, Result};
 pub use evaluator::SplineEvaluator;
 pub use tensor2d::TensorSpline2D;
 pub use iterative_backend::{IterativeConfig, IterativeSplineSolver, KrylovKind, RecoveryPolicy};
+pub use verified::{
+    FallbackRung, LaneReport, LaneVerdict, QuarantineReason, VerifiedBuilder, VerifyConfig,
+};

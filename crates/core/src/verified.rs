@@ -1,0 +1,823 @@
+//! Verified solves for the direct path: per-lane residual sampling,
+//! quarantine, iterative refinement, and a factorization fallback ladder.
+//!
+//! The direct Schur path is backward stable in exact-structure cases, but
+//! an exa-scale run feeds it meshes and right-hand sides it cannot veto:
+//! near-duplicate knots degrade the interior conditioning, and upstream
+//! physics can inject NaN/Inf into a handful of batch lanes. A
+//! [`VerifiedBuilder`] wraps [`SplineBuilder::solve_in_place`] so that one
+//! poisoned lane never poisons the batch:
+//!
+//! 1. **Sample** — after the ordinary batched solve, the relative residual
+//!    `‖b − Ax‖₂ / ‖b‖₂` of each (sampled) lane is measured against the
+//!    original assembled matrix.
+//! 2. **Refine** — lanes above tolerance get `*rfs`-style iterative
+//!    refinement ([`pp_linalg::refine_lane`]) with the primary factors.
+//! 3. **Escalate** — lanes still failing walk the direct fallback ladder
+//!    `pttrs → pbtrs → gbtrs → getrs → iterative backend`, re-solving the
+//!    original right-hand side with progressively more general (and more
+//!    expensive) factorizations.
+//! 4. **Quarantine** — lanes with non-finite input, or that defeat the
+//!    whole ladder, are zeroed and reported in the [`LaneReport`] instead
+//!    of carrying NaN into downstream stages.
+//!
+//! Healthy lanes are **bit-identical** to the unverified path: the batched
+//! kernel runs first and verification never rewrites a lane that passes.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+use crate::blocks::{QClass, SchurBlocks};
+use crate::builder::{solve_one_lane, BuilderVersion, SplineBuilder};
+use crate::error::{Error, Result};
+use crate::iterative_backend::{IterativeConfig, IterativeSplineSolver};
+use pp_bsplines::assemble_interpolation_matrix;
+use pp_iterative::solver::{norm2, residual_into};
+use pp_linalg::{getrf, refine_lane, LuFactors, RefineConfig};
+use pp_portable::{ExecSpace, Matrix, StridedMut};
+use pp_sparse::Csr;
+
+/// Tuning knobs for [`VerifiedBuilder`].
+#[derive(Debug, Clone)]
+pub struct VerifyConfig {
+    /// Accept a lane when its relative residual `‖b − Ax‖₂/‖b‖₂` is at or
+    /// below this.
+    pub residual_tol: f64,
+    /// Check every `sample_stride`-th lane (1 = every lane). Skipped lanes
+    /// are reported [`LaneVerdict::Unsampled`].
+    pub sample_stride: usize,
+    /// Refinement loop settings for lanes that fail the residual check.
+    pub refine: RefineConfig,
+    /// Escalate still-failing lanes down the factorization ladder. With
+    /// `false`, failing lanes go straight to quarantine.
+    pub use_ladder: bool,
+    /// Allow the final (iterative Krylov) rung of the ladder.
+    pub use_iterative_rung: bool,
+    /// Fault-injection hook: these lanes skip the fast residual accept and
+    /// the refinement stage, going straight to the ladder. The batched
+    /// direct path is backward stable, so exercising the ladder in tests
+    /// (and in production burn-in) needs a deterministic trigger.
+    pub probe_lanes: Vec<usize>,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        VerifyConfig {
+            residual_tol: 1e-10,
+            sample_stride: 1,
+            refine: RefineConfig::default(),
+            use_ladder: true,
+            use_iterative_rung: true,
+            probe_lanes: Vec::new(),
+        }
+    }
+}
+
+/// Why a lane was quarantined.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QuarantineReason {
+    /// The right-hand side held a NaN/Inf before any solve ran.
+    NonFiniteInput {
+        /// Position of the first offending value within the lane.
+        index: usize,
+    },
+    /// Every ladder rung produced a non-finite solution.
+    NonFiniteSolution,
+    /// The best residual over all rungs still exceeded the tolerance.
+    ResidualAboveTol {
+        /// That best (smallest) relative residual.
+        residual: f64,
+    },
+}
+
+impl fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuarantineReason::NonFiniteInput { index } => {
+                write!(f, "non-finite input at index {index}")
+            }
+            QuarantineReason::NonFiniteSolution => write!(f, "non-finite solution on every rung"),
+            QuarantineReason::ResidualAboveTol { residual } => {
+                write!(f, "best residual {residual:.3e} above tolerance")
+            }
+        }
+    }
+}
+
+/// A rung of the direct fallback ladder, ordered least to most general.
+/// The ladder starts at the rung *above* the primary factorization's
+/// class, so e.g. a `pbtrs` primary escalates straight to `gbtrs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackRung {
+    /// Re-factor the interior as positive-definite banded Cholesky.
+    Pbtrs,
+    /// Re-factor the interior as general banded LU.
+    Gbtrs,
+    /// Dense partial-pivoting LU of the *whole* matrix — no Schur split,
+    /// no structure assumptions.
+    Getrs,
+    /// The preconditioned Krylov backend as the last resort.
+    Iterative,
+}
+
+impl FallbackRung {
+    /// The routine name, matching the paper's Table I vocabulary.
+    pub fn routine(self) -> &'static str {
+        match self {
+            FallbackRung::Pbtrs => "pbtrs",
+            FallbackRung::Gbtrs => "gbtrs",
+            FallbackRung::Getrs => "getrs",
+            FallbackRung::Iterative => "iterative",
+        }
+    }
+}
+
+impl fmt::Display for FallbackRung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.routine())
+    }
+}
+
+/// What verification concluded about one batch lane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LaneVerdict {
+    /// The primary solve passed the residual check unchanged.
+    Verified {
+        /// Measured relative residual.
+        residual: f64,
+    },
+    /// The lane was skipped by `sample_stride` (its solution is the
+    /// ordinary unverified result).
+    Unsampled,
+    /// Iterative refinement with the primary factors fixed the lane.
+    Refined {
+        /// Correction steps applied.
+        steps: usize,
+        /// Relative residual after refinement.
+        residual: f64,
+    },
+    /// A ladder rung recovered the lane from the original right-hand side.
+    Recovered {
+        /// The rung that succeeded.
+        rung: FallbackRung,
+        /// Relative residual of the recovered solution.
+        residual: f64,
+    },
+    /// The lane was zeroed and flagged; see the reason.
+    Quarantined {
+        /// Why recovery was impossible.
+        reason: QuarantineReason,
+    },
+}
+
+impl LaneVerdict {
+    /// `true` unless the lane was quarantined.
+    pub fn is_healthy(&self) -> bool {
+        !matches!(self, LaneVerdict::Quarantined { .. })
+    }
+}
+
+impl fmt::Display for LaneVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaneVerdict::Verified { residual } => write!(f, "verified (residual {residual:.3e})"),
+            LaneVerdict::Unsampled => write!(f, "unsampled"),
+            LaneVerdict::Refined { steps, residual } => {
+                write!(f, "refined in {steps} step(s) (residual {residual:.3e})")
+            }
+            LaneVerdict::Recovered { rung, residual } => {
+                write!(f, "recovered via {rung} (residual {residual:.3e})")
+            }
+            LaneVerdict::Quarantined { reason } => write!(f, "quarantined: {reason}"),
+        }
+    }
+}
+
+/// Per-lane verdicts for one verified batched solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneReport {
+    verdicts: Vec<LaneVerdict>,
+}
+
+impl LaneReport {
+    /// Verdict for one lane.
+    pub fn verdict(&self, lane: usize) -> &LaneVerdict {
+        &self.verdicts[lane]
+    }
+
+    /// All verdicts, one per batch lane.
+    pub fn verdicts(&self) -> &[LaneVerdict] {
+        &self.verdicts
+    }
+
+    /// Number of lanes in the batch.
+    pub fn len(&self) -> usize {
+        self.verdicts.len()
+    }
+
+    /// `true` for an empty batch.
+    pub fn is_empty(&self) -> bool {
+        self.verdicts.is_empty()
+    }
+
+    /// Lanes that were quarantined (zeroed and flagged).
+    pub fn quarantined_lanes(&self) -> Vec<usize> {
+        self.lanes_where(|v| matches!(v, LaneVerdict::Quarantined { .. }))
+    }
+
+    /// Lanes rescued by a ladder rung.
+    pub fn recovered_lanes(&self) -> Vec<usize> {
+        self.lanes_where(|v| matches!(v, LaneVerdict::Recovered { .. }))
+    }
+
+    /// Lanes fixed by iterative refinement alone.
+    pub fn refined_lanes(&self) -> Vec<usize> {
+        self.lanes_where(|v| matches!(v, LaneVerdict::Refined { .. }))
+    }
+
+    /// `true` when every sampled lane passed on the first try.
+    pub fn all_verified(&self) -> bool {
+        self.verdicts
+            .iter()
+            .all(|v| matches!(v, LaneVerdict::Verified { .. } | LaneVerdict::Unsampled))
+    }
+
+    /// Worst relative residual over all non-quarantined, sampled lanes.
+    pub fn worst_residual(&self) -> f64 {
+        self.verdicts
+            .iter()
+            .filter_map(|v| match v {
+                LaneVerdict::Verified { residual }
+                | LaneVerdict::Refined { residual, .. }
+                | LaneVerdict::Recovered { residual, .. } => Some(*residual),
+                _ => None,
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Total refinement steps spent across the batch.
+    pub fn total_refine_steps(&self) -> usize {
+        self.verdicts
+            .iter()
+            .map(|v| match v {
+                LaneVerdict::Refined { steps, .. } => *steps,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    fn lanes_where(&self, pred: impl Fn(&LaneVerdict) -> bool) -> Vec<usize> {
+        self.verdicts
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| pred(v))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+impl fmt::Display for LaneReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} lane(s): {} refined, {} recovered, {} quarantined, worst residual {:.3e}",
+            self.len(),
+            self.refined_lanes().len(),
+            self.recovered_lanes().len(),
+            self.quarantined_lanes().len(),
+            self.worst_residual()
+        )
+    }
+}
+
+/// A [`SplineBuilder`] wrapped with residual verification, refinement,
+/// quarantine, and the factorization fallback ladder.
+///
+/// Built with [`SplineBuilder::verified`]. Fallback factorizations are
+/// constructed lazily, the first time a lane actually needs that rung, and
+/// cached for the lifetime of the builder.
+pub struct VerifiedBuilder {
+    builder: SplineBuilder,
+    /// Dense copy of the assembled interpolation matrix (reference for
+    /// residuals and the `getrs` rung).
+    dense: Matrix,
+    /// Sparse copy for fast per-lane residual evaluation.
+    matrix: Csr,
+    /// `‖A‖∞`, needed by the backward-error formula in refinement.
+    anorm_inf: f64,
+    config: VerifyConfig,
+    pb_rung: OnceLock<Option<SchurBlocks>>,
+    gb_rung: OnceLock<Option<SchurBlocks>>,
+    dense_rung: OnceLock<Option<LuFactors>>,
+    iter_rung: OnceLock<Option<IterativeSplineSolver>>,
+}
+
+impl SplineBuilder {
+    /// Wrap this builder in per-lane verification (residual sampling,
+    /// refinement, quarantine, fallback ladder). See [`VerifiedBuilder`].
+    pub fn verified(self, config: VerifyConfig) -> VerifiedBuilder {
+        let dense = assemble_interpolation_matrix(self.space());
+        let matrix = Csr::from_dense(&dense, 0.0);
+        let mut anorm_inf = 0.0_f64;
+        for i in 0..dense.nrows() {
+            let mut s = 0.0;
+            for j in 0..dense.ncols() {
+                s += dense.get(i, j).abs();
+            }
+            anorm_inf = anorm_inf.max(s);
+        }
+        VerifiedBuilder {
+            builder: self,
+            dense,
+            matrix,
+            anorm_inf,
+            config,
+            pb_rung: OnceLock::new(),
+            gb_rung: OnceLock::new(),
+            dense_rung: OnceLock::new(),
+            iter_rung: OnceLock::new(),
+        }
+    }
+}
+
+impl VerifiedBuilder {
+    /// The wrapped builder.
+    pub fn builder(&self) -> &SplineBuilder {
+        &self.builder
+    }
+
+    /// The verification settings.
+    pub fn config(&self) -> &VerifyConfig {
+        &self.config
+    }
+
+    /// Health of the primary interior factorization.
+    pub fn q_health(&self) -> &pp_linalg::FactorHealth {
+        self.builder.blocks().q_health()
+    }
+
+    /// Solve `A X = B` in place like [`SplineBuilder::solve_in_place`],
+    /// then verify, refine, recover, or quarantine each lane. Lanes that
+    /// pass the residual check keep the batched kernel's bits untouched.
+    ///
+    /// Quarantined lanes are **zeroed** so NaN/Inf cannot propagate into
+    /// downstream stages; consult the returned [`LaneReport`] to find and
+    /// re-source them.
+    pub fn solve_in_place<E: ExecSpace>(&self, exec: &E, b: &mut Matrix) -> Result<LaneReport> {
+        let n = self.builder.space().num_basis();
+        if b.nrows() != n {
+            return Err(Error::ShapeMismatch {
+                expected_rows: n,
+                actual_rows: b.nrows(),
+            });
+        }
+        let rhs = b.clone();
+        // The ordinary batched solve first: lanes that verify keep these
+        // bits. Poisoned lanes produce garbage here and are repaired or
+        // quarantined below.
+        self.builder.solve_in_place(exec, b)?;
+
+        let stride = self.config.sample_stride.max(1);
+        let mut verdicts = Vec::with_capacity(b.ncols());
+        for lane in 0..b.ncols() {
+            let probed = self.config.probe_lanes.contains(&lane);
+            if !probed && lane % stride != 0 {
+                verdicts.push(LaneVerdict::Unsampled);
+                continue;
+            }
+            let b_lane = rhs.col(lane).to_vec();
+            if let Some(index) = b_lane.iter().position(|v| !v.is_finite()) {
+                zero_lane(b, lane);
+                verdicts.push(LaneVerdict::Quarantined {
+                    reason: QuarantineReason::NonFiniteInput { index },
+                });
+                continue;
+            }
+            verdicts.push(self.verify_lane(b, lane, &b_lane, probed));
+        }
+        Ok(LaneReport { verdicts })
+    }
+
+    /// Verify one lane whose input is already known finite.
+    fn verify_lane(&self, b: &mut Matrix, lane: usize, b_lane: &[f64], probed: bool) -> LaneVerdict {
+        let mut x = b.col(lane).to_vec();
+        let rr = self.relative_residual(&x, b_lane);
+        if !probed && rr.is_finite() && rr <= self.config.residual_tol {
+            return LaneVerdict::Verified { residual: rr };
+        }
+
+        // Stage 2: iterative refinement with the primary factors.
+        if !probed {
+            let outcome = refine_lane(
+                |x, y| self.matrix.spmv_into(x, y),
+                |r| self.primary_solve(r),
+                self.anorm_inf,
+                b_lane,
+                &mut x,
+                &self.config.refine,
+            );
+            let rr = self.relative_residual(&x, b_lane);
+            if rr.is_finite() && rr <= self.config.residual_tol {
+                b.col_mut(lane).copy_from_slice(&x);
+                return LaneVerdict::Refined {
+                    steps: outcome.steps,
+                    residual: rr,
+                };
+            }
+        }
+
+        // Stage 3: the factorization ladder.
+        let mut best = if rr.is_finite() { rr } else { f64::INFINITY };
+        let mut saw_finite = rr.is_finite();
+        if self.config.use_ladder {
+            for rung in self.ladder() {
+                match self.solve_on_rung(rung, b_lane) {
+                    Some(mut y) => {
+                        let rr = self.relative_residual(&y, b_lane);
+                        if !rr.is_finite() {
+                            continue;
+                        }
+                        saw_finite = true;
+                        if rr <= self.config.residual_tol {
+                            b.col_mut(lane).copy_from_slice(&y);
+                            return LaneVerdict::Recovered { rung, residual: rr };
+                        }
+                        // Above tolerance: refine on this rung's factors
+                        // before giving up on it.
+                        refine_lane(
+                            |x, z| self.matrix.spmv_into(x, z),
+                            |r| {
+                                self.rung_solve(rung, r);
+                            },
+                            self.anorm_inf,
+                            b_lane,
+                            &mut y,
+                            &self.config.refine,
+                        );
+                        let rr = self.relative_residual(&y, b_lane);
+                        if rr.is_finite() && rr <= self.config.residual_tol {
+                            b.col_mut(lane).copy_from_slice(&y);
+                            return LaneVerdict::Recovered { rung, residual: rr };
+                        }
+                        if rr.is_finite() {
+                            best = best.min(rr);
+                        }
+                    }
+                    None => continue,
+                }
+            }
+        }
+
+        zero_lane(b, lane);
+        let reason = if saw_finite {
+            QuarantineReason::ResidualAboveTol { residual: best }
+        } else {
+            QuarantineReason::NonFiniteSolution
+        };
+        LaneVerdict::Quarantined { reason }
+    }
+
+    fn relative_residual(&self, x: &[f64], b: &[f64]) -> f64 {
+        let mut r = vec![0.0; b.len()];
+        residual_into(&self.matrix, x, b, &mut r);
+        let nb = norm2(b);
+        if nb > 0.0 {
+            norm2(&r) / nb
+        } else {
+            norm2(&r)
+        }
+    }
+
+    /// Solve one contiguous lane with the primary Schur factors (the same
+    /// arithmetic as the fused kernel).
+    fn primary_solve(&self, lane: &mut [f64]) {
+        schur_solve_slice(
+            self.builder.blocks(),
+            self.builder.version() == BuilderVersion::FusedSpmv,
+            lane,
+        );
+    }
+
+    /// The rungs above the primary factorization's class, in order.
+    fn ladder(&self) -> Vec<FallbackRung> {
+        let mut rungs = Vec::new();
+        match self.builder.blocks().q_class() {
+            QClass::PdsTridiagonal => {
+                rungs.push(FallbackRung::Pbtrs);
+                rungs.push(FallbackRung::Gbtrs);
+            }
+            QClass::PdsBanded => rungs.push(FallbackRung::Gbtrs),
+            QClass::GeneralBanded => {}
+        }
+        rungs.push(FallbackRung::Getrs);
+        if self.config.use_iterative_rung {
+            rungs.push(FallbackRung::Iterative);
+        }
+        rungs
+    }
+
+    /// Solve `A y = b_lane` from scratch on one rung. `None` when the rung
+    /// cannot be built (e.g. forcing `pbtrs` on a non-symmetric interior)
+    /// or its solver does not converge.
+    fn solve_on_rung(&self, rung: FallbackRung, b_lane: &[f64]) -> Option<Vec<f64>> {
+        let mut y = b_lane.to_vec();
+        match rung {
+            FallbackRung::Pbtrs | FallbackRung::Gbtrs => {
+                let blocks = self.schur_rung(rung)?;
+                schur_solve_slice(blocks, false, &mut y);
+                Some(y)
+            }
+            FallbackRung::Getrs => {
+                let f = self
+                    .dense_rung
+                    .get_or_init(|| getrf(&self.dense).ok())
+                    .as_ref()?;
+                f.solve_slice(&mut y);
+                Some(y)
+            }
+            FallbackRung::Iterative => {
+                let solver = self
+                    .iter_rung
+                    .get_or_init(|| {
+                        IterativeSplineSolver::new(
+                            self.builder.space().clone(),
+                            IterativeConfig::cpu(),
+                        )
+                        .ok()
+                    })
+                    .as_ref()?;
+                solver.solve_single(b_lane).ok().flatten()
+            }
+        }
+    }
+
+    /// Re-solve in place with an already-built rung (refinement callback).
+    fn rung_solve(&self, rung: FallbackRung, r: &mut [f64]) {
+        match rung {
+            FallbackRung::Pbtrs | FallbackRung::Gbtrs => {
+                if let Some(blocks) = self.schur_rung(rung) {
+                    schur_solve_slice(blocks, false, r);
+                }
+            }
+            FallbackRung::Getrs => {
+                if let Some(f) = self.dense_rung.get().and_then(Option::as_ref) {
+                    f.solve_slice(r);
+                }
+            }
+            FallbackRung::Iterative => {
+                if let Some(solver) = self.iter_rung.get().and_then(Option::as_ref) {
+                    if let Ok(Some(y)) = solver.solve_single(r) {
+                        r.copy_from_slice(&y);
+                    }
+                }
+            }
+        }
+    }
+
+    fn schur_rung(&self, rung: FallbackRung) -> Option<&SchurBlocks> {
+        let (cell, class) = match rung {
+            FallbackRung::Pbtrs => (&self.pb_rung, QClass::PdsBanded),
+            FallbackRung::Gbtrs => (&self.gb_rung, QClass::GeneralBanded),
+            _ => return None,
+        };
+        cell.get_or_init(|| SchurBlocks::with_class(self.builder.space(), class).ok())
+            .as_ref()
+    }
+}
+
+/// Run the fused per-lane Schur solve on one contiguous slice.
+fn schur_solve_slice(blocks: &SchurBlocks, sparse: bool, lane: &mut [f64]) {
+    let q = blocks.q_size();
+    let (s0, s1) = lane.split_at_mut(q);
+    let mut b0 = StridedMut::from_slice(s0);
+    let mut b1 = StridedMut::from_slice(s1);
+    solve_one_lane(blocks, sparse, &mut b0, &mut b1);
+}
+
+fn zero_lane(b: &mut Matrix, lane: usize) {
+    let n = b.nrows();
+    b.col_mut(lane).copy_from_slice(&vec![0.0; n]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_bsplines::{Breaks, PeriodicSplineSpace};
+    use pp_portable::{Layout, Parallel, TestRng};
+
+    fn space(n: usize, degree: usize, uniform: bool) -> PeriodicSplineSpace {
+        let breaks = if uniform {
+            Breaks::uniform(n, 0.0, 1.0).unwrap()
+        } else {
+            Breaks::graded(n, 0.0, 1.0, 0.6).unwrap()
+        };
+        PeriodicSplineSpace::new(breaks, degree).unwrap()
+    }
+
+    fn random_rhs(n: usize, batch: usize, seed: u64) -> Matrix {
+        let mut rng = TestRng::seed_from_u64(seed);
+        Matrix::from_fn(n, batch, Layout::Left, |_, _| rng.gen_range(-2.0..2.0))
+    }
+
+    #[test]
+    fn healthy_lanes_bit_identical_and_nan_lanes_quarantined() {
+        let sp = space(32, 3, true);
+        let plain = SplineBuilder::new(sp.clone(), BuilderVersion::FusedSpmv).unwrap();
+        let verified = SplineBuilder::new(sp, BuilderVersion::FusedSpmv)
+            .unwrap()
+            .verified(VerifyConfig::default());
+
+        let mut rhs = random_rhs(32, 9, 42);
+        rhs.set(5, 2, f64::NAN);
+        rhs.set(0, 7, f64::INFINITY);
+
+        let mut reference = rhs.clone();
+        plain.solve_in_place(&Parallel, &mut reference).unwrap();
+
+        let mut x = rhs.clone();
+        let report = verified.solve_in_place(&Parallel, &mut x).unwrap();
+
+        assert_eq!(report.quarantined_lanes(), vec![2, 7]);
+        assert_eq!(
+            *report.verdict(2),
+            LaneVerdict::Quarantined {
+                reason: QuarantineReason::NonFiniteInput { index: 5 }
+            }
+        );
+        assert_eq!(
+            *report.verdict(7),
+            LaneVerdict::Quarantined {
+                reason: QuarantineReason::NonFiniteInput { index: 0 }
+            }
+        );
+        for lane in [0, 1, 3, 4, 5, 6, 8] {
+            assert!(report.verdict(lane).is_healthy());
+            for i in 0..32 {
+                // Bit-identical to the unverified batched kernel.
+                assert_eq!(x.get(i, lane), reference.get(i, lane), "lane {lane} row {i}");
+            }
+        }
+        // Quarantined lanes are zeroed, not NaN.
+        for i in 0..32 {
+            assert_eq!(x.get(i, 2), 0.0);
+            assert_eq!(x.get(i, 7), 0.0);
+        }
+    }
+
+    #[test]
+    fn probe_lanes_recover_via_first_rung_above_primary() {
+        // Uniform cubic => primary pttrs; first ladder rung is pbtrs.
+        let sp = space(32, 3, true);
+        let config = VerifyConfig {
+            probe_lanes: vec![3],
+            ..VerifyConfig::default()
+        };
+        let verified = SplineBuilder::new(sp.clone(), BuilderVersion::FusedSpmv)
+            .unwrap()
+            .verified(config);
+        let plain = SplineBuilder::new(sp, BuilderVersion::FusedSpmv).unwrap();
+
+        let rhs = random_rhs(32, 5, 7);
+        let mut x = rhs.clone();
+        let report = verified.solve_in_place(&Parallel, &mut x).unwrap();
+
+        match report.verdict(3) {
+            LaneVerdict::Recovered { rung, residual } => {
+                assert_eq!(*rung, FallbackRung::Pbtrs);
+                assert!(*residual <= 1e-10);
+            }
+            other => panic!("expected recovery via pbtrs, got {other}"),
+        }
+        // The recovered solution still matches the ordinary one closely.
+        let mut reference = rhs.clone();
+        plain.solve_in_place(&Parallel, &mut reference).unwrap();
+        for i in 0..32 {
+            assert!((x.get(i, 3) - reference.get(i, 3)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn non_uniform_probe_escalates_to_dense_getrs() {
+        // Graded mesh => primary gbtrs; only getrs and iterative remain.
+        let sp = space(24, 4, false);
+        let config = VerifyConfig {
+            probe_lanes: vec![0],
+            ..VerifyConfig::default()
+        };
+        let verified = SplineBuilder::new(sp, BuilderVersion::Fused)
+            .unwrap()
+            .verified(config);
+        let rhs = random_rhs(24, 2, 11);
+        let mut x = rhs.clone();
+        let report = verified.solve_in_place(&Parallel, &mut x).unwrap();
+        match report.verdict(0) {
+            LaneVerdict::Recovered { rung, .. } => assert_eq!(*rung, FallbackRung::Getrs),
+            other => panic!("expected recovery via getrs, got {other}"),
+        }
+        assert!(report.verdict(1).is_healthy());
+    }
+
+    #[test]
+    fn ladder_disabled_quarantines_probed_lane() {
+        let sp = space(24, 3, true);
+        let config = VerifyConfig {
+            probe_lanes: vec![1],
+            use_ladder: false,
+            ..VerifyConfig::default()
+        };
+        let verified = SplineBuilder::new(sp, BuilderVersion::FusedSpmv)
+            .unwrap()
+            .verified(config);
+        let mut x = random_rhs(24, 3, 5);
+        let report = verified.solve_in_place(&Parallel, &mut x).unwrap();
+        assert_eq!(report.quarantined_lanes(), vec![1]);
+        assert!(matches!(
+            report.verdict(1),
+            LaneVerdict::Quarantined {
+                reason: QuarantineReason::ResidualAboveTol { .. }
+            }
+        ));
+    }
+
+    #[test]
+    fn sample_stride_skips_lanes() {
+        let sp = space(24, 3, true);
+        let config = VerifyConfig {
+            sample_stride: 3,
+            ..VerifyConfig::default()
+        };
+        let verified = SplineBuilder::new(sp, BuilderVersion::FusedSpmv)
+            .unwrap()
+            .verified(config);
+        let mut x = random_rhs(24, 7, 9);
+        let report = verified.solve_in_place(&Parallel, &mut x).unwrap();
+        for lane in 0..7 {
+            if lane % 3 == 0 {
+                assert!(matches!(report.verdict(lane), LaneVerdict::Verified { .. }));
+            } else {
+                assert_eq!(*report.verdict(lane), LaneVerdict::Unsampled);
+            }
+        }
+        assert!(report.all_verified());
+    }
+
+    #[test]
+    fn clean_batch_all_verified_with_tiny_residuals() {
+        for degree in [3usize, 4, 5] {
+            for uniform in [true, false] {
+                let sp = space(28, degree, uniform);
+                let verified = SplineBuilder::new(sp, BuilderVersion::FusedSpmv)
+                    .unwrap()
+                    .verified(VerifyConfig::default());
+                let mut x = random_rhs(28, 6, degree as u64);
+                let report = verified.solve_in_place(&Parallel, &mut x).unwrap();
+                assert!(
+                    report.all_verified(),
+                    "deg {degree} uniform {uniform}: {report}"
+                );
+                assert!(report.worst_residual() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let sp = space(16, 3, true);
+        let verified = SplineBuilder::new(sp, BuilderVersion::FusedSpmv)
+            .unwrap()
+            .verified(VerifyConfig::default());
+        let mut bad = Matrix::zeros(17, 2, Layout::Left);
+        assert!(verified.solve_in_place(&Parallel, &mut bad).is_err());
+    }
+
+    #[test]
+    fn report_display_and_accessors() {
+        let report = LaneReport {
+            verdicts: vec![
+                LaneVerdict::Verified { residual: 1e-14 },
+                LaneVerdict::Refined {
+                    steps: 2,
+                    residual: 1e-13,
+                },
+                LaneVerdict::Recovered {
+                    rung: FallbackRung::Gbtrs,
+                    residual: 1e-12,
+                },
+                LaneVerdict::Quarantined {
+                    reason: QuarantineReason::NonFiniteSolution,
+                },
+            ],
+        };
+        assert_eq!(report.len(), 4);
+        assert_eq!(report.refined_lanes(), vec![1]);
+        assert_eq!(report.recovered_lanes(), vec![2]);
+        assert_eq!(report.quarantined_lanes(), vec![3]);
+        assert_eq!(report.total_refine_steps(), 2);
+        assert!(!report.all_verified());
+        assert!((report.worst_residual() - 1e-12).abs() < 1e-25);
+        let s = report.to_string();
+        assert!(s.contains("1 quarantined"), "{s}");
+        let v = report.verdict(3).to_string();
+        assert!(v.contains("non-finite solution"), "{v}");
+    }
+}

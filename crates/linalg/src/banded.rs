@@ -10,6 +10,7 @@
 //! bandwidth to `kl + ku`, so [`BandedLu`] carries `2·kl + ku + 1` rows.
 
 use crate::error::{Error, Result};
+use crate::health::{check_finite_input, check_solve_slice, rcond_estimate, FactorHealth};
 use pp_portable::StridedMut;
 
 /// A general banded matrix in LAPACK `gb` storage.
@@ -140,12 +141,18 @@ pub struct BandedLu {
     /// Expanded band storage: `A(i, j)` at `ab[kl + ku + i - j][j]`.
     ab: Vec<f64>,
     ipiv: Vec<usize>,
+    health: FactorHealth,
 }
 
 impl BandedLu {
     /// Matrix order.
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// Numerical-health report captured at factorisation time (`gbcon`).
+    pub fn health(&self) -> &FactorHealth {
+        &self.health
     }
 
     /// Effective upper bandwidth of `U` (`kl + ku` after pivoting).
@@ -174,9 +181,16 @@ impl BandedLu {
     }
 
     /// Solve `A x = b` in place for one lane (`gbtrs`, no transpose).
+    ///
+    /// The lane length must equal the matrix order `n`.
+    ///
+    /// # Panics (debug)
+    /// Debug builds assert `b.len() == self.n()`; release builds make the
+    /// caller responsible. Use [`BandedLu::try_solve_slice`] for a checked
+    /// variant.
     pub fn solve_lane(&self, b: &mut StridedMut<'_>) {
         let n = self.n;
-        debug_assert_eq!(b.len(), n);
+        debug_assert_eq!(b.len(), n, "gbtrs: lane length must equal matrix order");
         let kl = self.kl;
         let kv = self.kl + self.ku;
         // Forward: apply P and L (unit lower, bandwidth kl).
@@ -210,8 +224,54 @@ impl BandedLu {
     }
 
     /// Solve into a plain slice (setup-time convenience).
+    ///
+    /// # Panics (debug)
+    /// Debug builds assert `b.len() == self.n()` (see
+    /// [`BandedLu::solve_lane`]).
     pub fn solve_slice(&self, b: &mut [f64]) {
         self.solve_lane(&mut StridedMut::from_slice(b));
+    }
+
+    /// Checked solve: verifies the length contract and rejects non-finite
+    /// right-hand sides with a typed error.
+    pub fn try_solve_slice(&self, b: &mut [f64]) -> Result<()> {
+        check_solve_slice("gbtrs", self.n(), b)?;
+        self.solve_slice(b);
+        Ok(())
+    }
+
+    /// Solve `Aᵀ x = b` in place (LAPACK `gbtrs` with `trans = 'T'`):
+    /// solve `Uᵀ w = b` forward, `Lᵀ v = w` backward, then apply the row
+    /// interchanges in reverse. Used by the condition estimator.
+    pub fn solve_transposed_slice(&self, b: &mut [f64]) {
+        let n = self.n;
+        debug_assert_eq!(b.len(), n, "gbtrs^T: lane length must equal matrix order");
+        let kl = self.kl;
+        let kv = self.kl + self.ku;
+        // Uᵀ (lower triangular, bandwidth kv): forward substitution.
+        for j in 0..n {
+            let mut s = b[j];
+            let lo = j.saturating_sub(kv);
+            for i in lo..j {
+                s -= self.factor(i, j) * b[i];
+            }
+            b[j] = s / self.factor(j, j);
+        }
+        // Lᵀ (unit upper triangular, bandwidth kl) with the interchanges
+        // replayed in reverse, exactly undoing the forward sweep of
+        // `solve_lane`.
+        for j in (0..n.saturating_sub(1)).rev() {
+            let hi = (j + kl).min(n - 1);
+            let mut s = b[j];
+            for i in j + 1..=hi {
+                s -= self.factor(i, j) * b[i];
+            }
+            b[j] = s;
+            let p = self.ipiv[j];
+            if p != j {
+                b.swap(j, p);
+            }
+        }
     }
 }
 
@@ -220,16 +280,25 @@ impl BandedLu {
 pub fn gbtrf(a: &BandedMatrix) -> Result<BandedLu> {
     let n = a.n();
     let (kl, ku) = (a.kl(), a.ku());
+    check_finite_input("gbtrf", a.ab.iter().copied())?;
     let kv = kl + ku;
     let ldab = 2 * kl + ku + 1;
     let mut ab = vec![0.0; ldab * n];
-    // Copy the original band into the expanded storage.
+    // Copy the original band into the expanded storage; capture ‖A‖₁ and
+    // max|A| for the health report on the way through.
+    let mut anorm = 0.0_f64;
+    let mut amax = 0.0_f64;
     for j in 0..n {
         let lo = j.saturating_sub(ku);
         let hi = (j + kl).min(n.saturating_sub(1));
+        let mut col = 0.0;
         for i in lo..=hi {
-            ab[(kl + ku + i - j) + j * ldab] = a.get(i, j);
+            let v = a.get(i, j);
+            ab[(kl + ku + i - j) + j * ldab] = v;
+            col += v.abs();
+            amax = amax.max(v.abs());
         }
+        anorm = anorm.max(col);
     }
     let mut ipiv = vec![0usize; n];
     let at = |ab: &Vec<f64>, i: usize, j: usize| ab[(kl + ku + i - j) + j * ldab];
@@ -281,13 +350,38 @@ pub fn gbtrf(a: &BandedMatrix) -> Result<BandedLu> {
             }
         }
     }
-    Ok(BandedLu {
+    // Classical pivot growth max|U| / max|A| over the (expanded) upper
+    // band of the factors.
+    let mut umax = 0.0_f64;
+    for j in 0..n {
+        let lo = j.saturating_sub(kv);
+        for i in lo..=j {
+            umax = umax.max(ab[(kl + ku + i - j) + j * ldab].abs());
+        }
+    }
+    let pivot_growth = if amax > 0.0 { umax / amax } else { 1.0 };
+
+    let mut f = BandedLu {
         n,
         kl,
         ku,
         ab,
         ipiv,
-    })
+        health: FactorHealth {
+            routine: "gbtrf",
+            anorm,
+            rcond: 1.0,
+            pivot_growth,
+        },
+    };
+    let rcond = rcond_estimate(
+        n,
+        anorm,
+        |v| f.solve_slice(v),
+        |v| f.solve_transposed_slice(v),
+    );
+    f.health.rcond = rcond;
+    Ok(f)
 }
 
 #[cfg(test)]
@@ -415,6 +509,64 @@ mod tests {
         for (u, v) in x_gb.iter().zip(&x_pt) {
             assert!((u - v).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn transpose_solve_matches_dense_reference() {
+        let mut rng = TestRng::seed_from_u64(88);
+        for (n, kl, ku) in [(1usize, 0usize, 0usize), (6, 1, 2), (14, 3, 1), (25, 2, 2)] {
+            let a = random_banded(&mut rng, n, kl, ku);
+            let dense = a.to_dense();
+            let at = pp_portable::Matrix::from_fn(n, n, pp_portable::Layout::Right, |i, j| {
+                dense.get(j, i)
+            });
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let expected = solve_dense(&at, &b).unwrap();
+            let f = gbtrf(&a).unwrap();
+            let mut x = b;
+            f.solve_transposed_slice(&mut x);
+            for (u, v) in x.iter().zip(&expected) {
+                assert!((u - v).abs() < 1e-10, "(n,kl,ku)=({n},{kl},{ku})");
+            }
+        }
+    }
+
+    #[test]
+    fn health_and_checked_solves() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let a = random_banded(&mut rng, 15, 2, 2);
+        let f = gbtrf(&a).unwrap();
+        let h = f.health();
+        assert_eq!(h.routine, "gbtrf");
+        assert!(h.rcond > 1e-4, "rcond {}", h.rcond);
+        assert!(h.pivot_growth < 10.0, "growth {}", h.pivot_growth);
+        assert!(!h.is_suspect());
+
+        let mut short = vec![1.0; 3];
+        assert!(matches!(
+            f.try_solve_slice(&mut short),
+            Err(Error::ShapeMismatch { op: "gbtrs", .. })
+        ));
+        let mut inf = vec![0.0; 15];
+        inf[4] = f64::NEG_INFINITY;
+        assert!(matches!(
+            f.try_solve_slice(&mut inf),
+            Err(Error::NonFinite {
+                routine: "gbtrs",
+                index: 4,
+                ..
+            })
+        ));
+
+        let mut sick = BandedMatrix::new(4, 1, 1).unwrap();
+        sick.set(0, 0, f64::NAN).unwrap();
+        assert!(matches!(
+            gbtrf(&sick),
+            Err(Error::NonFinite {
+                routine: "gbtrf",
+                ..
+            })
+        ));
     }
 
     /// Property: solve(A, A·x) == x for random diagonally-dominant

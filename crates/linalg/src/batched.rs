@@ -59,6 +59,39 @@ pub fn solve_all<E: ExecSpace>(exec: &E, solver: &dyn LaneSolver, b: &mut Matrix
     exec.for_each_lane_mut(b, |_, mut lane| solver.solve_lane(&mut lane));
 }
 
+/// Checked batched solve: rejects a shape mismatch with
+/// [`crate::Error::ShapeMismatch`] and scans every lane for non-finite values
+/// (reporting the offending **batch lane** in
+/// [`crate::Error::NonFinite`]) before touching any data, so a poisoned lane
+/// fails loudly instead of silently propagating NaN through the batch.
+pub fn try_solve_all<E: ExecSpace>(
+    exec: &E,
+    solver: &dyn LaneSolver,
+    b: &mut Matrix,
+) -> crate::Result<()> {
+    if b.nrows() != solver.n() {
+        return Err(crate::Error::ShapeMismatch {
+            op: "try_solve_all",
+            detail: format!(
+                "rhs has {} rows, matrix order is {}",
+                b.nrows(),
+                solver.n()
+            ),
+        });
+    }
+    for lane in 0..b.ncols() {
+        if let Some(index) = b.col(lane).iter().position(|v| !v.is_finite()) {
+            return Err(crate::Error::NonFinite {
+                routine: solver.routine(),
+                lane,
+                index,
+            });
+        }
+    }
+    solve_all(exec, solver, b);
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,5 +225,42 @@ mod tests {
         let f = pttrf(&[2.0, 2.0], &[0.5]).unwrap();
         let mut b = Matrix::zeros(3, 4, Layout::Left);
         pttrs(&Serial, &f, &mut b);
+    }
+
+    #[test]
+    fn try_solve_all_reports_poisoned_lane_and_leaves_batch_untouched() {
+        let n = 5;
+        let f = pttrf(&vec![4.0; n], &vec![1.0; n - 1]).unwrap();
+        let mut b = Matrix::zeros(n, 6, Layout::Left);
+        b.fill(1.0);
+        b.set(2, 4, f64::NAN);
+        let before = b.clone();
+        let err = try_solve_all(&Serial, &f, &mut b).unwrap_err();
+        assert_eq!(
+            err,
+            crate::Error::NonFinite {
+                routine: "pttrs",
+                lane: 4,
+                index: 2,
+            }
+        );
+        // The scan runs before any solve: data is untouched on error.
+        assert_eq!(b.max_abs_diff(&before), 0.0);
+
+        // Shape mismatch is typed, not a panic.
+        let mut wrong = Matrix::zeros(n + 1, 2, Layout::Left);
+        assert!(matches!(
+            try_solve_all(&Serial, &f, &mut wrong),
+            Err(crate::Error::ShapeMismatch { .. })
+        ));
+
+        // Clean batch solves fine.
+        let mut clean = Matrix::zeros(n, 3, Layout::Left);
+        clean.fill(1.0);
+        try_solve_all(&Parallel, &f, &mut clean).unwrap();
+        let mut reference = Matrix::zeros(n, 3, Layout::Left);
+        reference.fill(1.0);
+        pttrs(&Serial, &f, &mut reference);
+        assert_eq!(clean.max_abs_diff(&reference), 0.0);
     }
 }

@@ -39,6 +39,17 @@ pub enum Error {
         /// Offending bandwidth.
         bandwidth: usize,
     },
+    /// A non-finite (NaN/Inf) value was found in an input. Factorisations
+    /// report `lane == 0` (they see one matrix, not a batch); checked lane
+    /// solves report the batch lane the value sat in.
+    NonFinite {
+        /// Routine that found the value.
+        routine: &'static str,
+        /// Batch lane of the offending value (0 for factorisation inputs).
+        lane: usize,
+        /// Position within the lane (or flat storage index for matrices).
+        index: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -59,6 +70,14 @@ impl fmt::Display for Error {
             Error::InvalidBandwidth { op, n, bandwidth } => {
                 write!(f, "{op}: bandwidth {bandwidth} invalid for order {n}")
             }
+            Error::NonFinite {
+                routine,
+                lane,
+                index,
+            } => write!(
+                f,
+                "{routine}: non-finite value at lane {lane}, index {index}"
+            ),
         }
     }
 }
@@ -85,5 +104,19 @@ mod tests {
             value: -1.0,
         };
         assert!(e.to_string().contains("positive definite"));
+    }
+
+    #[test]
+    fn non_finite_message_carries_location() {
+        let e = Error::NonFinite {
+            routine: "gbtrs",
+            lane: 17,
+            index: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("gbtrs"), "{msg}");
+        assert!(msg.contains("non-finite"), "{msg}");
+        assert!(msg.contains("lane 17"), "{msg}");
+        assert!(msg.contains("index 3"), "{msg}");
     }
 }

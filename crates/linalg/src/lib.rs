@@ -63,19 +63,23 @@ pub mod banded;
 pub mod batched;
 pub mod dense;
 pub mod error;
+pub mod health;
 pub mod kernels;
 pub mod lu;
 pub mod naive;
 pub mod pb;
 pub mod pt;
+pub mod refine;
 pub mod solver;
 pub mod tiled;
 
 pub use banded::{gbtrf, BandedLu, BandedMatrix};
 pub use dense::{gemm, gemv};
 pub use error::{Error, Result};
+pub use health::{estimate_inverse_onenorm, rcond_estimate, FactorHealth};
 pub use lu::{getrf, LuFactors};
 pub use pb::{pbtrf, CholeskyBanded, SymBandedMatrix};
 pub use pt::{pttrf, PtFactors};
+pub use refine::{refine_lane, RefineConfig, RefineOutcome};
 pub use solver::LaneSolver;
 pub use tiled::{gbtrs_tiled, pbtrs_tiled, pttrs_tiled};

@@ -6,6 +6,7 @@
 //! solve is [`kernels::getrs_lane`](crate::kernels::getrs_lane).
 
 use crate::error::{Error, Result};
+use crate::health::{check_finite_input, check_solve_slice, rcond_estimate, FactorHealth};
 use crate::kernels::getrs_lane;
 use pp_portable::{Layout, Matrix, StridedMut};
 
@@ -15,6 +16,7 @@ use pp_portable::{Layout, Matrix, StridedMut};
 pub struct LuFactors {
     lu: Matrix,
     ipiv: Vec<usize>,
+    health: FactorHealth,
 }
 
 impl LuFactors {
@@ -34,14 +36,72 @@ impl LuFactors {
         &self.ipiv
     }
 
+    /// Numerical-health report captured at factorisation time (`gecon`).
+    pub fn health(&self) -> &FactorHealth {
+        &self.health
+    }
+
     /// Solve `A x = b` in place for one lane (`getrs`).
+    ///
+    /// The lane length must equal the matrix order `n`.
+    ///
+    /// # Panics (debug)
+    /// Debug builds assert `b.len() == self.n()`; release builds make the
+    /// caller responsible. Use [`LuFactors::try_solve_slice`] for a checked
+    /// variant.
     pub fn solve_lane(&self, b: &mut StridedMut<'_>) {
+        debug_assert_eq!(
+            b.len(),
+            self.n(),
+            "getrs: lane length must equal matrix order"
+        );
         getrs_lane(&self.lu, &self.ipiv, b);
     }
 
     /// Solve into a plain slice (convenience for setup-time work).
+    ///
+    /// # Panics (debug)
+    /// Debug builds assert `b.len() == self.n()` (see
+    /// [`LuFactors::solve_lane`]).
     pub fn solve_slice(&self, b: &mut [f64]) {
         self.solve_lane(&mut StridedMut::from_slice(b));
+    }
+
+    /// Checked solve: verifies the length contract and rejects non-finite
+    /// right-hand sides with a typed error instead of silently propagating
+    /// NaN through the substitution.
+    pub fn try_solve_slice(&self, b: &mut [f64]) -> Result<()> {
+        check_solve_slice("getrs", self.n(), b)?;
+        self.solve_slice(b);
+        Ok(())
+    }
+
+    /// Solve `Aᵀ x = b` in place (LAPACK `getrs` with `trans = 'T'`):
+    /// `Aᵀ = Uᵀ Lᵀ P`, so solve `Uᵀ w = b` forward, `Lᵀ v = w` backward,
+    /// then apply the pivots in reverse. Used by the condition estimator.
+    pub fn solve_transposed_slice(&self, b: &mut [f64]) {
+        let n = self.n();
+        debug_assert_eq!(b.len(), n, "getrs^T: lane length must equal matrix order");
+        // Uᵀ is lower triangular: forward substitution.
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= self.lu.get(k, i) * b[k];
+            }
+            b[i] = s / self.lu.get(i, i);
+        }
+        // Lᵀ is unit upper triangular: backward substitution.
+        for i in (0..n).rev() {
+            let mut s = b[i];
+            for k in i + 1..n {
+                s -= self.lu.get(k, i) * b[k];
+            }
+            b[i] = s;
+        }
+        // Undo P·A ordering: apply the interchanges in reverse.
+        for i in (0..n).rev() {
+            b.swap(i, self.ipiv[i]);
+        }
     }
 }
 
@@ -59,6 +119,27 @@ pub fn getrf(a: &Matrix) -> Result<LuFactors> {
     // Work in row-major for cache-friendly row operations.
     let mut lu = a.to_layout(Layout::Right);
     let mut ipiv = vec![0usize; n];
+
+    // Health capture: ‖A‖₁ and max|A| before elimination overwrites A,
+    // plus a non-finite input scan (index = flat row-major position).
+    check_finite_input(
+        "getrf",
+        (0..n).flat_map(|i| (0..n).map(move |j| (i, j))).map({
+            let lu = &lu;
+            move |(i, j)| lu.get(i, j)
+        }),
+    )?;
+    let mut anorm = 0.0_f64;
+    let mut amax = 0.0_f64;
+    for j in 0..n {
+        let mut col = 0.0;
+        for i in 0..n {
+            let v = lu.get(i, j).abs();
+            col += v;
+            amax = amax.max(v);
+        }
+        anorm = anorm.max(col);
+    }
 
     for k in 0..n {
         // Pivot: largest magnitude in column k, rows k..n.
@@ -98,7 +179,34 @@ pub fn getrf(a: &Matrix) -> Result<LuFactors> {
             }
         }
     }
-    Ok(LuFactors { lu, ipiv })
+    // Classical pivot growth max|U| / max|A|: ≈ 1 for a stable
+    // elimination, ≫ 1 when partial pivoting failed to contain growth.
+    let mut umax = 0.0_f64;
+    for j in 0..n {
+        for i in 0..=j {
+            umax = umax.max(lu.get(i, j).abs());
+        }
+    }
+    let pivot_growth = if amax > 0.0 { umax / amax } else { 1.0 };
+
+    let mut f = LuFactors {
+        lu,
+        ipiv,
+        health: FactorHealth {
+            routine: "getrf",
+            anorm,
+            rcond: 1.0,
+            pivot_growth,
+        },
+    };
+    let rcond = rcond_estimate(
+        n,
+        anorm,
+        |v| f.solve_slice(v),
+        |v| f.solve_transposed_slice(v),
+    );
+    f.health.rcond = rcond;
+    Ok(f)
 }
 
 #[cfg(test)]
@@ -175,5 +283,91 @@ mod tests {
         let mut x = vec![8.0];
         f.solve_slice(&mut x);
         assert_eq!(x, vec![2.0]);
+    }
+
+    #[test]
+    fn health_reports_well_conditioned_matrix() {
+        let mut rng = TestRng::seed_from_u64(4);
+        let a = random_nonsingular(&mut rng, 10);
+        let f = getrf(&a).unwrap();
+        let h = f.health();
+        assert_eq!(h.routine, "getrf");
+        assert!(h.rcond > 1e-4, "rcond {}", h.rcond);
+        assert!(h.pivot_growth < 10.0, "growth {}", h.pivot_growth);
+        assert!(!h.is_suspect());
+        // anorm is the exact 1-norm (max column abs sum).
+        let mut expected = 0.0_f64;
+        for j in 0..10 {
+            expected = expected.max((0..10).map(|i| a.get(i, j).abs()).sum());
+        }
+        assert!((h.anorm - expected).abs() < 1e-14);
+    }
+
+    #[test]
+    fn health_flags_near_singular_matrix() {
+        // Rows nearly linearly dependent: condition number ~1e12.
+        let a = Matrix::from_rows(&[
+            &[1.0, 1.0, 0.0],
+            &[1.0, 1.0 + 1e-12, 0.0],
+            &[0.0, 0.0, 1.0],
+        ]);
+        let f = getrf(&a).unwrap();
+        assert!(
+            f.health().rcond < 1e-10,
+            "rcond {} should flag near-singularity",
+            f.health().rcond
+        );
+    }
+
+    #[test]
+    fn transpose_solve_matches_dense_reference() {
+        let mut rng = TestRng::seed_from_u64(77);
+        for n in [1usize, 3, 8, 17] {
+            let a = random_nonsingular(&mut rng, n);
+            let at = Matrix::from_fn(n, n, Layout::Right, |i, j| a.get(j, i));
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let expected = solve_dense(&at, &b).unwrap();
+            let f = getrf(&a).unwrap();
+            let mut x = b;
+            f.solve_transposed_slice(&mut x);
+            for (u, v) in x.iter().zip(&expected) {
+                assert!((u - v).abs() < 1e-10, "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn try_solve_slice_rejects_bad_inputs() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 2.0]]);
+        let f = getrf(&a).unwrap();
+        let mut short = vec![1.0];
+        assert!(matches!(
+            f.try_solve_slice(&mut short),
+            Err(Error::ShapeMismatch { op: "getrs", .. })
+        ));
+        let mut nan = vec![1.0, f64::NAN];
+        assert!(matches!(
+            f.try_solve_slice(&mut nan),
+            Err(Error::NonFinite {
+                routine: "getrs",
+                lane: 0,
+                index: 1,
+            })
+        ));
+        let mut good = vec![2.0, 4.0];
+        f.try_solve_slice(&mut good).unwrap();
+        assert_eq!(good, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn non_finite_matrix_rejected_at_factorisation() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[f64::NAN, 1.0]]);
+        assert!(matches!(
+            getrf(&a),
+            Err(Error::NonFinite {
+                routine: "getrf",
+                ..
+            })
+        ));
     }
 }

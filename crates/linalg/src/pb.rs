@@ -6,6 +6,7 @@
 //! `A(i, j)` with `j ≤ i ≤ j + kd` lives at `ab[i - j][j]`.
 
 use crate::error::{Error, Result};
+use crate::health::{check_finite_input, check_solve_slice, rcond_estimate, FactorHealth};
 use pp_portable::StridedMut;
 
 /// A symmetric positive-definite banded matrix (lower storage).
@@ -119,6 +120,7 @@ pub struct CholeskyBanded {
     n: usize,
     kd: usize,
     ab: Vec<f64>,
+    health: FactorHealth,
 }
 
 impl CholeskyBanded {
@@ -132,15 +134,27 @@ impl CholeskyBanded {
         self.kd
     }
 
+    /// Numerical-health report captured at factorisation time (`pbcon`).
+    pub fn health(&self) -> &FactorHealth {
+        &self.health
+    }
+
     #[inline]
     pub(crate) fn l(&self, i: usize, j: usize) -> f64 {
         self.ab[(i - j) + j * (self.kd + 1)]
     }
 
     /// Solve `A x = b` in place for one lane (`pbtrs`).
+    ///
+    /// The lane length must equal the matrix order `n`.
+    ///
+    /// # Panics (debug)
+    /// Debug builds assert `b.len() == self.n()`; release builds make the
+    /// caller responsible. Use [`CholeskyBanded::try_solve_slice`] for a
+    /// checked variant.
     pub fn solve_lane(&self, b: &mut StridedMut<'_>) {
         let n = self.n;
-        debug_assert_eq!(b.len(), n);
+        debug_assert_eq!(b.len(), n, "pbtrs: lane length must equal matrix order");
         let kd = self.kd;
         // Forward: L y = b.
         for j in 0..n {
@@ -165,8 +179,20 @@ impl CholeskyBanded {
     }
 
     /// Solve into a plain slice (setup-time convenience).
+    ///
+    /// # Panics (debug)
+    /// Debug builds assert `b.len() == self.n()` (see
+    /// [`CholeskyBanded::solve_lane`]).
     pub fn solve_slice(&self, b: &mut [f64]) {
         self.solve_lane(&mut StridedMut::from_slice(b));
+    }
+
+    /// Checked solve: verifies the length contract and rejects non-finite
+    /// right-hand sides with a typed error.
+    pub fn try_solve_slice(&self, b: &mut [f64]) -> Result<()> {
+        check_solve_slice("pbtrs", self.n(), b)?;
+        self.solve_slice(b);
+        Ok(())
     }
 }
 
@@ -177,6 +203,22 @@ impl CholeskyBanded {
 pub fn pbtrf(a: &SymBandedMatrix) -> Result<CholeskyBanded> {
     let n = a.n();
     let kd = a.kd();
+    check_finite_input("pbtrf", a.ab.iter().copied())?;
+    // ‖A‖₁ with symmetry: column j collects the stored lower band plus the
+    // mirrored super-diagonal entries.
+    let mut anorm = 0.0_f64;
+    let mut amax = 0.0_f64;
+    for j in 0..n {
+        let mut col = 0.0;
+        let lo = j.saturating_sub(kd);
+        let hi = (j + kd).min(n.saturating_sub(1));
+        for i in lo..=hi {
+            let v = a.get(i, j).abs();
+            col += v;
+            amax = amax.max(v);
+        }
+        anorm = anorm.max(col);
+    }
     let mut ab = a.ab.clone();
     let ld = kd + 1;
     for j in 0..n {
@@ -206,7 +248,25 @@ pub fn pbtrf(a: &SymBandedMatrix) -> Result<CholeskyBanded> {
             }
         }
     }
-    Ok(CholeskyBanded { n, kd, ab })
+    // Growth of the factor entries: max L(i,j)² / max|A|. Stable Cholesky
+    // keeps this ≈ 1 (each L entry is bounded by the diagonal it divides).
+    let lmax = ab.iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
+    let pivot_growth = if amax > 0.0 { lmax * lmax / amax } else { 1.0 };
+    let mut f = CholeskyBanded {
+        n,
+        kd,
+        ab,
+        health: FactorHealth {
+            routine: "pbtrf",
+            anorm,
+            rcond: 1.0,
+            pivot_growth,
+        },
+    };
+    // Symmetric: one solve serves both estimator directions.
+    let rcond = rcond_estimate(n, anorm, |v| f.solve_slice(v), |v| f.solve_slice(v));
+    f.health.rcond = rcond;
+    Ok(f)
 }
 
 #[cfg(test)]
@@ -324,6 +384,44 @@ mod tests {
         for (u, v) in x1.iter().zip(&x2) {
             assert!((u - v).abs() < 1e-13);
         }
+    }
+
+    #[test]
+    fn health_reports_and_checked_solves() {
+        let mut rng = TestRng::seed_from_u64(12);
+        let a = random_spd_banded(&mut rng, 12, 2);
+        let f = pbtrf(&a).unwrap();
+        let h = f.health();
+        assert_eq!(h.routine, "pbtrf");
+        assert!(h.rcond > 1e-4, "rcond {}", h.rcond);
+        assert!(h.pivot_growth < 3.0, "growth {}", h.pivot_growth);
+        assert!(!h.is_suspect());
+
+        let mut short = vec![1.0; 5];
+        assert!(matches!(
+            f.try_solve_slice(&mut short),
+            Err(Error::ShapeMismatch { op: "pbtrs", .. })
+        ));
+        let mut nan = vec![0.0; 12];
+        nan[7] = f64::NAN;
+        assert!(matches!(
+            f.try_solve_slice(&mut nan),
+            Err(Error::NonFinite {
+                routine: "pbtrs",
+                index: 7,
+                ..
+            })
+        ));
+
+        let mut sick = SymBandedMatrix::new(3, 1).unwrap();
+        sick.set(0, 0, f64::NAN).unwrap();
+        assert!(matches!(
+            pbtrf(&sick),
+            Err(Error::NonFinite {
+                routine: "pbtrf",
+                ..
+            })
+        ));
     }
 
     /// Property: pbtrf/pbtrs recovers the true solution for random SPD

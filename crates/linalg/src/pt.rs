@@ -7,6 +7,7 @@
 //! is the paper's Listing 1.
 
 use crate::error::{Error, Result};
+use crate::health::{check_finite_input, check_solve_slice, rcond_estimate, FactorHealth};
 use crate::kernels::pttrs_lane;
 use pp_portable::StridedMut;
 
@@ -18,6 +19,7 @@ use pp_portable::StridedMut;
 pub struct PtFactors {
     d: Vec<f64>,
     e: Vec<f64>,
+    health: FactorHealth,
 }
 
 impl PtFactors {
@@ -36,15 +38,44 @@ impl PtFactors {
         &self.e
     }
 
+    /// Numerical-health report captured at factorisation time (`ptcon`).
+    pub fn health(&self) -> &FactorHealth {
+        &self.health
+    }
+
     /// Solve `A x = b` in place for one lane (`pttrs`).
+    ///
+    /// The lane length must equal the matrix order `n`.
+    ///
+    /// # Panics (debug)
+    /// Debug builds assert `b.len() == self.n()`; release builds make the
+    /// caller responsible. Use [`PtFactors::try_solve_slice`] for a checked
+    /// variant.
     #[inline]
     pub fn solve_lane(&self, b: &mut StridedMut<'_>) {
+        debug_assert_eq!(
+            b.len(),
+            self.n(),
+            "pttrs: lane length must equal matrix order"
+        );
         pttrs_lane(&self.d, &self.e, b);
     }
 
     /// Solve into a plain slice (setup-time convenience).
+    ///
+    /// # Panics (debug)
+    /// Debug builds assert `b.len() == self.n()` (see
+    /// [`PtFactors::solve_lane`]).
     pub fn solve_slice(&self, b: &mut [f64]) {
         self.solve_lane(&mut StridedMut::from_slice(b));
+    }
+
+    /// Checked solve: verifies the length contract and rejects non-finite
+    /// right-hand sides with a typed error.
+    pub fn try_solve_slice(&self, b: &mut [f64]) -> Result<()> {
+        check_solve_slice("pttrs", self.n(), b)?;
+        self.solve_slice(b);
+        Ok(())
     }
 }
 
@@ -61,6 +92,17 @@ pub fn pttrf(d: &[f64], e: &[f64]) -> Result<PtFactors> {
             detail: format!("d has length {n}, e has length {} (need {})", e.len(), n - 1),
         });
     }
+    check_finite_input("pttrf", d.iter().chain(e.iter()).copied())?;
+    // ‖A‖₁ of the tridiagonal matrix: column j sums |e_{j-1}| + |d_j| + |e_j|.
+    let mut anorm = 0.0_f64;
+    let mut amax = 0.0_f64;
+    for j in 0..n {
+        let left = if j > 0 { e[j - 1].abs() } else { 0.0 };
+        let right = if j + 1 < n { e[j].abs() } else { 0.0 };
+        anorm = anorm.max(left + d[j].abs() + right);
+        amax = amax.max(d[j].abs()).max(left).max(right);
+    }
+
     let mut dd = d.to_vec();
     let mut ee = e.to_vec();
     for i in 0..n.saturating_sub(1) {
@@ -82,7 +124,25 @@ pub fn pttrf(d: &[f64], e: &[f64]) -> Result<PtFactors> {
             value: dd[n - 1],
         });
     }
-    Ok(PtFactors { d: dd, e: ee })
+    // Unpivoted growth: max |D| of the factor against max |A|. SPD
+    // elimination can only shrink the diagonal, so this stays ≤ 1 for a
+    // stable factorisation and collapses towards 0 near indefiniteness.
+    let dmax = dd.iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
+    let pivot_growth = if amax > 0.0 { dmax / amax } else { 1.0 };
+    let mut f = PtFactors {
+        d: dd,
+        e: ee,
+        health: FactorHealth {
+            routine: "pttrf",
+            anorm,
+            rcond: 1.0,
+            pivot_growth,
+        },
+    };
+    // Symmetric: A = Aᵀ, one solve serves both estimator directions.
+    let rcond = rcond_estimate(n, anorm, |v| f.solve_slice(v), |v| f.solve_slice(v));
+    f.health.rcond = rcond;
+    Ok(f)
 }
 
 #[cfg(test)]
@@ -172,6 +232,49 @@ mod tests {
     fn empty_system() {
         let f = pttrf(&[], &[]).unwrap();
         assert_eq!(f.n(), 0);
+    }
+
+    #[test]
+    fn health_tracks_conditioning() {
+        // Well-conditioned diagonally dominant system.
+        let good = pttrf(&[4.0, 4.0, 4.0, 4.0], &[1.0, 1.0, 1.0]).unwrap();
+        assert!(good.health().rcond > 1e-3);
+        assert!(good.health().pivot_growth <= 1.0 + 1e-12);
+        assert!(!good.health().is_suspect());
+        assert_eq!(good.health().routine, "pttrf");
+        // Nearly indefinite: d barely above |e|² threshold.
+        let sick = pttrf(&[1.0, 1.0 + 1e-13], &[1.0]).unwrap();
+        assert!(
+            sick.health().is_ill_conditioned(),
+            "rcond {}",
+            sick.health().rcond
+        );
+    }
+
+    #[test]
+    fn try_solve_slice_and_non_finite_inputs() {
+        let f = pttrf(&[4.0, 4.0], &[1.0]).unwrap();
+        let mut short = vec![1.0];
+        assert!(matches!(
+            f.try_solve_slice(&mut short),
+            Err(Error::ShapeMismatch { op: "pttrs", .. })
+        ));
+        let mut nan = vec![f64::NAN, 0.0];
+        assert!(matches!(
+            f.try_solve_slice(&mut nan),
+            Err(Error::NonFinite {
+                routine: "pttrs",
+                index: 0,
+                ..
+            })
+        ));
+        assert!(matches!(
+            pttrf(&[1.0, f64::INFINITY], &[0.0]),
+            Err(Error::NonFinite {
+                routine: "pttrf",
+                ..
+            })
+        ));
     }
 
     /// Property: for random diagonally-dominant SPD tridiagonal

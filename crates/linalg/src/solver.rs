@@ -9,6 +9,8 @@
 //! available through the concrete types.
 
 use crate::banded::BandedLu;
+use crate::error::Result;
+use crate::health::check_solve_slice;
 use crate::lu::LuFactors;
 use crate::pb::CholeskyBanded;
 use crate::pt::PtFactors;
@@ -28,6 +30,15 @@ pub trait LaneSolver: Send + Sync {
     /// Solve into a plain slice.
     fn solve_slice(&self, b: &mut [f64]) {
         self.solve_lane(&mut StridedMut::from_slice(b));
+    }
+
+    /// Checked solve: verifies the length contract and rejects non-finite
+    /// right-hand sides with [`Error::NonFinite`](crate::Error::NonFinite)
+    /// instead of silently propagating NaN.
+    fn try_solve_slice(&self, b: &mut [f64]) -> Result<()> {
+        check_solve_slice(self.routine(), self.n(), b)?;
+        self.solve_slice(b);
+        Ok(())
     }
 }
 

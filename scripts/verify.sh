@@ -7,10 +7,15 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release
 
+# Debug profile on purpose: keeps debug_assert! contracts (e.g. the
+# solve_lane length preconditions) exercised by the suite.
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo doc --workspace --no-deps (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "verify: all checks passed"

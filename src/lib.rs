@@ -61,13 +61,15 @@ pub use pp_splinesolver as splinesolver;
 
 /// The names almost every user needs, in one import.
 pub mod prelude {
-    pub use pp_advection::{Advection1D, SplineBackend, VlasovPoisson1D1V};
+    pub use pp_advection::{Advection1D, AdvectionDiagnostics, SplineBackend, VlasovPoisson1D1V};
     pub use pp_bsplines::{Breaks, PeriodicSplineSpace};
     pub use pp_iterative::{BreakdownKind, FaultInjector, LaneOutcome, StopCriteria};
+    pub use pp_linalg::FactorHealth;
     pub use pp_perfmodel::{glups, Device};
     pub use pp_portable::{ExecSpace, Layout, Matrix, Parallel, Serial};
     pub use pp_splinesolver::{
-        BuilderVersion, IterativeConfig, IterativeSplineSolver, KrylovKind, RecoveryPolicy,
-        SplineBuilder, SplineEvaluator,
+        BuilderVersion, FallbackRung, IterativeConfig, IterativeSplineSolver, KrylovKind,
+        LaneReport, LaneVerdict, QuarantineReason, RecoveryPolicy, SplineBuilder, SplineEvaluator,
+        VerifiedBuilder, VerifyConfig,
     };
 }
