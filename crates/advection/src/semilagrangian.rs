@@ -206,6 +206,13 @@ impl Advection1D {
     /// Set up the solver for `Nv = velocities.len()` lanes and a fixed
     /// time step `dt` (feet are precomputed; use
     /// [`Advection1D::set_dt`] to change it).
+    ///
+    /// # Errors
+    /// Rejects a non-finite `dt` or velocity with
+    /// [`Error::NonFiniteInput`]: either would silently fill the
+    /// precomputed characteristic feet with NaN and every backend would
+    /// then interpolate garbage. A bad `dt` poisons all lanes, so it is
+    /// reported as lane 0, index 0; a bad velocity names its lane.
     pub fn new(backend: SplineBackend, velocities: Vec<f64>, dt: f64) -> Result<Self> {
         let space = backend.space().clone();
         let nx = space.num_basis();
@@ -214,6 +221,12 @@ impl Advection1D {
             return Err(Error::ShapeMismatch {
                 detail: "need at least one velocity lane".into(),
             });
+        }
+        if !dt.is_finite() {
+            return Err(Error::NonFiniteInput { lane: 0, index: 0 });
+        }
+        if let Some(j) = velocities.iter().position(|v| !v.is_finite()) {
+            return Err(Error::NonFiniteInput { lane: j, index: 0 });
         }
         let x_points = space.interpolation_points();
         let mut me = Self {
@@ -264,9 +277,18 @@ impl Advection1D {
     }
 
     /// Change the time step (recomputes the characteristic feet).
-    pub fn set_dt(&mut self, dt: f64) {
+    ///
+    /// # Errors
+    /// Rejects a non-finite `dt` with [`Error::NonFiniteInput`] (reported
+    /// as lane 0, index 0 — a bad `dt` poisons every lane) and leaves the
+    /// standing feet untouched, so the driver stays usable.
+    pub fn set_dt(&mut self, dt: f64) -> Result<()> {
+        if !dt.is_finite() {
+            return Err(Error::NonFiniteInput { lane: 0, index: 0 });
+        }
         self.dt = dt;
         self.compute_feet();
+        Ok(())
     }
 
     fn compute_feet(&mut self) {
@@ -688,8 +710,60 @@ mod tests {
         let mut f1 = adv.init_distribution(gaussian);
         let mut f2 = f1.clone();
         adv.step(&Serial, &mut f1).unwrap();
-        adv.set_dt(2e-2);
+        adv.set_dt(2e-2).unwrap();
         adv.step(&Serial, &mut f2).unwrap();
         assert!(f1.max_abs_diff(&f2) > 1e-6, "dt change must alter the step");
+    }
+
+    #[test]
+    fn non_finite_dt_rejected_on_every_backend() {
+        let space =
+            PeriodicSplineSpace::new(Breaks::uniform(32, 0.0, 1.0).unwrap(), 3).unwrap();
+        let backends: Vec<SplineBackend> = vec![
+            SplineBackend::direct(space.clone(), BuilderVersion::FusedSpmv).unwrap(),
+            SplineBackend::direct_verified(
+                space,
+                BuilderVersion::FusedSpmv,
+                pp_splinesolver::VerifyConfig::default(),
+            )
+            .unwrap(),
+        ];
+        for (backend, bad) in backends.into_iter().zip([f64::NAN, f64::INFINITY]) {
+            let err = Advection1D::new(backend, vec![0.1, 0.2], bad)
+                .map(|_| ())
+                .unwrap_err();
+            assert_eq!(err, Error::NonFiniteInput { lane: 0, index: 0 });
+        }
+    }
+
+    #[test]
+    fn non_finite_set_dt_rejected_and_driver_stays_usable() {
+        let mut adv = make(32, 2, 3, BuilderVersion::FusedSpmv);
+        let mut f = adv.init_distribution(gaussian);
+        let reference = {
+            let mut adv2 = make(32, 2, 3, BuilderVersion::FusedSpmv);
+            let mut f2 = f.clone();
+            adv2.step(&Serial, &mut f2).unwrap();
+            f2
+        };
+        let err = adv.set_dt(f64::NAN).unwrap_err();
+        assert_eq!(err, Error::NonFiniteInput { lane: 0, index: 0 });
+        let err = adv.set_dt(f64::NEG_INFINITY).unwrap_err();
+        assert_eq!(err, Error::NonFiniteInput { lane: 0, index: 0 });
+        // The rejected set_dt must not have touched dt or the feet: the
+        // next step matches an untouched driver bitwise.
+        adv.step(&Serial, &mut f).unwrap();
+        assert_eq!(f.max_abs_diff(&reference), 0.0);
+    }
+
+    #[test]
+    fn non_finite_velocity_rejected() {
+        let space =
+            PeriodicSplineSpace::new(Breaks::uniform(32, 0.0, 1.0).unwrap(), 3).unwrap();
+        let backend = SplineBackend::direct(space, BuilderVersion::FusedSpmv).unwrap();
+        let err = Advection1D::new(backend, vec![0.1, f64::NEG_INFINITY, 0.3], 1e-2)
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err, Error::NonFiniteInput { lane: 1, index: 0 });
     }
 }

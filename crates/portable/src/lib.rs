@@ -17,9 +17,15 @@
 //!   equivalent of `Kokkos::subview(b, ALL, i)`: a length + stride window
 //!   into one batch lane, cheap to construct inside a hot loop.
 //! * **Execution spaces** — the [`ExecSpace`] trait with [`Serial`] and
-//!   [`Parallel`] (rayon) implementations mirrors
+//!   [`Parallel`] implementations mirrors
 //!   `Kokkos::parallel_for(batch, LAMBDA(i) {...})`: kernels are *serial
-//!   within a lane, parallel across lanes*.
+//!   within a lane, parallel across lanes*. `Parallel` dispatches onto a
+//!   persistent worker pool ([`crate::pool`]) — like a Kokkos dispatch
+//!   onto an existing OpenMP team, launching a batch wakes parked threads
+//!   instead of spawning new ones. The worker budget honours the
+//!   `PP_NUM_THREADS` environment variable (see [`num_threads`]), and
+//!   [`pool_stats`] exposes dispatch/lane counters plus per-worker
+//!   busy/idle clocks.
 //! * **Transpose kernels** — cache-blocked 2-D transposes used by the
 //!   semi-Lagrangian driver (Algorithm 2 of the paper transposes the
 //!   distribution function before and after the spline solve).
@@ -57,6 +63,7 @@ pub mod exec;
 pub mod layout;
 pub mod matrix;
 pub mod par;
+pub mod pool;
 pub mod ptr;
 pub mod strided;
 pub mod testrng;
@@ -64,10 +71,14 @@ pub mod transpose;
 
 pub use block::{for_each_lane_block_mut, BlockMut};
 pub use error::{Error, Result};
-pub use exec::{ExecSpace, Parallel, Serial};
+pub use exec::{ExecSpace, Parallel, ScopedParallel, Serial};
 pub use layout::Layout;
 pub use matrix::Matrix;
-pub use par::{num_threads, parallel_for, parallel_for_each_mut, parallel_sum};
+pub use par::{
+    num_threads, parallel_for, parallel_for_each_mut, parallel_sum, scoped_parallel_for,
+    scoped_parallel_sum,
+};
+pub use pool::{pool_stats, PoolStats, WorkerTimes};
 pub use strided::{Strided, StridedMut};
 pub use testrng::TestRng;
 pub use transpose::{transpose, transpose_into, transpose_into_with, transpose_reinterpret};

@@ -2,32 +2,158 @@
 //!
 //! The workspace must build in hermetic environments with no external
 //! crates, so the rayon-style "parallel for over indices" the execution
-//! spaces need is implemented here directly on `std::thread::scope`:
-//! a handful of worker threads pull fixed-size index chunks off a shared
-//! atomic counter until the range is exhausted. That is exactly the
-//! schedule the paper's `Kokkos::parallel_for(batch, ...)` relies on —
-//! independent lanes, dynamic load balancing, no per-lane allocation.
+//! spaces need is implemented here directly: worker threads pull
+//! fixed-size index chunks off a shared atomic counter until the range is
+//! exhausted. That is exactly the schedule the paper's
+//! `Kokkos::parallel_for(batch, ...)` relies on — independent lanes,
+//! dynamic load balancing, no per-lane allocation.
+//!
+//! Dispatch runs on the persistent worker pool in [`crate::pool`]: like a
+//! Kokkos dispatch onto an existing OpenMP team, launching a batch wakes
+//! parked threads instead of spawning new ones, so per-dispatch latency
+//! is microseconds rather than the hundreds of microseconds
+//! `std::thread::scope` costs. The original scoped dispatchers are kept
+//! as [`scoped_parallel_for`] / [`scoped_parallel_sum`] — they are the
+//! baseline the `dispatch_overhead` bench bin measures the pool against.
+//!
+//! The worker budget comes from [`num_threads`]: the `PP_NUM_THREADS`
+//! environment variable when set (clamped to ≥ 1), else the hardware's
+//! available parallelism, cached once per process.
 
+use crate::pool;
+use crate::ptr::SharedMutPtr;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Chunk-claim granularity: ~8 chunks per worker keeps claim overhead
+/// negligible while still load-balancing ragged lane costs.
+const CHUNKS_PER_WORKER: usize = 8;
+
+static NUM_THREADS: OnceLock<usize> = OnceLock::new();
+
+/// Resolve the worker budget from an optional `PP_NUM_THREADS` value and
+/// the hardware fallback. Split out for unit testing (the cached
+/// [`num_threads`] reads the real environment exactly once).
+fn thread_budget(env: Option<&str>, hardware: usize) -> usize {
+    match env.and_then(|s| s.trim().parse::<usize>().ok()) {
+        Some(n) => n.max(1),
+        None => hardware.max(1),
+    }
+}
 
 /// Number of worker threads to use for batch dispatch.
 ///
-/// Follows the hardware's available parallelism; at least 1.
+/// Honours the `PP_NUM_THREADS` environment variable (clamped to ≥ 1;
+/// non-numeric values are ignored), falling back to the hardware's
+/// available parallelism. The value is computed **once** and cached for
+/// the life of the process — both because the persistent pool sizes
+/// itself from it, and because re-querying `available_parallelism` on
+/// every dispatch measurably taxed small batches.
 pub fn num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    *NUM_THREADS.get_or_init(|| {
+        let hardware = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        thread_budget(std::env::var("PP_NUM_THREADS").ok().as_deref(), hardware)
+    })
 }
 
-/// Call `f(i)` for every `i in 0..n`, distributing indices over worker
-/// threads. Falls back to a plain loop when `n` is small or only one
-/// hardware thread is available.
+/// Call `f(i)` for every `i in 0..n`, distributing indices over the
+/// persistent worker pool. Falls back to a plain loop when `n` is small,
+/// only one worker is budgeted, or the call is nested inside another
+/// parallel dispatch.
 ///
 /// Chunks are claimed dynamically (atomic fetch-add), so uneven lane
 /// costs — exactly what fault recovery produces, where a few lanes
 /// iterate to their budget while the rest converge quickly — do not
-/// serialise the batch.
+/// serialise the batch. Lane outputs do not depend on which thread ran
+/// them, so results are bit-identical to the serial loop.
 pub fn parallel_for<F: Fn(usize) + Sync>(n: usize, f: F) {
+    let threads = num_threads().min(n);
+    if threads <= 1 || pool::in_dispatch() {
+        pool::note_inline_dispatch();
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(threads * CHUNKS_PER_WORKER).max(1);
+    pool::global().dispatch(n, chunk, &f);
+}
+
+/// Call `f(i, &mut items[i])` for every element, distributing elements
+/// over the persistent worker pool. Each index is claimed exactly once,
+/// so the mutable accesses are disjoint.
+///
+/// This is the shape the chunked multi-RHS solver needs: a vector of
+/// per-lane work slots, each mutated by exactly one worker, with dynamic
+/// claiming so a few pathological lanes (breakdown retries, iteration
+/// budgets) don't serialise the rest of the batch.
+pub fn parallel_for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    let threads = num_threads().min(n);
+    if threads <= 1 || pool::in_dispatch() {
+        pool::note_inline_dispatch();
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    struct Slots<T>(*mut T);
+    // SAFETY: each index is claimed by exactly one worker (atomic
+    // fetch-add), so no two threads ever form a `&mut` to the same slot.
+    unsafe impl<T: Send> Sync for Slots<T> {}
+    let slots = Slots(items.as_mut_ptr());
+    let slots = &slots;
+    let run = move |i: usize| {
+        // SAFETY: `i < n` and each `i` is produced exactly once.
+        f(i, unsafe { &mut *slots.0.add(i) });
+    };
+    pool::global().dispatch(n, 1, &run);
+}
+
+/// Sum `f(i)` over `i in 0..n` with deterministic per-chunk partials.
+///
+/// The range is cut into fixed chunks; each chunk's partial sum is
+/// accumulated serially (in index order) and the partials are combined in
+/// chunk order. The bracketing therefore depends only on `n` and the
+/// worker budget — **not** on thread scheduling — so repeated runs return
+/// bitwise-identical results, unlike an OpenMP/rayon-style per-worker
+/// reduction whose combine order races. (Changing `PP_NUM_THREADS`
+/// changes the bracketing, like changing `OMP_NUM_THREADS` does.)
+pub fn parallel_sum<F: Fn(usize) -> f64 + Sync>(n: usize, f: F) -> f64 {
+    let threads = num_threads().min(n);
+    if threads <= 1 || pool::in_dispatch() {
+        pool::note_inline_dispatch();
+        return (0..n).map(f).sum();
+    }
+    let chunk = n.div_ceil(threads * CHUNKS_PER_WORKER).max(1);
+    let nchunks = n.div_ceil(chunk);
+    let mut partials = vec![0.0f64; nchunks];
+    let ptr = SharedMutPtr(partials.as_mut_ptr());
+    pool::global().dispatch(nchunks, 1, &|c: usize| {
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(n);
+        let mut acc = 0.0;
+        for i in lo..hi {
+            acc += f(i);
+        }
+        // SAFETY: chunk index `c` is claimed exactly once, so this is the
+        // only write to `partials[c]`, and `c < nchunks` by construction.
+        unsafe { *ptr.add(c) = acc };
+    });
+    partials.iter().sum()
+}
+
+/// Reference dispatcher: `f(i)` for `i in 0..n` over **freshly spawned**
+/// scoped threads, re-creating and joining OS threads on every call.
+///
+/// This was the original `Parallel` implementation; it is kept as the
+/// per-call baseline that the `dispatch_overhead` bench measures the
+/// persistent pool against. Prefer [`parallel_for`] everywhere else.
+pub fn scoped_parallel_for<F: Fn(usize) + Sync>(n: usize, f: F) {
     let threads = num_threads().min(n);
     if threads <= 1 {
         for i in 0..n {
@@ -35,9 +161,7 @@ pub fn parallel_for<F: Fn(usize) + Sync>(n: usize, f: F) {
         }
         return;
     }
-    // ~8 chunks per worker keeps claim overhead negligible while still
-    // load-balancing ragged lane costs.
-    let chunk = n.div_ceil(threads * 8).max(1);
+    let chunk = n.div_ceil(threads * CHUNKS_PER_WORKER).max(1);
     let next = AtomicUsize::new(0);
     let f = &f;
     std::thread::scope(|s| {
@@ -55,60 +179,16 @@ pub fn parallel_for<F: Fn(usize) + Sync>(n: usize, f: F) {
     });
 }
 
-/// Call `f(i, &mut items[i])` for every element, distributing elements
-/// over worker threads. Each index is claimed exactly once, so the
-/// mutable accesses are disjoint.
-///
-/// This is the shape the chunked multi-RHS solver needs: a vector of
-/// per-lane work slots, each mutated by exactly one worker, with dynamic
-/// claiming so a few pathological lanes (breakdown retries, iteration
-/// budgets) don't serialise the rest of the batch.
-pub fn parallel_for_each_mut<T, F>(items: &mut [T], f: F)
-where
-    T: Send,
-    F: Fn(usize, &mut T) + Sync,
-{
-    let n = items.len();
-    let threads = num_threads().min(n);
-    if threads <= 1 {
-        for (i, item) in items.iter_mut().enumerate() {
-            f(i, item);
-        }
-        return;
-    }
-    struct Slots<T>(*mut T);
-    // SAFETY: each index is claimed by exactly one worker (atomic
-    // fetch-add), so no two threads ever form a `&mut` to the same slot.
-    unsafe impl<T: Send> Sync for Slots<T> {}
-    let slots = Slots(items.as_mut_ptr());
-    let next = AtomicUsize::new(0);
-    let f = &f;
-    let slots = &slots;
-    let next = &next;
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                // SAFETY: `i < n` and each `i` is produced exactly once.
-                f(i, unsafe { &mut *slots.0.add(i) });
-            });
-        }
-    });
-}
-
-/// Sum `f(i)` over `i in 0..n` with per-worker partial sums.
-///
-/// Summation order differs from the serial loop (partials are combined
-/// per worker), as it does under rayon or OpenMP reductions.
-pub fn parallel_sum<F: Fn(usize) -> f64 + Sync>(n: usize, f: F) -> f64 {
+/// Reference reduction over freshly spawned scoped threads (per-worker
+/// partials, combined in join order). Kept only as the bench baseline for
+/// [`parallel_sum`]; its combine order is schedule-dependent, which is
+/// exactly the nondeterminism the pooled reduction fixes.
+pub fn scoped_parallel_sum<F: Fn(usize) -> f64 + Sync>(n: usize, f: F) -> f64 {
     let threads = num_threads().min(n);
     if threads <= 1 {
         return (0..n).map(f).sum();
     }
-    let chunk = n.div_ceil(threads * 8).max(1);
+    let chunk = n.div_ceil(threads * CHUNKS_PER_WORKER).max(1);
     let next = AtomicUsize::new(0);
     let f = &f;
     std::thread::scope(|s| {
@@ -169,8 +249,33 @@ mod tests {
     }
 
     #[test]
-    fn at_least_one_thread_reported() {
+    fn sum_is_bitwise_deterministic_across_runs() {
+        // Mixed magnitudes make the sum order-sensitive: any schedule
+        // dependence in the bracketing would show up bitwise.
+        let f = |i: usize| ((i as f64) * 0.7).sin() * 10f64.powi((i % 13) as i32 - 6);
+        let first = parallel_sum(10_000, f);
+        for _ in 0..10 {
+            assert_eq!(parallel_sum(10_000, f).to_bits(), first.to_bits());
+        }
+    }
+
+    #[test]
+    fn at_least_one_thread_reported_and_cached() {
         assert!(num_threads() >= 1);
+        assert_eq!(num_threads(), num_threads());
+    }
+
+    #[test]
+    fn thread_budget_override_rules() {
+        assert_eq!(thread_budget(None, 8), 8);
+        assert_eq!(thread_budget(Some("3"), 8), 3);
+        assert_eq!(thread_budget(Some(" 5 "), 8), 5);
+        // Clamped to at least one worker.
+        assert_eq!(thread_budget(Some("0"), 8), 1);
+        // Garbage falls back to the hardware count.
+        assert_eq!(thread_budget(Some("lots"), 8), 8);
+        assert_eq!(thread_budget(Some(""), 8), 8);
+        assert_eq!(thread_budget(None, 0), 1);
     }
 
     #[test]
@@ -184,5 +289,16 @@ mod tests {
         }
         let mut empty: Vec<u64> = Vec::new();
         parallel_for_each_mut(&mut empty, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn scoped_baseline_still_correct() {
+        let hits: Vec<AtomicUsize> = (0..700).map(|_| AtomicUsize::new(0)).collect();
+        scoped_parallel_for(700, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        let expected = (0..3000).map(|i| i as f64).sum::<f64>();
+        assert_eq!(scoped_parallel_sum(3000, |i| i as f64), expected);
     }
 }

@@ -12,6 +12,15 @@ cargo build --release
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
+# Smoke-run the dispatch-overhead bench: exercises the persistent
+# worker-pool dispatch path and the JSON emitter end to end (tiny sizes,
+# seconds). PP_NUM_THREADS forces a real pool even on single-core CI.
+echo "==> dispatch_overhead bench smoke (pool dispatch + JSON emitter)"
+mkdir -p target
+PP_NUM_THREADS=4 cargo run --release -q -p pp-bench --bin dispatch_overhead -- \
+    --smoke --out target/BENCH_dispatch_smoke.json
+test -s target/BENCH_dispatch_smoke.json
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -1,0 +1,114 @@
+//! Concurrency stress tests for the persistent worker-pool executor.
+//!
+//! The pool is a single process-wide resource shared by every solver, so
+//! the properties that matter are cross-cutting: concurrent solves from
+//! many user threads must serialise onto the pool without deadlock and
+//! stay bit-identical to the `Serial` reference, a panicking lane must
+//! propagate to its dispatcher without hanging the dispatch or poisoning
+//! later ones, and reductions must be bitwise reproducible run-to-run.
+
+use pp_bsplines::{Breaks, PeriodicSplineSpace};
+use pp_portable::{pool_stats, ExecSpace, Layout, Matrix, Parallel, Serial};
+use pp_splinesolver::{BuilderVersion, SplineBuilder};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn rhs(nx: usize, nv: usize, seed: usize) -> Matrix {
+    Matrix::from_fn(nx, nv, Layout::Left, |i, j| {
+        ((i * 31 + j * 7 + seed) as f64 * 0.13).sin() + 1.5
+    })
+}
+
+#[test]
+fn concurrent_solves_match_serial_and_dont_deadlock() {
+    const USER_THREADS: usize = 4;
+    const ROUNDS: usize = 8;
+    let space = PeriodicSplineSpace::new(Breaks::uniform(64, 0.0, 1.0).unwrap(), 3).unwrap();
+    let nx = space.num_basis();
+    let nv = 96;
+
+    // Serial references, one per user thread (distinct right-hand sides).
+    let references: Vec<Matrix> = (0..USER_THREADS)
+        .map(|t| {
+            let builder = SplineBuilder::new(space.clone(), BuilderVersion::FusedSpmv).unwrap();
+            let mut b = rhs(nx, nv, t);
+            builder.solve_in_place(&Serial, &mut b).unwrap();
+            b
+        })
+        .collect();
+
+    // Many user threads hammer the shared pool concurrently. Every solve
+    // must complete (no deadlock) and match its Serial reference bitwise.
+    std::thread::scope(|s| {
+        for (t, reference) in references.iter().enumerate() {
+            let space = space.clone();
+            s.spawn(move || {
+                let builder =
+                    SplineBuilder::new(space, BuilderVersion::FusedSpmv).unwrap();
+                for _ in 0..ROUNDS {
+                    let mut b = rhs(nx, nv, t);
+                    builder.solve_in_place(&Parallel, &mut b).unwrap();
+                    assert_eq!(
+                        b.max_abs_diff(reference),
+                        0.0,
+                        "pooled solve diverged from Serial on user thread {t}"
+                    );
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn panicking_lane_propagates_and_does_not_poison_later_dispatches() {
+    for round in 0..3 {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Parallel.for_each(2048, |i| {
+                if i == 1291 {
+                    panic!("injected lane failure (round {round})");
+                }
+            });
+        }));
+        let payload = result.expect_err("lane panic must reach the dispatcher");
+        let msg = payload.downcast_ref::<String>().expect("panic payload is a string");
+        assert!(msg.contains("injected lane failure"), "{msg}");
+
+        // The very next dispatch on the same pool must behave normally.
+        let count = AtomicUsize::new(0);
+        Parallel.for_each(2048, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 2048);
+    }
+}
+
+#[test]
+fn reductions_are_bitwise_reproducible() {
+    // Mixed magnitudes make the bracketing observable; the deterministic
+    // per-chunk schedule must give the same bits on every run.
+    let f = |i: usize| ((i as f64) * 0.31).cos() * 10f64.powi((i % 11) as i32 - 5);
+    let first = Parallel.reduce_sum(50_000, f);
+    for _ in 0..8 {
+        assert_eq!(Parallel.reduce_sum(50_000, f).to_bits(), first.to_bits());
+    }
+}
+
+#[test]
+fn pool_observability_counters_advance() {
+    if pp_portable::num_threads() <= 1 {
+        // Single-threaded hosts serve every dispatch inline; there is no
+        // pool to observe.
+        return;
+    }
+    let before = pool_stats();
+    Parallel.for_each(4096, |i| {
+        std::hint::black_box(i);
+    });
+    let after = pool_stats();
+    assert!(after.dispatches > before.dispatches, "dispatch counter must advance");
+    assert!(
+        after.lanes_dispatched >= before.lanes_dispatched + 4096,
+        "lane counter must advance by at least the batch size"
+    );
+    assert_eq!(after.per_worker.len(), after.workers);
+}
