@@ -48,7 +48,6 @@ impl From<pp_splinesolver::Error> for Error {
     }
 }
 
-
 /// Convenience alias.
 pub type Result<T> = std::result::Result<T, Error>;
 

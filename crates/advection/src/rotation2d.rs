@@ -34,12 +34,8 @@ impl Rotation2D {
     /// Set up an `n × n` doubly periodic domain `[0,1)²` rotating about
     /// its centre by `dtheta` radians per step, splines of `degree`.
     pub fn new(n: usize, degree: usize, dtheta: f64) -> Result<Self> {
-        let splines = pp_splinesolver::tensor2d::uniform_tensor(
-            n,
-            n,
-            degree,
-            BuilderVersion::FusedSpmv,
-        )?;
+        let splines =
+            pp_splinesolver::tensor2d::uniform_tensor(n, n, degree, BuilderVersion::FusedSpmv)?;
         let (px, py) = splines.interpolation_points();
         Ok(Self {
             splines,
@@ -77,8 +73,7 @@ impl Rotation2D {
         }
         // Build the tensor spline of the current field.
         self.coefs.deep_copy_from(field).expect("same shape");
-        self.splines
-            .interpolate_in_place(exec, &mut self.coefs)?;
+        self.splines.interpolate_in_place(exec, &mut self.coefs)?;
 
         // Evaluate at the rotated-back feet. The foot of (x, y) under a
         // backward rotation by dtheta about the centre:

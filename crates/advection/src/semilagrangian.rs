@@ -2,6 +2,7 @@
 
 use crate::error::{Error, Result};
 use pp_bsplines::PeriodicSplineSpace;
+use pp_portable::instrument::{self, PhaseId, Span};
 use pp_portable::{transpose_into_with, ExecSpace, Layout, Matrix};
 use pp_splinesolver::{
     BuilderVersion, IterativeConfig, IterativeSplineSolver, LaneReport, SplineBuilder,
@@ -117,6 +118,21 @@ impl AdvectionDiagnostics {
             worst_residual: report.worst_residual(),
             max_foot_displacement,
         }
+    }
+
+    /// Export this step's diagnostics into the instrumentation registry
+    /// (`advection.*` counters and gauges). No-op when instrumentation
+    /// is off.
+    pub fn publish_metrics(&self) {
+        if !instrument::enabled() {
+            return;
+        }
+        instrument::counter("advection.lanes_quarantined").add(self.quarantined_lanes.len() as u64);
+        instrument::counter("advection.lanes_recovered").add(self.recovered_lanes.len() as u64);
+        instrument::counter("advection.lanes_refined").add(self.refined_lanes.len() as u64);
+        instrument::counter("advection.refinement_steps").add(self.refinement_steps as u64);
+        instrument::gauge("advection.worst_residual").set(self.worst_residual);
+        instrument::gauge("advection.max_foot_displacement").set(self.max_foot_displacement);
     }
 }
 
@@ -322,6 +338,7 @@ impl Advection1D {
                 detail: format!("f is {:?}, expected ({nv}, {nx})", f.shape()),
             });
         }
+        let _step_span = Span::enter(PhaseId::AdvectionStep);
         let mut t = StepTimings::default();
 
         // Input sanitization for the verified path: the builder quarantines
@@ -340,7 +357,10 @@ impl Advection1D {
 
         // Line 3: transpose to lane-contiguous (Nx, Nv).
         let t0 = Instant::now();
-        transpose_into_with(exec, f, &mut self.eta).expect("shape fixed at construction");
+        {
+            let _span = Span::enter(PhaseId::Transpose);
+            transpose_into_with(exec, f, &mut self.eta).expect("shape fixed at construction");
+        }
         t.transpose_in = t0.elapsed();
 
         // Line 4: build splines, batched over v (the measured region).
@@ -367,19 +387,27 @@ impl Advection1D {
                     max_disp = max_disp.max((self.x_points[i] - self.feet.get(i, j)).abs());
                 }
             }
-            self.last_diagnostics = Some(AdvectionDiagnostics::from_report(&report, max_disp));
+            let diagnostics = AdvectionDiagnostics::from_report(&report, max_disp);
+            diagnostics.publish_metrics();
+            self.last_diagnostics = Some(diagnostics);
         }
 
         // Lines 6-10: follow characteristics and interpolate.
         let t0 = Instant::now();
-        self.evaluator
-            .eval_batched(exec, &self.eta, &self.feet, &mut self.interp)?;
+        {
+            let _span = Span::enter(PhaseId::Interpolate);
+            self.evaluator
+                .eval_batched(exec, &self.eta, &self.feet, &mut self.interp)?;
+        }
         t.interpolate = t0.elapsed();
 
         // Line 5 (moved after evaluation since we evaluate from the
         // lane-contiguous coefficients directly): transpose result back.
         let t0 = Instant::now();
-        transpose_into_with(exec, &self.interp, f).expect("shape fixed at construction");
+        {
+            let _span = Span::enter(PhaseId::Transpose);
+            transpose_into_with(exec, &self.interp, f).expect("shape fixed at construction");
+        }
         t.transpose_out = t0.elapsed();
 
         // Keep coefficients for the iterative backend's warm start.
@@ -483,18 +511,14 @@ mod tests {
             adv.step(&Parallel, &mut f).unwrap();
         }
         let m1 = adv.mass(&f);
-        assert!(
-            ((m1 - m0) / m0).abs() < 1e-10,
-            "mass drifted: {m0} -> {m1}"
-        );
+        assert!(((m1 - m0) / m0).abs() < 1e-10, "mass drifted: {m0} -> {m1}");
     }
 
     #[test]
     fn one_period_returns_to_start() {
         // With v·dt·steps == period, the exact solution is the initial
         // condition; spline error accumulates but stays small.
-        let space =
-            PeriodicSplineSpace::new(Breaks::uniform(128, 0.0, 1.0).unwrap(), 5).unwrap();
+        let space = PeriodicSplineSpace::new(Breaks::uniform(128, 0.0, 1.0).unwrap(), 5).unwrap();
         let backend = SplineBackend::direct(space, BuilderVersion::FusedSpmv).unwrap();
         let mut adv = Advection1D::new(backend, vec![1.0], 0.01).unwrap();
         let mut f = adv.init_distribution(gaussian);
@@ -517,13 +541,17 @@ mod tests {
             let exact = adv.analytic(|x, _| (std::f64::consts::TAU * x).sin(), 20);
             errs.push(f.max_abs_diff(&exact));
         }
-        assert!(errs[1] < errs[0], "deg5 {} should beat deg3 {}", errs[1], errs[0]);
+        assert!(
+            errs[1] < errs[0],
+            "deg5 {} should beat deg3 {}",
+            errs[1],
+            errs[0]
+        );
     }
 
     #[test]
     fn direct_and_iterative_backends_agree() {
-        let space =
-            PeriodicSplineSpace::new(Breaks::uniform(48, 0.0, 1.0).unwrap(), 3).unwrap();
+        let space = PeriodicSplineSpace::new(Breaks::uniform(48, 0.0, 1.0).unwrap(), 3).unwrap();
         let velocities = vec![0.3, -0.2, 0.7];
 
         let mut adv_d = Advection1D::new(
@@ -552,8 +580,7 @@ mod tests {
 
     #[test]
     fn tiled_backend_matches_direct() {
-        let space =
-            PeriodicSplineSpace::new(Breaks::uniform(64, 0.0, 1.0).unwrap(), 3).unwrap();
+        let space = PeriodicSplineSpace::new(Breaks::uniform(64, 0.0, 1.0).unwrap(), 3).unwrap();
         let velocities = vec![0.3, -0.1];
         let mut adv_d = Advection1D::new(
             SplineBackend::direct(space.clone(), BuilderVersion::FusedSpmv).unwrap(),
@@ -626,8 +653,7 @@ mod tests {
 
     #[test]
     fn verified_backend_matches_direct_and_reports_clean() {
-        let space =
-            PeriodicSplineSpace::new(Breaks::uniform(48, 0.0, 1.0).unwrap(), 3).unwrap();
+        let space = PeriodicSplineSpace::new(Breaks::uniform(48, 0.0, 1.0).unwrap(), 3).unwrap();
         let velocities = vec![0.3, -0.2, 0.7];
         let mut adv_d = Advection1D::new(
             SplineBackend::direct(space.clone(), BuilderVersion::FusedSpmv).unwrap(),
@@ -667,8 +693,7 @@ mod tests {
 
     #[test]
     fn verified_backend_quarantines_poisoned_lane() {
-        let space =
-            PeriodicSplineSpace::new(Breaks::uniform(32, 0.0, 1.0).unwrap(), 3).unwrap();
+        let space = PeriodicSplineSpace::new(Breaks::uniform(32, 0.0, 1.0).unwrap(), 3).unwrap();
         let mut adv = Advection1D::new(
             SplineBackend::direct_verified(
                 space,
@@ -717,8 +742,7 @@ mod tests {
 
     #[test]
     fn non_finite_dt_rejected_on_every_backend() {
-        let space =
-            PeriodicSplineSpace::new(Breaks::uniform(32, 0.0, 1.0).unwrap(), 3).unwrap();
+        let space = PeriodicSplineSpace::new(Breaks::uniform(32, 0.0, 1.0).unwrap(), 3).unwrap();
         let backends: Vec<SplineBackend> = vec![
             SplineBackend::direct(space.clone(), BuilderVersion::FusedSpmv).unwrap(),
             SplineBackend::direct_verified(
@@ -758,8 +782,7 @@ mod tests {
 
     #[test]
     fn non_finite_velocity_rejected() {
-        let space =
-            PeriodicSplineSpace::new(Breaks::uniform(32, 0.0, 1.0).unwrap(), 3).unwrap();
+        let space = PeriodicSplineSpace::new(Breaks::uniform(32, 0.0, 1.0).unwrap(), 3).unwrap();
         let backend = SplineBackend::direct(space, BuilderVersion::FusedSpmv).unwrap();
         let err = Advection1D::new(backend, vec![0.1, f64::NEG_INFINITY, 0.3], 1e-2)
             .map(|_| ())

@@ -82,11 +82,9 @@ impl VlasovPoisson1D1V {
         verify: Option<VerifyConfig>,
         f0: impl Fn(f64, f64) -> f64,
     ) -> Result<Self> {
-        let space_x = PeriodicSplineSpace::new(
-            Breaks::uniform(nx, 0.0, lx).map_err(spline_err)?,
-            degree,
-        )
-        .map_err(spline_err)?;
+        let space_x =
+            PeriodicSplineSpace::new(Breaks::uniform(nx, 0.0, lx).map_err(spline_err)?, degree)
+                .map_err(spline_err)?;
         let space_v = PeriodicSplineSpace::new(
             Breaks::uniform(nv, -v_max, v_max).map_err(spline_err)?,
             degree,
@@ -98,11 +96,9 @@ impl VlasovPoisson1D1V {
 
         let backend = |space: PeriodicSplineSpace| -> Result<SplineBackend> {
             match &verify {
-                Some(config) => SplineBackend::direct_verified(
-                    space,
-                    BuilderVersion::FusedSpmv,
-                    config.clone(),
-                ),
+                Some(config) => {
+                    SplineBackend::direct_verified(space, BuilderVersion::FusedSpmv, config.clone())
+                }
                 None => SplineBackend::direct(space, BuilderVersion::FusedSpmv),
             }
         };
@@ -158,10 +154,7 @@ impl VlasovPoisson1D1V {
     pub fn advection_diagnostics(
         &self,
     ) -> (Option<&AdvectionDiagnostics>, Option<&AdvectionDiagnostics>) {
-        (
-            self.adv_x.last_diagnostics(),
-            self.adv_v.last_diagnostics(),
-        )
+        (self.adv_x.last_diagnostics(), self.adv_v.last_diagnostics())
     }
 
     /// Charge density `ρ(x_i) = ∫ f dv` (uniform quadrature).
@@ -213,7 +206,8 @@ impl VlasovPoisson1D1V {
         transpose_into_with(exec, &self.f, &mut self.f_t).map_err(|e| Error::ShapeMismatch {
             detail: e.to_string(),
         })?;
-        self.adv_v.step_with_displacements(exec, &mut self.f_t, &disp)?;
+        self.adv_v
+            .step_with_displacements(exec, &mut self.f_t, &disp)?;
         let mut back = std::mem::replace(
             &mut self.f,
             Matrix::zeros(self.v_grid.len(), self.x_grid.len(), Layout::Right),
@@ -236,8 +230,7 @@ fn spline_err(e: pp_bsplines::Error) -> Error {
 /// Maxwellian beams with a small sinusoidal seed.
 pub fn two_stream(v0: f64, amplitude: f64, k: f64) -> impl Fn(f64, f64) -> f64 {
     move |x: f64, v: f64| {
-        let beams = 0.5
-            * ((-(v - v0) * (v - v0) / 0.5).exp() + (-(v + v0) * (v + v0) / 0.5).exp())
+        let beams = 0.5 * ((-(v - v0) * (v - v0) / 0.5).exp() + (-(v + v0) * (v + v0) / 0.5).exp())
             / (0.5 * std::f64::consts::PI).sqrt();
         beams * (1.0 + amplitude * (k * x).cos())
     }
@@ -264,10 +257,8 @@ mod tests {
 
     #[test]
     fn poisson_solver_zero_for_uniform_density() {
-        let mut s = VlasovPoisson1D1V::new(16, 16, 1.0, 4.0, 3, 0.1, |_, v| {
-            (-v * v).exp()
-        })
-        .unwrap();
+        let mut s =
+            VlasovPoisson1D1V::new(16, 16, 1.0, 4.0, 3, 0.1, |_, v| (-v * v).exp()).unwrap();
         s.solve_poisson();
         for &e in s.e_field() {
             assert!(e.abs() < 1e-12, "uniform density must give E = 0");
@@ -332,8 +323,7 @@ mod tests {
     #[test]
     fn verified_solver_matches_plain_and_reports_clean() {
         let init = two_stream(1.4, 0.01, 0.5);
-        let mut plain =
-            VlasovPoisson1D1V::new(32, 32, 4.0, 5.0, 3, 0.05, &init).unwrap();
+        let mut plain = VlasovPoisson1D1V::new(32, 32, 4.0, 5.0, 3, 0.05, &init).unwrap();
         let mut verified = VlasovPoisson1D1V::new_verified(
             32,
             32,
@@ -352,9 +342,7 @@ mod tests {
         }
         // Healthy batches are bit-identical, so the whole simulation is.
         assert_eq!(
-            plain
-                .distribution()
-                .max_abs_diff(verified.distribution()),
+            plain.distribution().max_abs_diff(verified.distribution()),
             0.0
         );
         let (dx, dv) = verified.advection_diagnostics();

@@ -25,7 +25,11 @@ fn main() {
     println!("fig2/advection_step (nx = {nx})");
     for nv in [100usize, 1000] {
         for iterative in [false, true] {
-            let label = if iterative { "ginkgo" } else { "kokkos-kernels" };
+            let label = if iterative {
+                "ginkgo"
+            } else {
+                "kokkos-kernels"
+            };
             let mut adv = setup(&cfg, nx, nv, iterative);
             let mut f = adv.init_distribution(|x, _| (std::f64::consts::TAU * x).sin() + 2.0);
             adv.step(&Parallel, &mut f).expect("warm-up");

@@ -12,10 +12,9 @@ fn main() {
     let rhs = Matrix::from_fn(n, batch, Layout::Left, |i, j| ((i + j) % 7) as f64 + 1.0);
 
     let pt = pttrf(&vec![4.0; n], &vec![-1.0; n - 1]).expect("pttrf");
-    let pb = pbtrf(
-        &SymBandedMatrix::from_fn(n, 2, |i, j| if i == j { 6.0 } else { -1.0 }).expect("pb"),
-    )
-    .expect("pbtrf");
+    let pb =
+        pbtrf(&SymBandedMatrix::from_fn(n, 2, |i, j| if i == j { 6.0 } else { -1.0 }).expect("pb"))
+            .expect("pbtrf");
     let gb = gbtrf(
         &BandedMatrix::from_fn(n, 2, 2, |i, j| {
             if i == j {

@@ -22,9 +22,7 @@ fn bench_builder_versions() {
         let mut work = rhs.clone();
         let d = time_mean(5, || {
             work.deep_copy_from(&rhs).expect("same shape");
-            builder
-                .solve_in_place(&Parallel, &mut work)
-                .expect("solve");
+            builder.solve_in_place(&Parallel, &mut work).expect("solve");
         });
         println!("  {:>16} {}", version.label(), fmt_ms(d));
     }
@@ -36,14 +34,11 @@ fn bench_degrees() {
     let rhs = Matrix::from_fn(nx, nv, Layout::Left, |i, j| ((i + j) % 11) as f64);
     println!("table3/spline_configs ({nx} x {nv})");
     for cfg in SplineConfig::ALL {
-        let builder =
-            SplineBuilder::new(cfg.space(nx), BuilderVersion::FusedSpmv).expect("setup");
+        let builder = SplineBuilder::new(cfg.space(nx), BuilderVersion::FusedSpmv).expect("setup");
         let mut work = rhs.clone();
         let d = time_mean(5, || {
             work.deep_copy_from(&rhs).expect("same shape");
-            builder
-                .solve_in_place(&Parallel, &mut work)
-                .expect("solve");
+            builder.solve_in_place(&Parallel, &mut work).expect("solve");
         });
         println!("  {:>24} {}", cfg.label(), fmt_ms(d));
     }

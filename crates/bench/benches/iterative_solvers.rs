@@ -12,8 +12,14 @@ fn main() {
     let iters = 5;
     println!("table4/iterative_solve ({nx} x {nv}, mean of {iters})");
     for cfg in [
-        SplineConfig { degree: 3, uniform: true },
-        SplineConfig { degree: 5, uniform: false },
+        SplineConfig {
+            degree: 3,
+            uniform: true,
+        },
+        SplineConfig {
+            degree: 5,
+            uniform: false,
+        },
     ] {
         for kind in [KrylovKind::Gmres, KrylovKind::BiCgStab] {
             let mut config = IterativeConfig::cpu();

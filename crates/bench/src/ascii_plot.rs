@@ -68,10 +68,10 @@ impl AsciiPlot {
         let mut grid = vec![vec![' '; self.width]; self.height];
         for s in &self.series {
             for &(x, y) in &s.points {
-                let cx = ((x.log10() - lx0) / (lx1 - lx0) * (self.width - 1) as f64).round()
-                    as usize;
-                let cy = ((y.log10() - ly0) / (ly1 - ly0) * (self.height - 1) as f64).round()
-                    as usize;
+                let cx =
+                    ((x.log10() - lx0) / (lx1 - lx0) * (self.width - 1) as f64).round() as usize;
+                let cy =
+                    ((y.log10() - ly0) / (ly1 - ly0) * (self.height - 1) as f64).round() as usize;
                 let row = self.height - 1 - cy.min(self.height - 1);
                 grid[row][cx.min(self.width - 1)] = s.marker;
             }

@@ -51,7 +51,11 @@ fn main() {
         let mut b = rhs.clone();
         let start = Instant::now();
         solver.solve_in_place(&mut b, None).expect("convergence");
-        println!("{:>12} {:>11.1} ms", chunk, start.elapsed().as_secs_f64() * 1e3);
+        println!(
+            "{:>12} {:>11.1} ms",
+            chunk,
+            start.elapsed().as_secs_f64() * 1e3
+        );
     }
     println!("\nexpected: larger blocks cut iterations; chunk size mostly flat on a CPU");
     println!("(it exists to bound memory and respect the 65535 GPU grid limit).");

@@ -33,8 +33,14 @@ fn main() {
     );
 
     for cfg in [
-        SplineConfig { degree: 3, uniform: true },
-        SplineConfig { degree: 5, uniform: false },
+        SplineConfig {
+            degree: 3,
+            uniform: true,
+        },
+        SplineConfig {
+            degree: 5,
+            uniform: false,
+        },
     ] {
         let builder =
             SplineBuilder::new(cfg.space(args.nx), BuilderVersion::FusedSpmv).expect("setup");
@@ -46,9 +52,7 @@ fn main() {
             let mut work = rhs.clone();
             let t = time_mean(args.iters, || {
                 work.deep_copy_from(&rhs).expect("same shape");
-                builder
-                    .solve_in_place(&Parallel, &mut work)
-                    .expect("solve");
+                builder.solve_in_place(&Parallel, &mut work).expect("solve");
             });
             times.push(t);
         }

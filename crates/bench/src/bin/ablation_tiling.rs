@@ -49,15 +49,19 @@ fn main() {
 
     println!("\n=== full spline builder: per-lane fused+spmv vs lane-tiled ===\n");
     for cfg in [
-        SplineConfig { degree: 3, uniform: true },
-        SplineConfig { degree: 5, uniform: false },
+        SplineConfig {
+            degree: 3,
+            uniform: true,
+        },
+        SplineConfig {
+            degree: 5,
+            uniform: false,
+        },
     ] {
         let builder =
             SplineBuilder::new(cfg.space(args.nx), BuilderVersion::FusedSpmv).expect("setup");
         for layout in [Layout::Left, Layout::Right] {
-            let rhs = Matrix::from_fn(args.nx, args.nv, layout, |i, j| {
-                ((i * 3 + j) % 11) as f64
-            });
+            let rhs = Matrix::from_fn(args.nx, args.nv, layout, |i, j| ((i * 3 + j) % 11) as f64);
             let mut work = rhs.clone();
             let t_lane = time_mean(args.iters, || {
                 work.deep_copy_from(&rhs).expect("shape");

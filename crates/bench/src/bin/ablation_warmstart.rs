@@ -36,9 +36,8 @@ fn main() {
             // plus a small per-step drift, like a distribution function
             // between consecutive semi-Lagrangian steps.
             let mut b = Matrix::from_fn(args.nx, args.nv, Layout::Left, |i, j| {
-                let base = ((i.wrapping_mul(2654435761).wrapping_add(j * 131)) % 997) as f64
-                    / 498.5
-                    - 1.0;
+                let base =
+                    ((i.wrapping_mul(2654435761).wrapping_add(j * 131)) % 997) as f64 / 498.5 - 1.0;
                 let drift = ((i * 7 + j + step) % 13) as f64 / 13.0;
                 base + 1e-7 * step as f64 * drift
             });

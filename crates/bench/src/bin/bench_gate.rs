@@ -1,0 +1,234 @@
+//! Bench-regression gate: compare a fresh `--smoke` bench run against a
+//! committed full-size baseline and fail on gross regressions.
+//!
+//! Smoke runs use smaller sizes and far fewer reps than the committed
+//! baselines, so exact comparison is meaningless. What *is* stable
+//! across sizes is (a) per-dispatch pool latency at a given batch count,
+//! and (b) the structure of the phase profile (which versions exist,
+//! that phases cover most of the wall clock, that the dispatch histogram
+//! is populated). The gate checks only those, with deliberately generous
+//! tolerances — it exists to catch "dispatch got 10x slower" or "the
+//! instrumentation layer stopped attributing", not 20% noise. Timing
+//! comparisons additionally get a fixed absolute slack so single-core CI
+//! scheduler hiccups at microsecond scales cannot trip the gate.
+//!
+//! Usage:
+//!   bench_gate --kind dispatch --baseline BENCH_dispatch.json \
+//!       --candidate target/BENCH_dispatch_smoke.json [--tol 4.0]
+//!   bench_gate --kind phases --baseline BENCH_phases.json \
+//!       --candidate target/BENCH_phases_smoke.json [--tol 4.0]
+
+use pp_bench::json::Json;
+use std::process::ExitCode;
+
+/// Absolute slack added on top of the ratio tolerance for nanosecond
+/// latency comparisons (absorbs scheduler noise on loaded CI runners).
+const LATENCY_SLACK_NS: f64 = 25_000.0;
+
+/// Minimum fraction of wall clock the phase spans must attribute.
+const MIN_PHASE_COVER: f64 = 0.5;
+
+struct Gate {
+    failures: Vec<String>,
+    checks: usize,
+}
+
+impl Gate {
+    fn new() -> Self {
+        Gate {
+            failures: Vec::new(),
+            checks: 0,
+        }
+    }
+
+    fn check(&mut self, ok: bool, what: impl Into<String>) {
+        self.checks += 1;
+        let what = what.into();
+        if ok {
+            println!("  ok   {what}");
+        } else {
+            println!("  FAIL {what}");
+            self.failures.push(what);
+        }
+    }
+
+    /// `candidate <= tol * baseline + slack`, reported with the numbers.
+    fn check_latency(&mut self, what: &str, candidate: f64, baseline: f64, tol: f64) {
+        let bound = tol * baseline + LATENCY_SLACK_NS;
+        self.check(
+            candidate <= bound,
+            format!("{what}: {candidate:.0} ns <= {tol}x{baseline:.0}+slack = {bound:.0} ns"),
+        );
+    }
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    Json::parse(&text).unwrap_or_else(|e| panic!("parsing {path}: {e}"))
+}
+
+fn f64_at(v: &Json, path: &[&str]) -> Option<f64> {
+    v.at(path).and_then(Json::as_f64)
+}
+
+/// Gate the dispatch_overhead bench: per-batch pool latency must stay
+/// within `tol`x of the committed baseline for every batch count the
+/// smoke run shares with it.
+fn gate_dispatch(gate: &mut Gate, baseline: &Json, candidate: &Json, tol: f64) {
+    gate.check(
+        candidate.get("bench").and_then(Json::as_str) == Some("dispatch_overhead"),
+        "candidate is a dispatch_overhead document",
+    );
+    let base_rows = baseline
+        .get("per_dispatch_latency_ns")
+        .and_then(Json::as_array)
+        .unwrap_or(&[]);
+    let cand_rows = candidate
+        .get("per_dispatch_latency_ns")
+        .and_then(Json::as_array)
+        .unwrap_or(&[]);
+    gate.check(!cand_rows.is_empty(), "candidate has latency rows");
+    let mut compared = 0usize;
+    for row in cand_rows {
+        let (Some(batch), Some(pool)) = (f64_at(row, &["batch"]), f64_at(row, &["pool"])) else {
+            gate.check(false, "latency row has batch+pool fields");
+            continue;
+        };
+        let Some(base_pool) = base_rows
+            .iter()
+            .find(|r| f64_at(r, &["batch"]) == Some(batch))
+            .and_then(|r| f64_at(r, &["pool"]))
+        else {
+            // Smoke batch missing from the baseline: nothing to compare.
+            continue;
+        };
+        compared += 1;
+        gate.check_latency(
+            &format!("pool latency @ batch {batch}"),
+            pool,
+            base_pool,
+            tol,
+        );
+    }
+    gate.check(
+        compared > 0,
+        "at least one batch count overlaps the baseline",
+    );
+    gate.check(
+        f64_at(candidate, &["pool_stats", "dispatches"]).unwrap_or(0.0) > 0.0,
+        "pool actually dispatched work",
+    );
+}
+
+/// Gate the phase_profile bench: the instrumentation layer must still
+/// attribute the solve, for the same version set as the baseline.
+fn gate_phases(gate: &mut Gate, baseline: &Json, candidate: &Json, tol: f64) {
+    gate.check(
+        candidate.get("bench").and_then(Json::as_str) == Some("phase_profile"),
+        "candidate is a phase_profile document",
+    );
+    gate.check(
+        candidate.get("instrumented").and_then(Json::as_bool) == Some(true),
+        "candidate was built with --features instrument",
+    );
+    let version_names = |doc: &Json| -> Vec<String> {
+        doc.get("versions")
+            .and_then(Json::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|v| v.get("version").and_then(Json::as_str).map(String::from))
+            .collect()
+    };
+    let base_versions = version_names(baseline);
+    let cand_versions = version_names(candidate);
+    gate.check(
+        base_versions == cand_versions && !cand_versions.is_empty(),
+        format!(
+            "version set matches baseline ({})",
+            cand_versions.join(", ")
+        ),
+    );
+    for v in candidate
+        .get("versions")
+        .and_then(Json::as_array)
+        .unwrap_or(&[])
+    {
+        let name = v.get("version").and_then(Json::as_str).unwrap_or("?");
+        let cover = f64_at(v, &["phase_cover"]).unwrap_or(0.0);
+        gate.check(
+            cover >= MIN_PHASE_COVER,
+            format!("{name}: phase cover {cover:.3} >= {MIN_PHASE_COVER}"),
+        );
+        let phases = v
+            .get("phases")
+            .and_then(Json::as_array)
+            .map_or(0, <[Json]>::len);
+        gate.check(phases > 0, format!("{name}: at least one phase attributed"));
+        let glups = v
+            .at(&["roofline", "glups"])
+            .map(|g| g.as_f64().unwrap_or(f64::NAN));
+        gate.check(
+            matches!(glups, Some(g) if g.is_finite() && g > 0.0),
+            format!("{name}: roofline GLUPS is finite and positive"),
+        );
+    }
+    let cand_mean = f64_at(candidate, &["pool", "dispatch_ns", "mean"]);
+    let base_mean = f64_at(baseline, &["pool", "dispatch_ns", "mean"]);
+    gate.check(
+        f64_at(candidate, &["pool", "dispatch_ns", "count"]).unwrap_or(0.0) > 0.0,
+        "dispatch histogram is populated",
+    );
+    if let (Some(c), Some(b)) = (cand_mean, base_mean) {
+        gate.check_latency("mean instrumented dispatch latency", c, b, tol);
+    }
+}
+
+fn main() -> ExitCode {
+    let mut kind = String::new();
+    let mut baseline = String::new();
+    let mut candidate = String::new();
+    let mut tol = 4.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut grab = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{what} needs a value"))
+        };
+        match a.as_str() {
+            "--kind" => kind = grab("--kind"),
+            "--baseline" => baseline = grab("--baseline"),
+            "--candidate" => candidate = grab("--candidate"),
+            "--tol" => tol = grab("--tol").parse().expect("--tol needs a number"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    assert!(
+        !kind.is_empty() && !baseline.is_empty() && !candidate.is_empty(),
+        "usage: bench_gate --kind dispatch|phases --baseline PATH --candidate PATH [--tol F]"
+    );
+    assert!(
+        tol >= 3.0,
+        "tolerances below 3x are noise-chasing; got {tol}"
+    );
+
+    let base = load(&baseline);
+    let cand = load(&candidate);
+    println!("=== bench_gate: {kind} ({candidate} vs {baseline}, tol {tol}x) ===");
+    let mut gate = Gate::new();
+    match kind.as_str() {
+        "dispatch" => gate_dispatch(&mut gate, &base, &cand, tol),
+        "phases" => gate_phases(&mut gate, &base, &cand, tol),
+        other => panic!("unknown --kind {other:?} (expected dispatch|phases)"),
+    }
+    if gate.failures.is_empty() {
+        println!("bench_gate: {} check(s) passed", gate.checks);
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "bench_gate: {}/{} check(s) FAILED",
+            gate.failures.len(),
+            gate.checks
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -62,7 +62,11 @@ fn touch_lane(j: usize, mut lane: pp_portable::StridedMut<'_>) {
 
 /// Mean GLUPS of the advection step at (nx, nv) on one executor.
 fn advection_glups<E: ExecSpace>(exec: &E, nx: usize, nv: usize, iters: usize) -> f64 {
-    let space = pp_bench::SplineConfig { degree: 3, uniform: true }.space(nx);
+    let space = pp_bench::SplineConfig {
+        degree: 3,
+        uniform: true,
+    }
+    .space(nx);
     let backend = SplineBackend::direct(space, BuilderVersion::FusedSpmv).expect("setup");
     let velocities: Vec<f64> = (0..nv).map(|j| 0.1 + 0.8 * j as f64 / nv as f64).collect();
     let mut adv = Advection1D::new(backend, velocities, 1e-3).expect("setup");
@@ -76,7 +80,11 @@ fn advection_glups<E: ExecSpace>(exec: &E, nx: usize, nv: usize, iters: usize) -
 }
 
 fn json_f64(v: f64) -> String {
-    if v.is_finite() { format!("{v:.3}") } else { "null".into() }
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".into()
+    }
 }
 
 fn main() {
@@ -99,9 +107,7 @@ fn main() {
         (&[2, 4, 16, 64, 256, 1024, 4096, 16384], 300, 8)
     };
 
-    println!(
-        "=== dispatch_overhead: pooled Parallel vs per-call scoped threads vs Serial ==="
-    );
+    println!("=== dispatch_overhead: pooled Parallel vs per-call scoped threads vs Serial ===");
     println!(
         "worker budget: {} thread(s) (PP_NUM_THREADS overrides){}",
         num_threads(),
@@ -119,11 +125,19 @@ fn main() {
             "{batch},{pool_ns:.0},{scoped_ns:.0},{serial_ns:.0},{:.1}",
             scoped_ns / pool_ns
         );
-        latency.push(LatencyRow { batch, pool_ns, scoped_ns, serial_ns });
+        latency.push(LatencyRow {
+            batch,
+            pool_ns,
+            scoped_ns,
+            serial_ns,
+        });
     }
 
-    let glups_cases: &[(usize, usize)] =
-        if smoke { &[(64, 16)] } else { &[(256, 16), (256, 64), (1024, 64), (1024, 256)] };
+    let glups_cases: &[(usize, usize)] = if smoke {
+        &[(64, 16)]
+    } else {
+        &[(256, 16), (256, 64), (1024, 64), (1024, 256)]
+    };
     let glups_iters = if smoke { 5 } else { 50 };
     println!("\nsmall-batch advection GLUPS (direct backend, degree 3 uniform):");
     println!("nx,nv,pool,scoped,serial");
@@ -133,7 +147,13 @@ fn main() {
         let scoped = advection_glups(&ScopedParallel, nx, nv, glups_iters);
         let serial = advection_glups(&Serial, nx, nv, glups_iters);
         println!("{nx},{nv},{pool:.4},{scoped:.4},{serial:.4}");
-        throughput.push(GlupsRow { nx, nv, pool, scoped, serial });
+        throughput.push(GlupsRow {
+            nx,
+            nv,
+            pool,
+            scoped,
+            serial,
+        });
     }
 
     let stats = pool_stats();
@@ -178,7 +198,11 @@ fn main() {
             json_f64(r.scoped),
             json_f64(r.serial)
         );
-        j.push_str(if k + 1 < throughput.len() { ",\n" } else { "\n" });
+        j.push_str(if k + 1 < throughput.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     j.push_str("  ],\n");
     let _ = writeln!(

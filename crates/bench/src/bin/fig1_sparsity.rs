@@ -3,8 +3,8 @@
 //! the paper's size (n = 1000).
 
 use pp_bench::parse_args;
-use pp_bsplines::{assemble_interpolation_matrix, SplineMatrixStructure};
 use pp_bench::SplineConfig;
+use pp_bsplines::{assemble_interpolation_matrix, SplineMatrixStructure};
 use pp_sparse::SparsityPattern;
 
 fn main() {

@@ -89,7 +89,10 @@ fn main() {
     println!("device,config,nv,glups");
     let mut gpu_plot = AsciiPlot::new("model: A100/MI250X spline-build GLUPS vs Nv", 60, 14);
     for (device, marker) in [(Device::a100(), 'A'), (Device::mi250x(), 'M')] {
-        let cfg = SplineConfig { degree: 3, uniform: true };
+        let cfg = SplineConfig {
+            degree: 3,
+            uniform: true,
+        };
         let blocks = SchurBlocks::new(&cfg.space(args.nx)).expect("factorisation");
         let mut points = Vec::new();
         for &nv in &sweep {

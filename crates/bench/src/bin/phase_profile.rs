@@ -1,0 +1,238 @@
+//! Per-phase attribution of the batched spline solve — the reproduction
+//! of the paper's Table III methodology on CPU. Runs every
+//! `BuilderVersion` under the instrumentation layer, snapshots the phase
+//! totals, and writes `BENCH_phases.json` with derived GLUPS / achieved
+//! bandwidth / roofline-fraction figures.
+//!
+//! The attribution loop runs on `Serial` so that phase sums are
+//! comparable to wall clock (on a parallel executor span totals add up
+//! to CPU time, not elapsed time). A second, pooled section exercises
+//! `Parallel` to populate the dispatch-latency histogram and the pool
+//! busy/idle gauges.
+//!
+//! Build with `--features instrument` or the phase arrays come back
+//! empty (the layer compiles to a no-op without it).
+//!
+//! Usage: `phase_profile [--smoke] [--out PATH]`
+
+use pp_bench::SplineConfig;
+use pp_perfmodel::Device;
+use pp_portable::instrument::{self, RooflineAnnotation, Snapshot};
+use pp_portable::{publish_pool_metrics, ExecSpace, Layout, Matrix, Parallel, Serial};
+use pp_splinesolver::{BuilderVersion, SplineBuilder};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// One version's measured profile.
+struct VersionProfile {
+    version: BuilderVersion,
+    wall: Duration,
+    iters: usize,
+    snapshot: Snapshot,
+    roofline: RooflineAnnotation,
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Sum every recorded phase — the solve phases are non-nested leaf spans
+/// on the serial path, so the total is directly comparable to wall time.
+fn phase_sum_ns(snapshot: &Snapshot) -> u64 {
+    snapshot.phases.iter().map(|s| s.total_ns).sum()
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out = String::from("BENCH_phases.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument {other:?} (expected --smoke / --out PATH)"),
+        }
+    }
+
+    // Large lanes so per-lane span overhead (an `Instant::now` pair per
+    // routine per lane) stays far below the measured kernel time.
+    let (nx, nv, iters) = if smoke {
+        (128, 64, 3)
+    } else {
+        (1024, 1024, 30)
+    };
+    let device = Device::icelake();
+
+    println!("=== phase_profile: Table-III-style phase attribution ===");
+    println!(
+        "nx {nx}, nv {nv}, {iters} solve(s) per version, instrumented: {}{}",
+        instrument::enabled(),
+        if smoke { " [smoke]" } else { "" }
+    );
+    if !instrument::enabled() {
+        println!("warning: built without --features instrument; phase arrays will be empty");
+    }
+
+    let space = SplineConfig {
+        degree: 3,
+        uniform: true,
+    }
+    .space(nx);
+    let rhs = Matrix::from_fn(nx, nv, Layout::Left, |i, j| {
+        ((i * 31 + j * 17) % 97) as f64 / 97.0 - 0.5
+    });
+
+    let mut profiles = Vec::new();
+    for version in BuilderVersion::ALL {
+        let builder = SplineBuilder::new(space.clone(), version).expect("builder setup");
+        let mut b = rhs.clone();
+        // Warm-up outside the measured window.
+        builder
+            .solve_in_place(&Serial, &mut b)
+            .expect("warm-up solve");
+
+        instrument::reset();
+        let start = Instant::now();
+        for _ in 0..iters {
+            // Re-solving the coefficient block is numerically harmless and
+            // keeps rhs copies out of the timed window.
+            builder.solve_in_place(&Serial, &mut b).expect("solve");
+        }
+        let wall = start.elapsed();
+        let snapshot = Snapshot::capture();
+        let per_solve = wall / iters as u32;
+        let roofline = RooflineAnnotation::measured(&device, nx, nv, per_solve);
+
+        let cover = phase_sum_ns(&snapshot) as f64 / wall.as_nanos().max(1) as f64;
+        println!(
+            "{:<14} wall {:>9.3} ms/solve  cover {:>5.1}%  {:.4} GLUPS  {:>6.2} GB/s",
+            version.label(),
+            per_solve.as_secs_f64() * 1e3,
+            cover * 100.0,
+            roofline.glups,
+            roofline.achieved_bw_gbs,
+        );
+        for s in &snapshot.phases {
+            println!(
+                "    {:<14} {:>9.3} ms  ({} call(s))",
+                s.phase.name(),
+                s.total_ns as f64 / 1e6,
+                s.calls
+            );
+        }
+        profiles.push(VersionProfile {
+            version,
+            wall,
+            iters,
+            snapshot,
+            roofline,
+        });
+    }
+
+    // Pooled section: populate the dispatch histogram and pool gauges.
+    instrument::reset();
+    let pool_iters = if smoke { 2 } else { 5 };
+    let builder =
+        SplineBuilder::new(space.clone(), BuilderVersion::FusedSpmv).expect("builder setup");
+    let mut b = rhs.clone();
+    for _ in 0..pool_iters {
+        builder
+            .solve_in_place(&Parallel, &mut b)
+            .expect("pooled solve");
+        Parallel.for_each_lane_mut(&mut b, |_, mut lane| {
+            for i in 0..lane.len() {
+                lane[i] = std::hint::black_box(lane[i]);
+            }
+        });
+    }
+    publish_pool_metrics();
+    let pool_snapshot = Snapshot::capture();
+    if let Some(h) = pool_snapshot.histogram("pool.dispatch_ns") {
+        println!(
+            "\npool dispatch latency: {} dispatch(es), mean {:.0} ns, p50 ≤ {} ns, p99 ≤ {} ns",
+            h.count,
+            h.mean(),
+            h.quantile_upper_bound(0.50),
+            h.quantile_upper_bound(0.99),
+        );
+    }
+
+    // Hand-rolled JSON (the workspace is hermetic: no serde).
+    let mut j = String::new();
+    j.push_str("{\n  \"bench\": \"phase_profile\",\n");
+    let _ = writeln!(j, "  \"smoke\": {smoke},");
+    let _ = writeln!(j, "  \"instrumented\": {},", instrument::enabled());
+    let _ = writeln!(j, "  \"nx\": {nx},");
+    let _ = writeln!(j, "  \"nv\": {nv},");
+    let _ = writeln!(j, "  \"iters_per_version\": {iters},");
+    let _ = writeln!(j, "  \"device\": \"{}\",", device.name);
+    j.push_str("  \"versions\": [\n");
+    for (k, p) in profiles.iter().enumerate() {
+        let wall_ms = p.wall.as_secs_f64() * 1e3;
+        let cover = phase_sum_ns(&p.snapshot) as f64 / p.wall.as_nanos().max(1) as f64;
+        let _ = writeln!(j, "    {{");
+        let _ = writeln!(j, "      \"version\": \"{}\",", p.version.label());
+        let _ = writeln!(j, "      \"wall_ms\": {},", json_f64(wall_ms));
+        let _ = writeln!(
+            j,
+            "      \"wall_ms_per_solve\": {},",
+            json_f64(wall_ms / p.iters as f64)
+        );
+        let _ = writeln!(j, "      \"phase_cover\": {},", json_f64(cover));
+        j.push_str("      \"phases\": [\n");
+        for (i, s) in p.snapshot.phases.iter().enumerate() {
+            let _ = write!(
+                j,
+                "        {{\"phase\": \"{}\", \"calls\": {}, \"total_ms\": {}, \"mean_ns\": {}}}",
+                s.phase.name(),
+                s.calls,
+                json_f64(s.total_ns as f64 / 1e6),
+                json_f64(s.total_ns as f64 / s.calls.max(1) as f64),
+            );
+            j.push_str(if i + 1 < p.snapshot.phases.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        j.push_str("      ],\n");
+        let _ = writeln!(j, "      \"roofline\": {}", p.roofline.to_json());
+        j.push_str("    }");
+        j.push_str(if k + 1 < profiles.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ],\n");
+    // Pool section: dispatch histogram + gauges from the parallel run.
+    j.push_str("  \"pool\": {\n");
+    match pool_snapshot.histogram("pool.dispatch_ns") {
+        Some(h) => {
+            let _ = writeln!(
+                j,
+                "    \"dispatch_ns\": {{\"count\": {}, \"mean\": {}, \"min\": {}, \
+                 \"max\": {}, \"p50_le\": {}, \"p99_le\": {}}},",
+                h.count,
+                json_f64(h.mean()),
+                h.min,
+                h.max,
+                h.quantile_upper_bound(0.50),
+                h.quantile_upper_bound(0.99),
+            );
+        }
+        None => j.push_str("    \"dispatch_ns\": null,\n"),
+    }
+    j.push_str("    \"gauges\": {");
+    for (k, (name, v)) in pool_snapshot.gauges.iter().enumerate() {
+        let _ = write!(
+            j,
+            "{}\"{name}\": {}",
+            if k == 0 { "" } else { ", " },
+            json_f64(*v)
+        );
+    }
+    j.push_str("}\n  }\n}\n");
+    std::fs::write(&out, &j).expect("writing bench JSON");
+    println!("wrote {out}");
+}

@@ -34,14 +34,21 @@ fn main() {
 
     // ---------- Fig. 1: sparsity structure ----------
     println!("Fig. 1 — periodic spline matrix structure");
-    let cubic = SplineConfig { degree: 3, uniform: true }.space(nx);
+    let cubic = SplineConfig {
+        degree: 3,
+        uniform: true,
+    }
+    .space(nx);
     let a = assemble_interpolation_matrix(&cubic);
     let pat = SparsityPattern::from_dense(&a, 1e-12);
     let s = SplineMatrixStructure::analyze(&a, 3).expect("structured");
     check(
         "banded-plus-corners",
         s.border == 1 && (s.q_kl, s.q_ku) == (1, 1) && s.q_symmetric && s.lambda_nnz == 2,
-        format!("border {}, band ({}, {}), lambda nnz {}", s.border, s.q_kl, s.q_ku, s.lambda_nnz),
+        format!(
+            "border {}, band ({}, {}), lambda nnz {}",
+            s.border, s.q_kl, s.q_ku, s.lambda_nnz
+        ),
     );
     check(
         "tridiagonal density",
@@ -57,7 +64,11 @@ fn main() {
         check(
             &cfg.label(),
             blocks.q_class() == expected,
-            format!("{} (expect {})", blocks.q_class().routine(), expected.routine()),
+            format!(
+                "{} (expect {})",
+                blocks.q_class().routine(),
+                expected.routine()
+            ),
         );
     }
 
@@ -98,7 +109,10 @@ fn main() {
     let mut gmres_counts = Vec::new();
     let mut bicg_counts = Vec::new();
     for degree in [3usize, 4, 5] {
-        let cfg = SplineConfig { degree, uniform: true };
+        let cfg = SplineConfig {
+            degree,
+            uniform: true,
+        };
         for (kind, out) in [
             (KrylovKind::Gmres, &mut gmres_counts),
             (KrylovKind::BiCgStab, &mut bicg_counts),
@@ -135,11 +149,22 @@ fn main() {
     println!("\nTable V — bandwidth shape & P(a,p,H)");
     let mut model_bw = Vec::new();
     for cfg in [
-        SplineConfig { degree: 3, uniform: true },
-        SplineConfig { degree: 5, uniform: true },
+        SplineConfig {
+            degree: 3,
+            uniform: true,
+        },
+        SplineConfig {
+            degree: 5,
+            uniform: true,
+        },
     ] {
         let blocks = SchurBlocks::new(&cfg.space(nx)).expect("factorisation");
-        let p = predict(&Device::mi250x(), &blocks, BuilderVersion::FusedSpmv, 100_000);
+        let p = predict(
+            &Device::mi250x(),
+            &blocks,
+            BuilderVersion::FusedSpmv,
+            100_000,
+        );
         model_bw.push((nx as f64) * 100_000.0 * 8.0 / p.time_s / 1e9);
     }
     check(

@@ -17,7 +17,11 @@ fn main() {
             let blocks = SchurBlocks::new(&cfg.space(args.nx)).expect("factorisation");
             let class = blocks.q_class();
             let expected = QClass::from_table(degree, uniform);
-            let mark = if class == expected { "" } else { "  << MISMATCH" };
+            let mark = if class == expected {
+                ""
+            } else {
+                "  << MISMATCH"
+            };
             cells.push(format!(
                 "{} ({}){mark}",
                 match class {

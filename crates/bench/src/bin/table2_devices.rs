@@ -36,5 +36,7 @@ fn main() {
         format!("{} / {}", d.line_bytes, d.cache_assoc)
     });
     row("  resident lanes", &|d| d.resident_lanes.to_string());
-    row("  stream efficiency", &|d| format!("{}", d.stream_efficiency));
+    row("  stream efficiency", &|d| {
+        format!("{}", d.stream_efficiency)
+    });
 }

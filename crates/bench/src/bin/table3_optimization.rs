@@ -43,9 +43,7 @@ fn main() {
         let mut work = rhs.clone();
         let host = time_mean(args.iters, || {
             work.deep_copy_from(&rhs).expect("same shape");
-            builder
-                .solve_in_place(&Parallel, &mut work)
-                .expect("solve");
+            builder.solve_in_place(&Parallel, &mut work).expect("solve");
         });
         let t_a100 = predict(&a100, &blocks, version, args.nv).time_s;
         let t_mi = predict(&mi250x, &blocks, version, args.nv).time_s;

@@ -44,12 +44,10 @@ fn main() {
             config.kind = kind;
             config.max_block_size = 4;
             config.warm_start = false;
-            let solver =
-                IterativeSplineSolver::new(cfg.space(args.nx), config).expect("setup");
+            let solver = IterativeSplineSolver::new(cfg.space(args.nx), config).expect("setup");
             // Full-spectrum deterministic probe: every lane equally hard.
             let mut b = Matrix::from_fn(args.nx, args.nv, Layout::Left, |i, j| {
-                ((i.wrapping_mul(2654435761).wrapping_add(j * 97)) % 1000) as f64 / 500.0
-                    - 1.0
+                ((i.wrapping_mul(2654435761).wrapping_add(j * 97)) % 1000) as f64 / 500.0 - 1.0
             });
             let log = solver.solve_in_place(&mut b, None).expect("convergence");
             counts.push(log.max_iterations());

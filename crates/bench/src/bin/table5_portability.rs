@@ -36,17 +36,14 @@ fn main() {
     for cfg in SplineConfig::ALL {
         let space = cfg.space(args.nx);
         let blocks = SchurBlocks::new(&space).expect("factorisation");
-        let builder =
-            SplineBuilder::new(space.clone(), BuilderVersion::FusedSpmv).expect("setup");
+        let builder = SplineBuilder::new(space.clone(), BuilderVersion::FusedSpmv).expect("setup");
         let rhs = Matrix::from_fn(args.nx, args.nv, Layout::Left, |i, j| {
             ((i * 3 + j) % 17) as f64 / 17.0
         });
         let mut work = rhs.clone();
         let host = time_mean(args.iters, || {
             work.deep_copy_from(&rhs).expect("same shape");
-            builder
-                .solve_in_place(&Parallel, &mut work)
-                .expect("solve");
+            builder.solve_in_place(&Parallel, &mut work).expect("solve");
         });
         let bw_host = achieved_bandwidth_gbs(args.nx, args.nv, host);
         let t_a100 = predict(&a100, &blocks, BuilderVersion::FusedSpmv, args.nv).time_s;

@@ -15,19 +15,41 @@ pub struct SplineConfig {
 impl SplineConfig {
     /// All six configurations, in the paper's table order.
     pub const ALL: [SplineConfig; 6] = [
-        SplineConfig { degree: 3, uniform: true },
-        SplineConfig { degree: 4, uniform: true },
-        SplineConfig { degree: 5, uniform: true },
-        SplineConfig { degree: 3, uniform: false },
-        SplineConfig { degree: 4, uniform: false },
-        SplineConfig { degree: 5, uniform: false },
+        SplineConfig {
+            degree: 3,
+            uniform: true,
+        },
+        SplineConfig {
+            degree: 4,
+            uniform: true,
+        },
+        SplineConfig {
+            degree: 5,
+            uniform: true,
+        },
+        SplineConfig {
+            degree: 3,
+            uniform: false,
+        },
+        SplineConfig {
+            degree: 4,
+            uniform: false,
+        },
+        SplineConfig {
+            degree: 5,
+            uniform: false,
+        },
     ];
 
     /// Label in the paper's style, e.g. `uniform (Degree 3)`.
     pub fn label(&self) -> String {
         format!(
             "{} (Degree {})",
-            if self.uniform { "uniform" } else { "non-uniform" },
+            if self.uniform {
+                "uniform"
+            } else {
+                "non-uniform"
+            },
             self.degree
         )
     }

@@ -26,7 +26,10 @@ pub fn sim_version(v: BuilderVersion) -> KernelVersion {
     match v {
         BuilderVersion::Baseline => KernelVersion::Baseline,
         BuilderVersion::Fused => KernelVersion::Fused,
-        BuilderVersion::FusedSpmv => KernelVersion::FusedSpmv,
+        // The lane-tiled variant moves the same bytes as fused+spmv (the
+        // arithmetic per lane is identical); only the loop order differs,
+        // which the per-phase traffic model does not distinguish.
+        BuilderVersion::FusedSpmv | BuilderVersion::Tiled => KernelVersion::FusedSpmv,
     }
 }
 
@@ -70,7 +73,11 @@ mod tests {
 
     #[test]
     fn kernel_parameters_come_from_real_blocks() {
-        let space = SplineConfig { degree: 3, uniform: true }.space(128);
+        let space = SplineConfig {
+            degree: 3,
+            uniform: true,
+        }
+        .space(128);
         let blocks = SchurBlocks::new(&space).unwrap();
         let k = kernel_from_blocks(&blocks);
         assert_eq!(k.n, 128);
@@ -82,7 +89,11 @@ mod tests {
 
     #[test]
     fn prediction_orders_versions_like_table3() {
-        let space = SplineConfig { degree: 3, uniform: true }.space(256);
+        let space = SplineConfig {
+            degree: 3,
+            uniform: true,
+        }
+        .space(256);
         let blocks = SchurBlocks::new(&space).unwrap();
         // Shrink the device so the test-sized problem oversubscribes the
         // cache the way the paper-sized problem oversubscribes an A100.

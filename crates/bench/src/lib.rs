@@ -23,6 +23,7 @@
 pub mod ascii_plot;
 pub mod configs;
 pub mod gpu_model;
+pub mod json;
 
 pub use ascii_plot::AsciiPlot;
 pub use configs::{parse_args, BenchArgs, SplineConfig};

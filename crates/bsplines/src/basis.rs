@@ -57,7 +57,7 @@ pub fn eval_nonzero_basis_deriv(
     let d = degree as f64;
     for m in 0..=degree {
         let i = span - degree + m; // global index of B_{i,degree}
-        // B_{i,d-1} contribution (zero when m == 0: B_{span-d, d-1} ∉ support).
+                                   // B_{i,d-1} contribution (zero when m == 0: B_{span-d, d-1} ∉ support).
         let a = if m > 0 {
             lower[m - 1] / (knots[i + degree] - knots[i])
         } else {
@@ -141,7 +141,9 @@ mod tests {
 
     #[test]
     fn partition_of_unity_nonuniform() {
-        let knots = vec![0.0, 0.3, 0.5, 0.6, 1.1, 1.5, 2.4, 2.5, 3.0, 3.3, 4.0, 5.2, 6.0];
+        let knots = vec![
+            0.0, 0.3, 0.5, 0.6, 1.1, 1.5, 2.4, 2.5, 3.0, 3.3, 4.0, 5.2, 6.0,
+        ];
         for degree in 1..=4 {
             let span = 6; // x in [2.4, 2.5]
             for &x in &[2.4, 2.43, 2.499] {
@@ -167,7 +169,9 @@ mod tests {
 
     #[test]
     fn derivative_matches_finite_difference() {
-        let knots = vec![0.0, 0.4, 0.9, 1.3, 2.0, 2.2, 3.1, 3.9, 4.4, 5.0, 5.5, 6.3, 7.0];
+        let knots = vec![
+            0.0, 0.4, 0.9, 1.3, 2.0, 2.2, 3.1, 3.9, 4.4, 5.0, 5.5, 6.3, 7.0,
+        ];
         let degree = 3;
         let span = 6;
         let x = 2.6;

@@ -305,7 +305,11 @@ mod tests {
         // whole domain (no periodicity requirement here).
         for degree in [3usize, 4, 5] {
             let s = uniform(9, degree);
-            let f = |x: f64| (0..=degree).map(|p| (p as f64 + 0.5) * x.powi(p as i32)).sum::<f64>();
+            let f = |x: f64| {
+                (0..=degree)
+                    .map(|p| (p as f64 + 0.5) * x.powi(p as i32))
+                    .sum::<f64>()
+            };
             let values: Vec<f64> = s.interpolation_points().iter().map(|&x| f(x)).collect();
             let coefs = s.interpolate_naive(&values).unwrap();
             for i in 0..=50 {
@@ -359,7 +363,11 @@ mod tests {
         let ones = vec![1.0; s.num_basis()];
         assert!((s.integrate(&ones) - 1.0).abs() < 1e-13);
         // Exact for a cubic: interpolate x^3, integral must be 1/4.
-        let values: Vec<f64> = s.interpolation_points().iter().map(|&x| x * x * x).collect();
+        let values: Vec<f64> = s
+            .interpolation_points()
+            .iter()
+            .map(|&x| x * x * x)
+            .collect();
         let coefs = s.interpolate_naive(&values).unwrap();
         assert!((s.integrate(&coefs) - 0.25).abs() < 1e-12);
     }
@@ -374,10 +382,8 @@ mod tests {
             let n = g.gen_range(8usize..30);
             let strength = g.gen_range(0.0f64..0.8);
             let x = g.gen_range(0.0f64..1.0);
-            let s = ClampedSplineSpace::new(
-                Breaks::graded(n, 0.0, 1.0, strength).unwrap(),
-                degree,
-            ).unwrap();
+            let s = ClampedSplineSpace::new(Breaks::graded(n, 0.0, 1.0, strength).unwrap(), degree)
+                .unwrap();
             // Coefficients of a linear function are its Greville values.
             let coefs: Vec<f64> = (0..s.num_basis())
                 .map(|k| 2.0 * s.greville(k) - 0.7)

@@ -42,7 +42,10 @@ impl fmt::Display for Error {
                 write!(f, "break points not strictly increasing at index {index}")
             }
             Error::TooFewCells { cells, degree } => {
-                write!(f, "{cells} cells too few for degree {degree} (need > degree)")
+                write!(
+                    f,
+                    "{cells} cells too few for degree {degree} (need > degree)"
+                )
             }
             Error::UnsupportedDegree { degree } => {
                 write!(f, "degree {degree} unsupported (supported: 1..=5)")
@@ -68,7 +71,11 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(Error::NonMonotoneBreaks { index: 3 }.to_string().contains('3'));
-        assert!(Error::UnsupportedDegree { degree: 9 }.to_string().contains('9'));
+        assert!(Error::NonMonotoneBreaks { index: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(Error::UnsupportedDegree { degree: 9 }
+            .to_string()
+            .contains('9'));
     }
 }

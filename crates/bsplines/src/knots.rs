@@ -22,7 +22,10 @@ impl Breaks {
     /// Requires `n >= 1` and `x1 > x0`.
     pub fn uniform(n: usize, x0: f64, x1: f64) -> Result<Self> {
         if n == 0 || !(x1 > x0) {
-            return Err(Error::TooFewCells { cells: n, degree: 0 });
+            return Err(Error::TooFewCells {
+                cells: n,
+                degree: 0,
+            });
         }
         let h = (x1 - x0) / n as f64;
         let points = (0..=n).map(|i| x0 + h * i as f64).collect();
@@ -42,7 +45,10 @@ impl Breaks {
     /// paths can be exercised independently of the geometry).
     pub fn graded(n: usize, x0: f64, x1: f64, strength: f64) -> Result<Self> {
         if n == 0 || !(x1 > x0) {
-            return Err(Error::TooFewCells { cells: n, degree: 0 });
+            return Err(Error::TooFewCells {
+                cells: n,
+                degree: 0,
+            });
         }
         if !(0.0..1.0).contains(&strength) {
             return Err(Error::NonMonotoneBreaks { index: 0 });

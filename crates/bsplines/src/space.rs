@@ -334,8 +334,7 @@ mod tests {
 
     #[test]
     fn cell_of_nonuniform_matches_scan() {
-        let s =
-            PeriodicSplineSpace::new(Breaks::graded(20, 0.0, 2.0, 0.7).unwrap(), 3).unwrap();
+        let s = PeriodicSplineSpace::new(Breaks::graded(20, 0.0, 2.0, 0.7).unwrap(), 3).unwrap();
         for i in 0..200 {
             let x = 2.0 * (i as f64 + 0.5) / 200.0;
             let c = s.cell_of(x);
@@ -355,10 +354,7 @@ mod tests {
                 let ones = vec![1.0; s.num_basis()];
                 for i in 0..97 {
                     let x = i as f64 / 97.0;
-                    assert!(
-                        (s.eval(&ones, x) - 1.0).abs() < 1e-12,
-                        "deg {degree} x {x}"
-                    );
+                    assert!((s.eval(&ones, x) - 1.0).abs() < 1e-12, "deg {degree} x {x}");
                 }
             }
         }
@@ -488,10 +484,16 @@ mod tests {
             .unwrap();
             assert_eq!(s.placement(), PointPlacement::KnotLike);
             let pts = s.interpolation_points();
-            let values: Vec<f64> = pts.iter().map(|&x| (std::f64::consts::TAU * x).sin()).collect();
+            let values: Vec<f64> = pts
+                .iter()
+                .map(|&x| (std::f64::consts::TAU * x).sin())
+                .collect();
             let coefs = s.interpolate_naive(&values).unwrap();
             for (k, &x) in pts.iter().enumerate() {
-                assert!((s.eval(&coefs, x) - values[k]).abs() < 1e-10, "deg {degree}");
+                assert!(
+                    (s.eval(&coefs, x) - values[k]).abs() < 1e-10,
+                    "deg {degree}"
+                );
             }
         }
     }

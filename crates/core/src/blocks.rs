@@ -222,10 +222,9 @@ impl SchurBlocks {
         // --- border blocks ---
         let lambda_dense =
             Matrix::from_fn(border, q_size, Layout::Right, |i, j| a.get(q_size + i, j));
-        let delta =
-            Matrix::from_fn(border, border, Layout::Right, |i, j| {
-                a.get(q_size + i, q_size + j)
-            });
+        let delta = Matrix::from_fn(border, border, Layout::Right, |i, j| {
+            a.get(q_size + i, q_size + j)
+        });
 
         // β = Q⁻¹ γ, one solve per border column.
         let mut beta_dense = Matrix::zeros(q_size, border, Layout::Left);
@@ -288,8 +287,7 @@ impl SchurBlocks {
 
     fn factor_spd_banded(a: &Matrix, q_size: usize, kl: usize, ku: usize) -> Result<QFactors> {
         let kd = kl.max(ku);
-        let sym =
-            SymBandedMatrix::from_fn(q_size, kd, |i, j| a.get(i, j)).map_err(Error::from)?;
+        let sym = SymBandedMatrix::from_fn(q_size, kd, |i, j| a.get(i, j)).map_err(Error::from)?;
         Ok(QFactors::PdsBanded(pbtrf(&sym).map_err(Error::from)?))
     }
 
@@ -428,7 +426,11 @@ mod tests {
         let blocks = SchurBlocks::new(&space(256, 3, true)).unwrap();
         assert_eq!(blocks.lambda_coo().nnz(), 2);
         let q = blocks.q_size();
-        assert!(blocks.beta_coo().nnz() < q / 4, "β nnz {}", blocks.beta_coo().nnz());
+        assert!(
+            blocks.beta_coo().nnz() < q / 4,
+            "β nnz {}",
+            blocks.beta_coo().nnz()
+        );
         assert!(blocks.beta_coo().nnz() >= 4);
     }
 
@@ -442,7 +444,9 @@ mod tests {
         // Check Q·β == γ column by column using the dense matrix.
         for c in 0..b {
             for i in 0..q {
-                let qbeta: f64 = (0..q).map(|k| a.get(i, k) * blocks.beta_dense().get(k, c)).sum();
+                let qbeta: f64 = (0..q)
+                    .map(|k| a.get(i, k) * blocks.beta_dense().get(k, c))
+                    .sum();
                 let gamma = a.get(i, q + c);
                 assert!((qbeta - gamma).abs() < 1e-12, "({i},{c})");
             }

@@ -23,11 +23,12 @@ impl ClampedSplineBuilder {
     pub fn new(space: ClampedSplineSpace) -> Result<Self> {
         let dense = space.assemble_matrix();
         // Detect the actual bandwidths (≤ degree each side), then pack.
-        let structure = SplineMatrixStructure::analyze(&dense, space.degree()).ok_or_else(
-            || Error::UnexpectedStructure {
-                detail: "clamped interpolation matrix is not banded".into(),
-            },
-        )?;
+        let structure =
+            SplineMatrixStructure::analyze(&dense, space.degree()).ok_or_else(|| {
+                Error::UnexpectedStructure {
+                    detail: "clamped interpolation matrix is not banded".into(),
+                }
+            })?;
         // For a clamped space there is no corner block at all: analyze()
         // reports border 1 with empty-or-banded corners; we just need the
         // overall bandwidths, measured over the full matrix.

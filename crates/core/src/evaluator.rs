@@ -84,8 +84,7 @@ mod tests {
     use pp_portable::{Layout, Parallel, Serial};
 
     fn setup(n: usize, degree: usize) -> (PeriodicSplineSpace, SplineBuilder) {
-        let sp =
-            PeriodicSplineSpace::new(Breaks::uniform(n, 0.0, 1.0).unwrap(), degree).unwrap();
+        let sp = PeriodicSplineSpace::new(Breaks::uniform(n, 0.0, 1.0).unwrap(), degree).unwrap();
         let b = SplineBuilder::new(sp.clone(), BuilderVersion::FusedSpmv).unwrap();
         (sp, b)
     }
@@ -127,8 +126,10 @@ mod tests {
         let ev = SplineEvaluator::new(sp);
         let mut o1 = Matrix::zeros(30, 8, Layout::Left);
         let mut o2 = Matrix::zeros(30, 8, Layout::Left);
-        ev.eval_batched(&Serial, &coefs, &positions, &mut o1).unwrap();
-        ev.eval_batched(&Parallel, &coefs, &positions, &mut o2).unwrap();
+        ev.eval_batched(&Serial, &coefs, &positions, &mut o1)
+            .unwrap();
+        ev.eval_batched(&Parallel, &coefs, &positions, &mut o2)
+            .unwrap();
         assert_eq!(o1.max_abs_diff(&o2), 0.0);
     }
 
@@ -136,8 +137,9 @@ mod tests {
     fn positions_outside_domain_wrap() {
         let (sp, builder) = setup(20, 3);
         let pts = sp.interpolation_points();
-        let mut coefs =
-            Matrix::from_fn(20, 1, Layout::Left, |i, _| (std::f64::consts::TAU * pts[i]).sin());
+        let mut coefs = Matrix::from_fn(20, 1, Layout::Left, |i, _| {
+            (std::f64::consts::TAU * pts[i]).sin()
+        });
         builder.solve_in_place(&Serial, &mut coefs).unwrap();
         let ev = SplineEvaluator::new(sp);
         let inside = Matrix::from_fn(5, 1, Layout::Left, |i, _| 0.1 + 0.15 * i as f64);
@@ -156,8 +158,12 @@ mod tests {
         let coefs = Matrix::zeros(15, 4, Layout::Left); // wrong rows
         let positions = Matrix::zeros(10, 4, Layout::Left);
         let mut out = Matrix::zeros(10, 4, Layout::Left);
-        assert!(ev.eval_batched(&Serial, &coefs, &positions, &mut out).is_err());
+        assert!(ev
+            .eval_batched(&Serial, &coefs, &positions, &mut out)
+            .is_err());
         let coefs = Matrix::zeros(16, 3, Layout::Left); // batch mismatch
-        assert!(ev.eval_batched(&Serial, &coefs, &positions, &mut out).is_err());
+        assert!(ev
+            .eval_batched(&Serial, &coefs, &positions, &mut out)
+            .is_err());
     }
 }

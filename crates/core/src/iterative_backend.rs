@@ -11,12 +11,59 @@ use crate::error::{Error, Result};
 use pp_bsplines::{assemble_interpolation_matrix, PeriodicSplineSpace};
 use pp_iterative::{
     solver::{norm2, residual_into},
-    BiCg, BiCgStab, BlockJacobi, ChunkedSolver, Cg, ConvergenceLogger, Gmres, IterativeSolver,
+    BiCg, BiCgStab, BlockJacobi, Cg, ChunkedSolver, ConvergenceLogger, Gmres, IterativeSolver,
     Preconditioner, RecoveryEvent, RecoveryStage, SolveResult, StopCriteria, CPU_COLS_PER_CHUNK,
     GPU_COLS_PER_CHUNK,
 };
+use pp_portable::instrument::{counter, Counter};
 use pp_portable::{Layout, Matrix, Parallel};
 use pp_sparse::Csr;
+use std::sync::OnceLock;
+
+/// Cached counters for one recovery rung.
+struct StageMetrics {
+    attempts: Counter,
+    lanes_attempted: Counter,
+    lanes_recovered: Counter,
+}
+
+/// Cached counters for the whole recovery ladder.
+struct RecoveryMetrics {
+    reprecondition: StageMetrics,
+    solver_switch: StageMetrics,
+    direct_fallback: StageMetrics,
+}
+
+impl RecoveryMetrics {
+    fn of(&self, stage: RecoveryStage) -> &StageMetrics {
+        match stage {
+            RecoveryStage::Reprecondition => &self.reprecondition,
+            RecoveryStage::SolverSwitch => &self.solver_switch,
+            RecoveryStage::DirectFallback => &self.direct_fallback,
+        }
+    }
+}
+
+fn recovery_metrics() -> &'static RecoveryMetrics {
+    static METRICS: OnceLock<RecoveryMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| RecoveryMetrics {
+        reprecondition: StageMetrics {
+            attempts: counter("recovery.reprecondition.attempts"),
+            lanes_attempted: counter("recovery.reprecondition.lanes_attempted"),
+            lanes_recovered: counter("recovery.reprecondition.lanes_recovered"),
+        },
+        solver_switch: StageMetrics {
+            attempts: counter("recovery.solver_switch.attempts"),
+            lanes_attempted: counter("recovery.solver_switch.lanes_attempted"),
+            lanes_recovered: counter("recovery.solver_switch.lanes_recovered"),
+        },
+        direct_fallback: StageMetrics {
+            attempts: counter("recovery.direct_fallback.attempts"),
+            lanes_attempted: counter("recovery.direct_fallback.lanes_attempted"),
+            lanes_recovered: counter("recovery.direct_fallback.lanes_recovered"),
+        },
+    })
+}
 
 /// Which Krylov method to run. The paper's Ginkgo configuration uses
 /// GMRES on CPUs and BiCGStab on GPUs; CG and BiCG are the other two
@@ -264,6 +311,15 @@ impl IterativeSplineSolver {
                     self.direct_fallback(b, &rhs_orig, &failed, &mut logger)?
                 }
             };
+            recovery_metrics().of(stage).attempts.inc();
+            recovery_metrics()
+                .of(stage)
+                .lanes_attempted
+                .add(failed.len() as u64);
+            recovery_metrics()
+                .of(stage)
+                .lanes_recovered
+                .add(recovered.len() as u64);
             logger.record_recovery(RecoveryEvent {
                 stage,
                 lanes_attempted: failed,
@@ -363,7 +419,9 @@ impl IterativeSplineSolver {
         let builder = SplineBuilder::new(self.space.clone(), BuilderVersion::FusedSpmv)?;
         let mut block = Matrix::zeros(n, lanes.len(), Layout::Left);
         for (k, &lane) in lanes.iter().enumerate() {
-            block.col_mut(k).copy_from_slice(&rhs_orig.col(lane).to_vec());
+            block
+                .col_mut(k)
+                .copy_from_slice(&rhs_orig.col(lane).to_vec());
         }
         builder.solve_in_place(&Parallel, &mut block)?;
 
@@ -400,8 +458,8 @@ mod tests {
     use super::*;
     use crate::builder::{BuilderVersion, SplineBuilder};
     use pp_bsplines::Breaks;
-    use pp_portable::{Layout, Parallel};
     use pp_portable::TestRng;
+    use pp_portable::{Layout, Parallel};
 
     fn space(n: usize, degree: usize, uniform: bool) -> PeriodicSplineSpace {
         let breaks = if uniform {
@@ -424,8 +482,7 @@ mod tests {
                 let mut x_direct = rhs.clone();
                 direct.solve_in_place(&Parallel, &mut x_direct).unwrap();
 
-                let iter =
-                    IterativeSplineSolver::new(sp, IterativeConfig::gpu()).unwrap();
+                let iter = IterativeSplineSolver::new(sp, IterativeConfig::gpu()).unwrap();
                 let mut x_iter = rhs.clone();
                 let log = iter.solve_in_place(&mut x_iter, None).unwrap();
                 assert!(log.all_converged());

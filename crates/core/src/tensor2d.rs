@@ -121,16 +121,10 @@ pub fn uniform_tensor(
     version: BuilderVersion,
 ) -> Result<TensorSpline2D> {
     use pp_bsplines::Breaks;
-    let sx = PeriodicSplineSpace::new(
-        Breaks::uniform(nx, 0.0, 1.0).map_err(Error::Space)?,
-        degree,
-    )
-    .map_err(Error::Space)?;
-    let sy = PeriodicSplineSpace::new(
-        Breaks::uniform(ny, 0.0, 1.0).map_err(Error::Space)?,
-        degree,
-    )
-    .map_err(Error::Space)?;
+    let sx = PeriodicSplineSpace::new(Breaks::uniform(nx, 0.0, 1.0).map_err(Error::Space)?, degree)
+        .map_err(Error::Space)?;
+    let sy = PeriodicSplineSpace::new(Breaks::uniform(ny, 0.0, 1.0).map_err(Error::Space)?, degree)
+        .map_err(Error::Space)?;
     TensorSpline2D::new(sx, sy, version)
 }
 
@@ -178,8 +172,7 @@ mod tests {
     fn anisotropic_grid_and_mixed_degrees_via_spaces() {
         use pp_bsplines::Breaks;
         let sx = PeriodicSplineSpace::new(Breaks::uniform(40, 0.0, 2.0).unwrap(), 3).unwrap();
-        let sy =
-            PeriodicSplineSpace::new(Breaks::graded(16, -1.0, 1.0, 0.4).unwrap(), 4).unwrap();
+        let sy = PeriodicSplineSpace::new(Breaks::graded(16, -1.0, 1.0, 0.4).unwrap(), 4).unwrap();
         let t = TensorSpline2D::new(sx, sy, BuilderVersion::Fused).unwrap();
         let (px, py) = t.interpolation_points();
         let g = |x: f64, y: f64| (TAU * x / 2.0).cos() + (TAU * (y + 1.0) / 2.0).sin();

@@ -34,6 +34,7 @@ use crate::iterative_backend::{IterativeConfig, IterativeSplineSolver};
 use pp_bsplines::assemble_interpolation_matrix;
 use pp_iterative::solver::{norm2, residual_into};
 use pp_linalg::{getrf, refine_lane, LuFactors, RefineConfig};
+use pp_portable::instrument::{counter, Counter, PhaseId, Span};
 use pp_portable::{ExecSpace, Matrix, StridedMut};
 use pp_sparse::Csr;
 
@@ -190,6 +191,44 @@ impl fmt::Display for LaneVerdict {
             }
             LaneVerdict::Quarantined { reason } => write!(f, "quarantined: {reason}"),
         }
+    }
+}
+
+/// Cached counter handles for the verification outcome tallies.
+struct VerifyMetrics {
+    sampled: Counter,
+    verified: Counter,
+    refined: Counter,
+    recovered: Counter,
+    quarantined: Counter,
+}
+
+fn verify_metrics() -> &'static VerifyMetrics {
+    static METRICS: OnceLock<VerifyMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| VerifyMetrics {
+        sampled: counter("verify.lanes_sampled"),
+        verified: counter("verify.lanes_verified"),
+        refined: counter("verify.lanes_refined"),
+        recovered: counter("verify.lanes_recovered"),
+        quarantined: counter("verify.lanes_quarantined"),
+    })
+}
+
+/// Tally one batch's verdicts into the instrumentation counters.
+fn publish_verify_metrics(report: &LaneReport) {
+    if !pp_portable::instrument::enabled() {
+        return;
+    }
+    let m = verify_metrics();
+    for verdict in report.verdicts() {
+        match verdict {
+            LaneVerdict::Unsampled => continue,
+            LaneVerdict::Verified { .. } => m.verified.inc(),
+            LaneVerdict::Refined { .. } => m.refined.inc(),
+            LaneVerdict::Recovered { .. } => m.recovered.inc(),
+            LaneVerdict::Quarantined { .. } => m.quarantined.inc(),
+        }
+        m.sampled.inc();
     }
 }
 
@@ -379,6 +418,7 @@ impl VerifiedBuilder {
 
         let stride = self.config.sample_stride.max(1);
         let mut verdicts = Vec::with_capacity(b.ncols());
+        let verify_span = Span::enter(PhaseId::Verify);
         for lane in 0..b.ncols() {
             let probed = self.config.probe_lanes.contains(&lane);
             if !probed && lane % stride != 0 {
@@ -395,11 +435,20 @@ impl VerifiedBuilder {
             }
             verdicts.push(self.verify_lane(b, lane, &b_lane, probed));
         }
-        Ok(LaneReport { verdicts })
+        drop(verify_span);
+        let report = LaneReport { verdicts };
+        publish_verify_metrics(&report);
+        Ok(report)
     }
 
     /// Verify one lane whose input is already known finite.
-    fn verify_lane(&self, b: &mut Matrix, lane: usize, b_lane: &[f64], probed: bool) -> LaneVerdict {
+    fn verify_lane(
+        &self,
+        b: &mut Matrix,
+        lane: usize,
+        b_lane: &[f64],
+        probed: bool,
+    ) -> LaneVerdict {
         let mut x = b.col(lane).to_vec();
         let rr = self.relative_residual(&x, b_lane);
         if !probed && rr.is_finite() && rr <= self.config.residual_tol {
@@ -426,7 +475,9 @@ impl VerifiedBuilder {
             }
         }
 
-        // Stage 3: the factorization ladder.
+        // Stage 3: the factorization ladder. Attributed to the
+        // quarantine phase: only lanes headed for quarantine reach it.
+        let _span = Span::enter(PhaseId::Quarantine);
         let mut best = if rr.is_finite() { rr } else { f64::INFINITY };
         let mut saw_finite = rr.is_finite();
         if self.config.use_ladder {
@@ -654,7 +705,11 @@ mod tests {
             assert!(report.verdict(lane).is_healthy());
             for i in 0..32 {
                 // Bit-identical to the unverified batched kernel.
-                assert_eq!(x.get(i, lane), reference.get(i, lane), "lane {lane} row {i}");
+                assert_eq!(
+                    x.get(i, lane),
+                    reference.get(i, lane),
+                    "lane {lane} row {i}"
+                );
             }
         }
         // Quarantined lanes are zeroed, not NaN.

@@ -28,7 +28,7 @@ fn builder_inverts_interpolation() {
         let strength = g.gen_range(0.0f64..0.7);
         let batch = g.gen_range(1usize..8);
         let seed = g.gen_range(0u64..1000);
-        let version_idx = g.gen_range(0usize..3);
+        let version_idx = g.gen_range(0usize..BuilderVersion::ALL.len());
         let layout_left = g.gen_bool(0.5);
         let breaks = if strength < 0.05 {
             Breaks::uniform(n, 0.0, 1.0).unwrap()
@@ -38,7 +38,11 @@ fn builder_inverts_interpolation() {
         let space = PeriodicSplineSpace::new(breaks, degree).unwrap();
         let version = BuilderVersion::ALL[version_idx];
         let builder = SplineBuilder::new(space.clone(), version).unwrap();
-        let layout = if layout_left { Layout::Left } else { Layout::Right };
+        let layout = if layout_left {
+            Layout::Left
+        } else {
+            Layout::Right
+        };
         let values = Matrix::from_fn(n, batch, layout, |i, j| hash01(i, j, seed));
         let mut coefs = values.clone();
         builder.solve_in_place(&Parallel, &mut coefs).unwrap();
@@ -73,7 +77,9 @@ fn tiled_path_matches() {
         let mut a = values.clone();
         let mut b = values;
         builder.solve_in_place(&Parallel, &mut a).unwrap();
-        builder.solve_in_place_tiled(&Parallel, &mut b, tile).unwrap();
+        builder
+            .solve_in_place_tiled(&Parallel, &mut b, tile)
+            .unwrap();
         assert!(a.max_abs_diff(&b) < 1e-11);
     }
 }

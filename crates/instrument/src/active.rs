@@ -1,0 +1,343 @@
+//! Feature-on implementation: thread-local phase accumulators, a
+//! process-wide registry of named metrics, and RAII span timers.
+//!
+//! Recording is lock-free-ish: each thread owns an `Arc` block of
+//! relaxed atomics (registered under a mutex once per thread) and every
+//! record is a plain `fetch_add` on it. The global locks are touched only
+//! on first use per thread and on snapshot/reset — never per record.
+
+use crate::phase::PhaseId;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// `histogram` bucket count: bucket 0 holds zero, bucket `b ≥ 1` holds
+/// values in `[2^(b-1), 2^b)`, so 65 buckets cover all of `u64`.
+pub(crate) const HIST_BUCKETS: usize = 65;
+
+// ---------------------------------------------------------------------
+// Per-thread phase accumulators
+// ---------------------------------------------------------------------
+
+/// One thread's phase totals. Shared as `Arc` so totals survive thread
+/// exit (the registry keeps the other reference).
+pub(crate) struct PhaseBlock {
+    pub(crate) ns: [AtomicU64; PhaseId::COUNT],
+    pub(crate) calls: [AtomicU64; PhaseId::COUNT],
+}
+
+impl PhaseBlock {
+    fn new() -> Self {
+        PhaseBlock {
+            ns: [const { AtomicU64::new(0) }; PhaseId::COUNT],
+            calls: [const { AtomicU64::new(0) }; PhaseId::COUNT],
+        }
+    }
+}
+
+/// All phase blocks ever created, one per recording thread.
+static PHASE_BLOCKS: Mutex<Vec<Arc<PhaseBlock>>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static TL_PHASES: Arc<PhaseBlock> = {
+        let block = Arc::new(PhaseBlock::new());
+        PHASE_BLOCKS.lock().unwrap().push(Arc::clone(&block));
+        block
+    };
+}
+
+/// Record `ns` nanoseconds (one call) against `phase` on this thread.
+#[inline]
+pub fn record_phase_ns(phase: PhaseId, ns: u64) {
+    TL_PHASES.with(|b| {
+        b.ns[phase.index()].fetch_add(ns, Relaxed);
+        b.calls[phase.index()].fetch_add(1, Relaxed);
+    });
+}
+
+/// Sum of all threads' totals for every phase: `(total_ns, calls)`.
+pub(crate) fn phase_totals() -> [(u64, u64); PhaseId::COUNT] {
+    let mut out = [(0u64, 0u64); PhaseId::COUNT];
+    for block in PHASE_BLOCKS.lock().unwrap().iter() {
+        for (i, slot) in out.iter_mut().enumerate() {
+            slot.0 += block.ns[i].load(Relaxed);
+            slot.1 += block.calls[i].load(Relaxed);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Span / Timer
+// ---------------------------------------------------------------------
+
+/// RAII phase timer: one `Instant::now()` pair plus a thread-local add.
+///
+/// ```
+/// # use pp_instrument::{PhaseId, Span};
+/// {
+///     let _span = Span::enter(PhaseId::SolvePttrs);
+///     // ... timed work ...
+/// } // drop records the elapsed time
+/// ```
+#[must_use = "a span records on drop; binding it to _ drops immediately"]
+pub struct Span {
+    phase: PhaseId,
+    start: Instant,
+}
+
+impl Span {
+    /// Start timing `phase`; the elapsed time is recorded on drop.
+    #[inline]
+    pub fn enter(phase: PhaseId) -> Span {
+        Span {
+            phase,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for Span {
+    #[inline]
+    fn drop(&mut self) {
+        record_phase_ns(self.phase, self.start.elapsed().as_nanos() as u64);
+    }
+}
+
+/// Manual timer for call sites that feed the elapsed value somewhere
+/// else as well (e.g. a latency histogram *and* a phase).
+#[must_use]
+#[derive(Clone, Copy)]
+pub struct Timer {
+    start: Instant,
+}
+
+impl Timer {
+    /// Start the clock.
+    #[inline]
+    pub fn start() -> Timer {
+        Timer {
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since [`Timer::start`].
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+}
+
+// ---------------------------------------------------------------------
+// Named metrics registry
+// ---------------------------------------------------------------------
+
+/// Backing cell of a [`Histogram`].
+pub(crate) struct HistCell {
+    pub(crate) count: AtomicU64,
+    pub(crate) sum: AtomicU64,
+    pub(crate) min: AtomicU64,
+    pub(crate) max: AtomicU64,
+    pub(crate) buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl HistCell {
+    fn new() -> Self {
+        HistCell {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+        }
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Relaxed);
+        self.sum.store(0, Relaxed);
+        self.min.store(u64::MAX, Relaxed);
+        self.max.store(0, Relaxed);
+        for b in &self.buckets {
+            b.store(0, Relaxed);
+        }
+    }
+}
+
+/// Log2 bucket of `v`: 0 for 0, else `64 - leading_zeros` so bucket `b`
+/// spans `[2^(b-1), 2^b)`.
+#[inline]
+pub(crate) fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+#[derive(Default)]
+pub(crate) struct Registry {
+    pub(crate) counters: BTreeMap<&'static str, Arc<AtomicU64>>,
+    pub(crate) gauges: BTreeMap<&'static str, Arc<AtomicU64>>, // f64 bits
+    pub(crate) histograms: BTreeMap<&'static str, Arc<HistCell>>,
+}
+
+pub(crate) static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
+
+fn with_registry<T>(f: impl FnOnce(&mut Registry) -> T) -> T {
+    let mut guard = REGISTRY.lock().unwrap();
+    f(guard.get_or_insert_with(Registry::default))
+}
+
+/// Monotonic named counter. Handles are cheap `Arc` clones; look one up
+/// once (e.g. in a `OnceLock`) and `add` from any thread.
+#[derive(Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn value(&self) -> u64 {
+        self.cell.load(Relaxed)
+    }
+}
+
+/// Last-write-wins named gauge holding an `f64`.
+#[derive(Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.cell.store(v.to_bits(), Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.cell.load(Relaxed))
+    }
+}
+
+/// Log2-bucketed named histogram of `u64` samples (latencies in ns,
+/// iteration counts, …).
+#[derive(Clone)]
+pub struct Histogram {
+    cell: Arc<HistCell>,
+}
+
+impl Histogram {
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.cell.count.fetch_add(1, Relaxed);
+        self.cell.sum.fetch_add(v, Relaxed);
+        self.cell.min.fetch_min(v, Relaxed);
+        self.cell.max.fetch_max(v, Relaxed);
+        self.cell.buckets[bucket_of(v)].fetch_add(1, Relaxed);
+    }
+
+    /// Number of recorded samples.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.cell.count.load(Relaxed)
+    }
+}
+
+/// Look up (creating on first use) the counter named `name`.
+pub fn counter(name: &'static str) -> Counter {
+    with_registry(|r| Counter {
+        cell: Arc::clone(r.counters.entry(name).or_default()),
+    })
+}
+
+/// Look up (creating on first use) the gauge named `name`.
+pub fn gauge(name: &'static str) -> Gauge {
+    with_registry(|r| Gauge {
+        cell: Arc::clone(r.gauges.entry(name).or_default()),
+    })
+}
+
+/// Look up (creating on first use) the histogram named `name`.
+pub fn histogram(name: &'static str) -> Histogram {
+    with_registry(|r| Histogram {
+        cell: Arc::clone(
+            r.histograms
+                .entry(name)
+                .or_insert_with(|| Arc::new(HistCell::new())),
+        ),
+    })
+}
+
+/// Zero every phase total and named metric (handles stay valid).
+///
+/// Concurrent recording during a reset lands on whichever side of the
+/// zeroing it races with; call between measurement windows, not inside
+/// them.
+pub fn reset() {
+    for block in PHASE_BLOCKS.lock().unwrap().iter() {
+        for i in 0..PhaseId::COUNT {
+            block.ns[i].store(0, Relaxed);
+            block.calls[i].store(0, Relaxed);
+        }
+    }
+    let guard = REGISTRY.lock().unwrap();
+    if let Some(r) = guard.as_ref() {
+        for c in r.counters.values() {
+            c.store(0, Relaxed);
+        }
+        for g in r.gauges.values() {
+            g.store(0.0_f64.to_bits(), Relaxed);
+        }
+        for h in r.histograms.values() {
+            h.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn counter_roundtrip() {
+        let c = counter("test.active.counter");
+        let before = c.value();
+        c.add(41);
+        c.inc();
+        assert_eq!(counter("test.active.counter").value(), before + 42);
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let g = gauge("test.active.gauge");
+        g.set(1.5);
+        g.set(-2.25);
+        assert_eq!(gauge("test.active.gauge").value(), -2.25);
+    }
+}

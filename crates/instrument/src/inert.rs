@@ -1,0 +1,119 @@
+//! Feature-off implementation: the same API surface as [`crate::active`]
+//! with every type zero-sized and every method an inlined no-op. No
+//! global state exists in this configuration — there is nothing to
+//! allocate, lock, or leak.
+
+use crate::phase::PhaseId;
+
+/// RAII phase timer (inert: zero-sized, records nothing).
+///
+/// Deliberately NOT `Copy`: the active `Span` has a `Drop` impl, so
+/// call sites that end a span early with `drop(span)` must compile
+/// warning-free in both configurations.
+#[must_use = "a span records on drop; binding it to _ drops immediately"]
+pub struct Span;
+
+impl Span {
+    /// No-op.
+    #[inline(always)]
+    pub fn enter(_phase: PhaseId) -> Span {
+        Span
+    }
+}
+
+/// Manual timer (inert: zero-sized, reads no clock).
+#[must_use]
+#[derive(Clone, Copy)]
+pub struct Timer;
+
+impl Timer {
+    /// No-op.
+    #[inline(always)]
+    pub fn start() -> Timer {
+        Timer
+    }
+
+    /// Always zero.
+    #[inline(always)]
+    pub fn elapsed_ns(&self) -> u64 {
+        0
+    }
+}
+
+/// Monotonic named counter (inert).
+#[derive(Clone, Copy)]
+pub struct Counter;
+
+impl Counter {
+    /// No-op.
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn inc(&self) {}
+
+    /// Always zero.
+    #[inline(always)]
+    pub fn value(&self) -> u64 {
+        0
+    }
+}
+
+/// Named gauge (inert).
+#[derive(Clone, Copy)]
+pub struct Gauge;
+
+impl Gauge {
+    /// No-op.
+    #[inline(always)]
+    pub fn set(&self, _v: f64) {}
+
+    /// Always zero.
+    #[inline(always)]
+    pub fn value(&self) -> f64 {
+        0.0
+    }
+}
+
+/// Log2-bucketed named histogram (inert).
+#[derive(Clone, Copy)]
+pub struct Histogram;
+
+impl Histogram {
+    /// No-op.
+    #[inline(always)]
+    pub fn record(&self, _v: u64) {}
+
+    /// Always zero.
+    #[inline(always)]
+    pub fn count(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op.
+#[inline(always)]
+pub fn record_phase_ns(_phase: PhaseId, _ns: u64) {}
+
+/// Inert handle.
+#[inline(always)]
+pub fn counter(_name: &'static str) -> Counter {
+    Counter
+}
+
+/// Inert handle.
+#[inline(always)]
+pub fn gauge(_name: &'static str) -> Gauge {
+    Gauge
+}
+
+/// Inert handle.
+#[inline(always)]
+pub fn histogram(_name: &'static str) -> Histogram {
+    Histogram
+}
+
+/// No-op.
+#[inline(always)]
+pub fn reset() {}

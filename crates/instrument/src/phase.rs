@@ -1,0 +1,137 @@
+//! The static phase vocabulary every span attributes time to.
+//!
+//! Phases are a closed enum rather than free-form strings so that the
+//! hot-path record is an array index (no hashing, no allocation) and so
+//! that the Table-III-style phase decomposition is the same across every
+//! crate that reports into it.
+
+/// One phase of the batched spline pipeline.
+///
+/// The first block mirrors the paper's Table III decomposition of the
+/// Schur-complement solve (factor / interior solve / corner corrections /
+/// border solve); the rest cover the surrounding subsystems this
+/// reproduction has grown (dispatch, Krylov iteration, refinement,
+/// verification, advection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum PhaseId {
+    /// B-spline interpolation-matrix assembly.
+    Assemble,
+    /// `pttrf` factorization (tridiagonal LDLᵀ).
+    FactorPttrf,
+    /// `pbtrf` factorization (banded Cholesky).
+    FactorPbtrf,
+    /// `gbtrf` factorization (banded LU).
+    FactorGbtrf,
+    /// `getrf` factorization (dense LU, Schur border).
+    FactorGetrf,
+    /// `pttrs` interior solve.
+    SolvePttrs,
+    /// `pbtrs` interior solve.
+    SolvePbtrs,
+    /// `gbtrs` interior solve.
+    SolveGbtrs,
+    /// `getrs` dense solve of the Schur border system.
+    SchurGetrs,
+    /// Dense `gemv` corner correction (λ / β application).
+    CornerGemv,
+    /// Sparse COO `spmv` corner correction (the gemv→spmv optimisation).
+    CornerSpmv,
+    /// One executor dispatch (pool hand-off, barrier, hand-back).
+    Dispatch,
+    /// One Krylov solver iteration (CG/BiCGStab/…).
+    KrylovIter,
+    /// Iterative refinement of a direct solve.
+    Refine,
+    /// Residual verification sampling in `VerifiedBuilder`.
+    Verify,
+    /// Lane quarantine / fallback-ladder handling.
+    Quarantine,
+    /// Layout transpose around the batched solve.
+    Transpose,
+    /// Spline evaluation at the semi-Lagrangian feet.
+    Interpolate,
+    /// One whole `Advection1D::step`.
+    AdvectionStep,
+}
+
+impl PhaseId {
+    /// Number of phases (length of [`PhaseId::ALL`]).
+    pub const COUNT: usize = 19;
+
+    /// Every phase, in declaration order (= index order).
+    pub const ALL: [PhaseId; Self::COUNT] = [
+        PhaseId::Assemble,
+        PhaseId::FactorPttrf,
+        PhaseId::FactorPbtrf,
+        PhaseId::FactorGbtrf,
+        PhaseId::FactorGetrf,
+        PhaseId::SolvePttrs,
+        PhaseId::SolvePbtrs,
+        PhaseId::SolveGbtrs,
+        PhaseId::SchurGetrs,
+        PhaseId::CornerGemv,
+        PhaseId::CornerSpmv,
+        PhaseId::Dispatch,
+        PhaseId::KrylovIter,
+        PhaseId::Refine,
+        PhaseId::Verify,
+        PhaseId::Quarantine,
+        PhaseId::Transpose,
+        PhaseId::Interpolate,
+        PhaseId::AdvectionStep,
+    ];
+
+    /// Dense index of this phase (its discriminant).
+    #[inline(always)]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name used in JSON snapshots.
+    pub const fn name(self) -> &'static str {
+        match self {
+            PhaseId::Assemble => "assemble",
+            PhaseId::FactorPttrf => "factor_pttrf",
+            PhaseId::FactorPbtrf => "factor_pbtrf",
+            PhaseId::FactorGbtrf => "factor_gbtrf",
+            PhaseId::FactorGetrf => "factor_getrf",
+            PhaseId::SolvePttrs => "solve_pttrs",
+            PhaseId::SolvePbtrs => "solve_pbtrs",
+            PhaseId::SolveGbtrs => "solve_gbtrs",
+            PhaseId::SchurGetrs => "schur_getrs",
+            PhaseId::CornerGemv => "corner_gemv",
+            PhaseId::CornerSpmv => "corner_spmv",
+            PhaseId::Dispatch => "dispatch",
+            PhaseId::KrylovIter => "krylov_iter",
+            PhaseId::Refine => "refine",
+            PhaseId::Verify => "verify",
+            PhaseId::Quarantine => "quarantine",
+            PhaseId::Transpose => "transpose",
+            PhaseId::Interpolate => "interpolate",
+            PhaseId::AdvectionStep => "advection_step",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_is_in_index_order_and_complete() {
+        assert_eq!(PhaseId::ALL.len(), PhaseId::COUNT);
+        for (i, p) in PhaseId::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        for (i, a) in PhaseId::ALL.iter().enumerate() {
+            for b in &PhaseId::ALL[i + 1..] {
+                assert_ne!(a.name(), b.name());
+            }
+        }
+    }
+}

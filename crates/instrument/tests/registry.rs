@@ -1,0 +1,106 @@
+//! Registry correctness under concurrency, and inertness with the
+//! feature off. Everything that touches the *global* reset lives in one
+//! `#[test]` so parallel test threads cannot race it.
+
+use pp_instrument::{counter, enabled, histogram, PhaseId, Snapshot, Span};
+
+#[cfg(feature = "instrument")]
+#[test]
+fn concurrent_recording_is_exact_and_reset_clears() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 10_000;
+
+    pp_instrument::reset();
+
+    // N threads hammer the same histogram, counter, and phase; snapshot
+    // totals must be exact (no samples lost to races).
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                let h = histogram("test.registry.latency");
+                let c = counter("test.registry.ops");
+                for i in 0..PER_THREAD {
+                    h.record((t * PER_THREAD + i) as u64);
+                    c.inc();
+                    let _span = Span::enter(PhaseId::KrylovIter);
+                }
+            });
+        }
+    });
+
+    let snap = Snapshot::capture();
+    let n = (THREADS * PER_THREAD) as u64;
+    let h = snap
+        .histogram("test.registry.latency")
+        .expect("histogram exists");
+    assert_eq!(h.count, n);
+    // Sum of 0..N-1 recorded exactly once each.
+    assert_eq!(h.sum, n * (n - 1) / 2);
+    assert_eq!(h.min, 0);
+    assert_eq!(h.max, n - 1);
+    assert_eq!(h.buckets.iter().map(|&(_, c)| c).sum::<u64>(), n);
+    assert_eq!(snap.counter_value("test.registry.ops"), n);
+    assert_eq!(snap.phase_calls(PhaseId::KrylovIter), n);
+
+    // Spans on different threads attribute to their own phase only.
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let _outer = Span::enter(PhaseId::AdvectionStep);
+            let _inner = Span::enter(PhaseId::SolvePttrs);
+        });
+        scope.spawn(|| {
+            let _span = Span::enter(PhaseId::CornerSpmv);
+        });
+    });
+    let snap = Snapshot::capture();
+    assert_eq!(snap.phase_calls(PhaseId::AdvectionStep), 1);
+    assert_eq!(snap.phase_calls(PhaseId::SolvePttrs), 1);
+    assert_eq!(snap.phase_calls(PhaseId::CornerSpmv), 1);
+
+    // Reset zeroes everything but keeps handles usable.
+    pp_instrument::reset();
+    let snap = Snapshot::capture();
+    assert_eq!(snap.counter_value("test.registry.ops"), 0);
+    assert_eq!(snap.phase_calls(PhaseId::KrylovIter), 0);
+    assert_eq!(
+        snap.histogram("test.registry.latency")
+            .map_or(0, |h| h.count),
+        0
+    );
+    let c = counter("test.registry.ops");
+    c.inc();
+    assert_eq!(Snapshot::capture().counter_value("test.registry.ops"), 1);
+}
+
+#[cfg(not(feature = "instrument"))]
+#[test]
+fn feature_off_build_has_no_registry_state() {
+    assert!(!enabled());
+
+    // Record plenty through every entry point; nothing may stick.
+    let h = histogram("test.registry.latency");
+    let c = counter("test.registry.ops");
+    for i in 0..100 {
+        h.record(i);
+        c.inc();
+        let _span = Span::enter(PhaseId::KrylovIter);
+        pp_instrument::record_phase_ns(PhaseId::Dispatch, 1000);
+    }
+    let snap = Snapshot::capture();
+    assert!(
+        snap.is_empty(),
+        "feature-off snapshot must be empty: {snap:?}"
+    );
+    assert_eq!(c.value(), 0);
+    assert_eq!(h.count(), 0);
+
+    // Handles are inert zero-sized tokens.
+    assert_eq!(std::mem::size_of_val(&h), 0);
+    assert_eq!(std::mem::size_of_val(&c), 0);
+    assert_eq!(std::mem::size_of::<Span>(), 0);
+}
+
+#[test]
+fn enabled_matches_compile_feature() {
+    assert_eq!(enabled(), cfg!(feature = "instrument"));
+}

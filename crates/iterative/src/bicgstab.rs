@@ -253,7 +253,9 @@ mod tests {
 
     impl Preconditioner for OmegaKiller {
         fn apply(&self, r: &[f64], z: &mut [f64]) {
-            let k = self.calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let k = self
+                .calls
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             if k == 1 {
                 z.copy_from_slice(&[1.5, 0.5]);
             } else {

@@ -145,7 +145,13 @@ pub(crate) mod tests {
     fn warm_start_from_exact_solution_is_instant() {
         let (a, x_true, b) = spd_system(30, 3);
         let mut x = x_true.clone();
-        let res = Cg.solve(&a, &Jacobi::new(&a), &b, &mut x, &StopCriteria::with_tol(1e-12));
+        let res = Cg.solve(
+            &a,
+            &Jacobi::new(&a),
+            &b,
+            &mut x,
+            &StopCriteria::with_tol(1e-12),
+        );
         assert_eq!(res.iterations, 0);
         assert!(res.converged);
     }
@@ -222,7 +228,10 @@ pub(crate) mod tests {
         let res = Cg.solve(&a, &Identity, &b, &mut x, &stop);
         assert!(!res.converged);
         assert_eq!(res.breakdown, Some(BreakdownKind::Stagnation));
-        assert!(res.iterations < stop.max_iters, "stagnation must fire early");
+        assert!(
+            res.iterations < stop.max_iters,
+            "stagnation must fire early"
+        );
     }
 
     #[test]

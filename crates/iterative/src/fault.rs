@@ -51,10 +51,7 @@ impl FaultInjector {
 
     fn poison_lanes(&mut self, b: &mut Matrix, count: usize, value: f64) -> Vec<usize> {
         let ncols = b.ncols();
-        assert!(
-            count <= ncols,
-            "cannot poison {count} of {ncols} lanes"
-        );
+        assert!(count <= ncols, "cannot poison {count} of {ncols} lanes");
         let mut lanes = Vec::with_capacity(count);
         while lanes.len() < count {
             let lane = self.rng.gen_range(0..ncols);
@@ -98,10 +95,7 @@ impl FaultInjector {
     /// `max_iters` iterations — forces `MaxIters` outcomes on any lane
     /// that genuinely needs the work.
     pub fn starved(stop: &StopCriteria, max_iters: usize) -> StopCriteria {
-        StopCriteria {
-            max_iters,
-            ..*stop
-        }
+        StopCriteria { max_iters, ..*stop }
     }
 }
 

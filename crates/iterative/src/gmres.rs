@@ -235,7 +235,13 @@ mod tests {
     fn converges_with_short_restart() {
         let (a, x_true, b) = general_system(80, 2);
         let mut x = vec![0.0; 80];
-        let res = Gmres::new(10).solve(&a, &Jacobi::new(&a), &b, &mut x, &StopCriteria::with_tol(1e-11));
+        let res = Gmres::new(10).solve(
+            &a,
+            &Jacobi::new(&a),
+            &b,
+            &mut x,
+            &StopCriteria::with_tol(1e-11),
+        );
         assert!(res.converged, "{res:?}");
         for (u, v) in x.iter().zip(&x_true) {
             assert!((u - v).abs() < 1e-7);
@@ -300,8 +306,7 @@ mod tests {
         let a = Csr::from_dense(&Matrix::zeros(3, 3, pp_portable::Layout::Right), 0.0);
         let b = [1.0, 2.0, 3.0];
         let mut x = [0.0; 3];
-        let res =
-            Gmres::default().solve(&a, &Identity, &b, &mut x, &StopCriteria::with_tol(1e-12));
+        let res = Gmres::default().solve(&a, &Identity, &b, &mut x, &StopCriteria::with_tol(1e-12));
         assert!(!res.converged);
         assert_eq!(res.breakdown, Some(BreakdownKind::RhoZero));
         assert!(res.breakdown.unwrap().is_hard());
@@ -312,8 +317,7 @@ mod tests {
         let (a, _, mut b) = general_system(10, 6);
         b[2] = f64::NAN;
         let mut x = vec![0.0; 10];
-        let res =
-            Gmres::default().solve(&a, &Identity, &b, &mut x, &StopCriteria::with_tol(1e-12));
+        let res = Gmres::default().solve(&a, &Identity, &b, &mut x, &StopCriteria::with_tol(1e-12));
         assert!(!res.converged);
         assert_eq!(res.breakdown, Some(BreakdownKind::NonFiniteResidual));
         assert_eq!(res.iterations, 0, "must not spin to max_iters");

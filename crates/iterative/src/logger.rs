@@ -262,7 +262,11 @@ mod tests {
     fn census_counts_kinds() {
         let mut log = ConvergenceLogger::new();
         log.record(res(3, true, 1e-16));
-        log.record(SolveResult::broken(0, f64::NAN, BreakdownKind::NonFiniteResidual));
+        log.record(SolveResult::broken(
+            0,
+            f64::NAN,
+            BreakdownKind::NonFiniteResidual,
+        ));
         log.record(SolveResult::broken(9, 0.5, BreakdownKind::RhoZero));
         log.record(SolveResult::broken(9, 0.5, BreakdownKind::RhoZero));
         assert_eq!(
@@ -288,6 +292,9 @@ mod tests {
         });
         assert!(log.all_converged());
         assert_eq!(log.recovery_events().len(), 1);
-        assert_eq!(log.recovery_events()[0].stage, RecoveryStage::DirectFallback);
+        assert_eq!(
+            log.recovery_events()[0].stage,
+            RecoveryStage::DirectFallback
+        );
     }
 }

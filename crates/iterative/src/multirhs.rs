@@ -25,8 +25,10 @@ use crate::logger::ConvergenceLogger;
 use crate::precond::Preconditioner;
 use crate::solver::{IterativeSolver, SolveResult};
 use crate::stop::StopCriteria;
+use pp_portable::instrument::{counter, Counter, PhaseId, Span};
 use pp_portable::{parallel_for_each_mut, Matrix};
 use pp_sparse::Csr;
+use std::sync::OnceLock;
 
 /// Chunk size the paper uses on CPUs.
 pub const CPU_COLS_PER_CHUNK: usize = 8192;
@@ -65,6 +67,32 @@ impl LaneOutcome {
     pub fn is_healthy(&self) -> bool {
         matches!(self, LaneOutcome::Converged)
     }
+}
+
+/// Cached per-outcome lane counters.
+struct LaneMetrics {
+    converged: Counter,
+    broke: Counter,
+    stalled: Counter,
+}
+
+impl LaneMetrics {
+    fn of(&self, outcome: LaneOutcome) -> &Counter {
+        match outcome {
+            LaneOutcome::Converged => &self.converged,
+            LaneOutcome::Broke(_) => &self.broke,
+            LaneOutcome::Stalled => &self.stalled,
+        }
+    }
+}
+
+fn lane_metrics() -> &'static LaneMetrics {
+    static METRICS: OnceLock<LaneMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| LaneMetrics {
+        converged: counter("krylov.lanes.converged"),
+        broke: counter("krylov.lanes.broke"),
+        stalled: counter("krylov.lanes.stalled"),
+    })
 }
 
 /// Drives an [`IterativeSolver`] over every column of a right-hand-side
@@ -171,6 +199,7 @@ impl<'a> ChunkedSolver<'a> {
                 .collect();
 
             parallel_for_each_mut(&mut slots, |_, slot| {
+                let _span = Span::enter(PhaseId::KrylovIter);
                 let res = self
                     .solver
                     .solve(a, self.precond, &slot.rhs, &mut slot.x, &self.stop);
@@ -183,7 +212,9 @@ impl<'a> ChunkedSolver<'a> {
                     .expect("parallel_for_each_mut visits every slot");
                 b.col_mut(begin + offset).copy_from_slice(&slot.x);
                 logger.record(res);
-                outcomes.push(LaneOutcome::from_result(&res));
+                let outcome = LaneOutcome::from_result(&res);
+                lane_metrics().of(outcome).inc();
+                outcomes.push(outcome);
             }
         }
         outcomes
@@ -289,8 +320,12 @@ mod tests {
 
         let mut b_warm = b.clone();
         let mut log_warm = ConvergenceLogger::new();
-        ChunkedSolver::new(&BiCgStab, &bj, stop, 100)
-            .solve_in_place(&a, &mut b_warm, Some(&guess), &mut log_warm);
+        ChunkedSolver::new(&BiCgStab, &bj, stop, 100).solve_in_place(
+            &a,
+            &mut b_warm,
+            Some(&guess),
+            &mut log_warm,
+        );
 
         assert!(log_cold.all_converged() && log_warm.all_converged());
         assert!(

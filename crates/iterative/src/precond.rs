@@ -102,12 +102,10 @@ impl BlockJacobi {
                 _ => {
                     // Singular block: substitute the identity.
                     let k = hi - lo;
-                    let eye = pp_portable::Matrix::from_fn(
-                        k,
-                        k,
-                        pp_portable::Layout::Right,
-                        |i, j| (i == j) as u8 as f64,
-                    );
+                    let eye =
+                        pp_portable::Matrix::from_fn(k, k, pp_portable::Layout::Right, |i, j| {
+                            (i == j) as u8 as f64
+                        });
                     let f = getrf(&eye).expect("identity is nonsingular");
                     blocks.push((lo, f.clone(), f));
                 }

@@ -11,6 +11,7 @@
 
 use crate::error::{Error, Result};
 use crate::health::{check_finite_input, check_solve_slice, rcond_estimate, FactorHealth};
+use pp_portable::instrument::{PhaseId, Span};
 use pp_portable::StridedMut;
 
 /// A general banded matrix in LAPACK `gb` storage.
@@ -189,6 +190,7 @@ impl BandedLu {
     /// caller responsible. Use [`BandedLu::try_solve_slice`] for a checked
     /// variant.
     pub fn solve_lane(&self, b: &mut StridedMut<'_>) {
+        let _span = Span::enter(PhaseId::SolveGbtrs);
         let n = self.n;
         debug_assert_eq!(b.len(), n, "gbtrs: lane length must equal matrix order");
         let kl = self.kl;
@@ -278,6 +280,7 @@ impl BandedLu {
 /// Factor a general banded matrix with partial pivoting (LAPACK `dgbtf2`,
 /// unblocked).
 pub fn gbtrf(a: &BandedMatrix) -> Result<BandedLu> {
+    let _span = Span::enter(PhaseId::FactorGbtrf);
     let n = a.n();
     let (kl, ku) = (a.kl(), a.ku());
     check_finite_input("gbtrf", a.ab.iter().copied())?;
@@ -343,8 +346,7 @@ pub fn gbtrf(a: &BandedMatrix) -> Result<BandedLu> {
                 let ajq = at(&ab, j, q);
                 if ajq != 0.0 {
                     for p in 1..=km {
-                        ab[(kl + ku + j + p - q) + q * ldab] -=
-                            ab[(kl + ku + p) + j * ldab] * ajq;
+                        ab[(kl + ku + j + p - q) + q * ldab] -= ab[(kl + ku + p) + j * ldab] * ajq;
                     }
                 }
             }

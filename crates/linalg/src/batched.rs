@@ -72,11 +72,7 @@ pub fn try_solve_all<E: ExecSpace>(
     if b.nrows() != solver.n() {
         return Err(crate::Error::ShapeMismatch {
             op: "try_solve_all",
-            detail: format!(
-                "rhs has {} rows, matrix order is {}",
-                b.nrows(),
-                solver.n()
-            ),
+            detail: format!("rhs has {} rows, matrix order is {}", b.nrows(), solver.n()),
         });
     }
     for lane in 0..b.ncols() {
@@ -99,8 +95,8 @@ mod tests {
     use crate::naive::{matvec, solve_dense};
     use crate::pb::{pbtrf, SymBandedMatrix};
     use crate::pt::pttrf;
-    use pp_portable::{Layout, Parallel, Serial};
     use pp_portable::TestRng;
+    use pp_portable::{Layout, Parallel, Serial};
 
     fn rhs_block(rng: &mut TestRng, n: usize, batch: usize, layout: Layout) -> Matrix {
         Matrix::from_fn(n, batch, layout, |_, _| rng.gen_range(-2.0..2.0))

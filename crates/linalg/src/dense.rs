@@ -29,12 +29,7 @@ pub fn gemm<E: ExecSpace>(
     if kb != k || c.shape() != (m, n) {
         return Err(Error::ShapeMismatch {
             op: "gemm",
-            detail: format!(
-                "A {:?} · B {:?} -> C {:?}",
-                a.shape(),
-                b.shape(),
-                c.shape()
-            ),
+            detail: format!("A {:?} · B {:?} -> C {:?}", a.shape(), b.shape(), c.shape()),
         });
     }
     exec.for_each_lane_mut(c, |j, mut c_col| {
@@ -67,7 +62,13 @@ pub fn gemm<E: ExecSpace>(
 /// This is the *shape-checked* entry point; the unchecked hot-loop variant
 /// used inside fused kernels is
 /// [`kernels::gemv_lane`](crate::kernels::gemv_lane).
-pub fn gemv(alpha: f64, a: &Matrix, x: &Strided<'_>, beta: f64, y: &mut StridedMut<'_>) -> Result<()> {
+pub fn gemv(
+    alpha: f64,
+    a: &Matrix,
+    x: &Strided<'_>,
+    beta: f64,
+    y: &mut StridedMut<'_>,
+) -> Result<()> {
     let (m, n) = a.shape();
     if x.len() != n || y.len() != m {
         return Err(Error::ShapeMismatch {
@@ -83,8 +84,8 @@ pub fn gemv(alpha: f64, a: &Matrix, x: &Strided<'_>, beta: f64, y: &mut StridedM
 mod tests {
     use super::*;
     use crate::naive::matvec;
-    use pp_portable::{Layout, Parallel, Serial};
     use pp_portable::TestRng;
+    use pp_portable::{Layout, Parallel, Serial};
 
     fn random_matrix(rng: &mut TestRng, m: usize, n: usize, layout: Layout) -> Matrix {
         Matrix::from_fn(m, n, layout, |_, _| rng.gen_range(-1.0..1.0))

@@ -254,11 +254,8 @@ mod tests {
             f.solve_slice(&mut e);
             true_norm = true_norm.max(e.iter().map(|v| v.abs()).sum());
         }
-        let est = estimate_inverse_onenorm(
-            n,
-            |v| f.solve_slice(v),
-            |v| f.solve_transposed_slice(v),
-        );
+        let est =
+            estimate_inverse_onenorm(n, |v| f.solve_slice(v), |v| f.solve_transposed_slice(v));
         // Hager estimates from below but is near-exact on small systems.
         assert!(est <= true_norm * 1.0001, "est {est} true {true_norm}");
         assert!(est >= 0.3 * true_norm, "est {est} true {true_norm}");

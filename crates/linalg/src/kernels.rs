@@ -7,6 +7,7 @@
 //! builder can call several of them back to back on the same lane while it
 //! is hot in cache.
 
+use pp_portable::instrument::{PhaseId, Span};
 use pp_portable::{Matrix, Strided, StridedMut};
 
 /// In-place solve of `L·D·Lᵀ x = b` for one lane, given the `pttrf`
@@ -81,6 +82,7 @@ pub fn getrs_lane(lu: &Matrix, ipiv: &[usize], b: &mut StridedMut<'_>) {
 /// `Algo::Gemv::Unblocked`) as used by the paper's fused kernel (Listing 4).
 #[inline]
 pub fn gemv_lane(alpha: f64, a: &Matrix, x: &Strided<'_>, beta: f64, y: &mut StridedMut<'_>) {
+    let _span = Span::enter(PhaseId::CornerGemv);
     let (m, n) = a.shape();
     debug_assert_eq!(x.len(), n);
     debug_assert_eq!(y.len(), m);

@@ -51,7 +51,6 @@
 // Non-test code in this crate is free of `unwrap()`; keep it that way
 // (failures must surface as typed errors or documented invariants).
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
-
 // Numerical kernels here deliberately use index loops (matching the
 // LAPACK-style algorithms they implement) and NaN-rejecting negated
 // comparisons; silence the corresponding style lints crate-wide.

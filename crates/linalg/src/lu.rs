@@ -8,6 +8,7 @@
 use crate::error::{Error, Result};
 use crate::health::{check_finite_input, check_solve_slice, rcond_estimate, FactorHealth};
 use crate::kernels::getrs_lane;
+use pp_portable::instrument::{PhaseId, Span};
 use pp_portable::{Layout, Matrix, StridedMut};
 
 /// Packed LU factors of a dense matrix: `P·A = L·U` with unit-diagonal `L`
@@ -50,6 +51,7 @@ impl LuFactors {
     /// caller responsible. Use [`LuFactors::try_solve_slice`] for a checked
     /// variant.
     pub fn solve_lane(&self, b: &mut StridedMut<'_>) {
+        let _span = Span::enter(PhaseId::SchurGetrs);
         debug_assert_eq!(
             b.len(),
             self.n(),
@@ -109,6 +111,7 @@ impl LuFactors {
 ///
 /// Returns [`Error::Singular`] if a pivot vanishes to working precision.
 pub fn getrf(a: &Matrix) -> Result<LuFactors> {
+    let _span = Span::enter(PhaseId::FactorGetrf);
     let n = a.nrows();
     if a.ncols() != n {
         return Err(Error::ShapeMismatch {
@@ -306,11 +309,7 @@ mod tests {
     #[test]
     fn health_flags_near_singular_matrix() {
         // Rows nearly linearly dependent: condition number ~1e12.
-        let a = Matrix::from_rows(&[
-            &[1.0, 1.0, 0.0],
-            &[1.0, 1.0 + 1e-12, 0.0],
-            &[0.0, 0.0, 1.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 1.0, 0.0], &[1.0, 1.0 + 1e-12, 0.0], &[0.0, 0.0, 1.0]]);
         let f = getrf(&a).unwrap();
         assert!(
             f.health().rcond < 1e-10,

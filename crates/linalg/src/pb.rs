@@ -7,6 +7,7 @@
 
 use crate::error::{Error, Result};
 use crate::health::{check_finite_input, check_solve_slice, rcond_estimate, FactorHealth};
+use pp_portable::instrument::{PhaseId, Span};
 use pp_portable::StridedMut;
 
 /// A symmetric positive-definite banded matrix (lower storage).
@@ -58,7 +59,10 @@ impl SymBandedMatrix {
     /// Panics if `i` or `j` is out of range.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {
-        assert!(i < self.n && j < self.n, "SymBandedMatrix::get out of bounds");
+        assert!(
+            i < self.n && j < self.n,
+            "SymBandedMatrix::get out of bounds"
+        );
         let (r, c) = if i >= j { (i, j) } else { (j, i) };
         if r - c <= self.kd {
             self.ab[self.idx(r, c)]
@@ -153,6 +157,7 @@ impl CholeskyBanded {
     /// caller responsible. Use [`CholeskyBanded::try_solve_slice`] for a
     /// checked variant.
     pub fn solve_lane(&self, b: &mut StridedMut<'_>) {
+        let _span = Span::enter(PhaseId::SolvePbtrs);
         let n = self.n;
         debug_assert_eq!(b.len(), n, "pbtrs: lane length must equal matrix order");
         let kd = self.kd;
@@ -201,6 +206,7 @@ impl CholeskyBanded {
 ///
 /// Returns [`Error::NotPositiveDefinite`] when a leading minor fails.
 pub fn pbtrf(a: &SymBandedMatrix) -> Result<CholeskyBanded> {
+    let _span = Span::enter(PhaseId::FactorPbtrf);
     let n = a.n();
     let kd = a.kd();
     check_finite_input("pbtrf", a.ab.iter().copied())?;
@@ -285,10 +291,7 @@ mod tests {
             }
         }
         for i in 0..n {
-            let row_sum: f64 = (0..n)
-                .filter(|&j| j != i)
-                .map(|j| m.get(i, j).abs())
-                .sum();
+            let row_sum: f64 = (0..n).filter(|&j| j != i).map(|j| m.get(i, j).abs()).sum();
             m.set(i, i, row_sum + rng.gen_range(0.5..2.0)).unwrap();
         }
         m
@@ -350,10 +353,7 @@ mod tests {
         a.set(1, 0, 2.0).unwrap(); // makes the 2x2 leading minor negative
         a.set(1, 1, 1.0).unwrap();
         a.set(2, 2, 1.0).unwrap();
-        assert!(matches!(
-            pbtrf(&a),
-            Err(Error::NotPositiveDefinite { .. })
-        ));
+        assert!(matches!(pbtrf(&a), Err(Error::NotPositiveDefinite { .. })));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::error::{Error, Result};
 use crate::health::{check_finite_input, check_solve_slice, rcond_estimate, FactorHealth};
 use crate::kernels::pttrs_lane;
+use pp_portable::instrument::{PhaseId, Span};
 use pp_portable::StridedMut;
 
 /// `L·D·Lᵀ` factors of an SPD tridiagonal matrix.
@@ -53,6 +54,7 @@ impl PtFactors {
     /// variant.
     #[inline]
     pub fn solve_lane(&self, b: &mut StridedMut<'_>) {
+        let _span = Span::enter(PhaseId::SolvePttrs);
         debug_assert_eq!(
             b.len(),
             self.n(),
@@ -85,11 +87,16 @@ impl PtFactors {
 /// Returns [`Error::NotPositiveDefinite`] if a transformed diagonal entry
 /// is not strictly positive.
 pub fn pttrf(d: &[f64], e: &[f64]) -> Result<PtFactors> {
+    let _span = Span::enter(PhaseId::FactorPttrf);
     let n = d.len();
     if n > 0 && e.len() != n - 1 {
         return Err(Error::ShapeMismatch {
             op: "pttrf",
-            detail: format!("d has length {n}, e has length {} (need {})", e.len(), n - 1),
+            detail: format!(
+                "d has length {n}, e has length {} (need {})",
+                e.len(),
+                n - 1
+            ),
         });
     }
     check_finite_input("pttrf", d.iter().chain(e.iter()).copied())?;
@@ -149,8 +156,8 @@ pub fn pttrf(d: &[f64], e: &[f64]) -> Result<PtFactors> {
 mod tests {
     use super::*;
     use crate::naive::{relative_residual, solve_dense};
-    use pp_portable::{Layout, Matrix};
     use pp_portable::TestRng;
+    use pp_portable::{Layout, Matrix};
 
     fn tridiag(d: &[f64], e: &[f64]) -> Matrix {
         let n = d.len();

@@ -18,6 +18,7 @@ use crate::banded::BandedLu;
 use crate::lu::LuFactors;
 use crate::pb::CholeskyBanded;
 use crate::pt::PtFactors;
+use pp_portable::instrument::{PhaseId, Span};
 use pp_portable::{block::for_each_lane_block_mut, BlockMut, ExecSpace, Matrix};
 
 /// Default tile width: 64 lanes × 8 B = one 512-byte panel per row, a few
@@ -48,6 +49,7 @@ pub fn pttrs_tiled<E: ExecSpace>(exec: &E, factors: &PtFactors, b: &mut Matrix, 
 /// The per-block body of the tiled `pttrs`: solve on rows
 /// `row0..row0 + factors.n()` of `blk`, all lanes.
 pub fn pttrs_block(factors: &PtFactors, blk: &mut BlockMut<'_>, row0: usize) {
+    let _span = Span::enter(PhaseId::SolvePttrs);
     let n = factors.n();
     if n == 0 {
         return;
@@ -80,12 +82,7 @@ pub fn pttrs_block(factors: &PtFactors, blk: &mut BlockMut<'_>, row0: usize) {
 ///
 /// # Panics
 /// Panics if `b.nrows() != factors.n()` or `tile == 0`.
-pub fn pbtrs_tiled<E: ExecSpace>(
-    exec: &E,
-    factors: &CholeskyBanded,
-    b: &mut Matrix,
-    tile: usize,
-) {
+pub fn pbtrs_tiled<E: ExecSpace>(exec: &E, factors: &CholeskyBanded, b: &mut Matrix, tile: usize) {
     assert_eq!(b.nrows(), factors.n(), "pbtrs_tiled: rhs rows != order");
     assert!(tile > 0, "pbtrs_tiled: tile must be positive");
     let n = factors.n();
@@ -100,6 +97,7 @@ pub fn pbtrs_tiled<E: ExecSpace>(
 /// The per-block body of the tiled `pbtrs`: solve on rows
 /// `row0..row0 + factors.n()` of `blk`, all lanes.
 pub fn pbtrs_block(factors: &CholeskyBanded, blk: &mut BlockMut<'_>, row0: usize) {
+    let _span = Span::enter(PhaseId::SolvePbtrs);
     let n = factors.n();
     if n == 0 {
         return;
@@ -153,6 +151,7 @@ pub fn gbtrs_tiled<E: ExecSpace>(exec: &E, factors: &BandedLu, b: &mut Matrix, t
 /// The per-block body of the tiled `gbtrs`: solve on rows
 /// `row0..row0 + factors.n()` of `blk`, all lanes.
 pub fn gbtrs_block(factors: &BandedLu, blk: &mut BlockMut<'_>, row0: usize) {
+    let _span = Span::enter(PhaseId::SolveGbtrs);
     let n = factors.n();
     if n == 0 {
         return;
@@ -195,6 +194,7 @@ pub fn gbtrs_block(factors: &BandedLu, blk: &mut BlockMut<'_>, row0: usize) {
 /// border): solve on rows `row0..row0 + lu.n()` of `blk`, all lanes,
 /// row-major inner loops.
 pub fn getrs_block(factors: &LuFactors, blk: &mut BlockMut<'_>, row0: usize) {
+    let _span = Span::enter(PhaseId::SchurGetrs);
     let n = factors.n();
     if n == 0 {
         return;
@@ -238,8 +238,8 @@ mod tests {
     use super::*;
     use crate::batched;
     use crate::pt::pttrf;
-    use pp_portable::{Layout, Parallel, Serial};
     use pp_portable::TestRng;
+    use pp_portable::{Layout, Parallel, Serial};
 
     fn factors(n: usize) -> PtFactors {
         pttrf(&vec![4.0; n], &vec![-1.0; n - 1]).unwrap()
@@ -306,10 +306,9 @@ mod tests {
     fn pbtrs_tiled_matches_lane_wise() {
         use crate::pb::{pbtrf, SymBandedMatrix};
         let n = 29;
-        let f = pbtrf(
-            &SymBandedMatrix::from_fn(n, 2, |i, j| if i == j { 6.0 } else { -1.0 }).unwrap(),
-        )
-        .unwrap();
+        let f =
+            pbtrf(&SymBandedMatrix::from_fn(n, 2, |i, j| if i == j { 6.0 } else { -1.0 }).unwrap())
+                .unwrap();
         let mut rng = TestRng::seed_from_u64(5);
         for layout in [Layout::Left, Layout::Right] {
             let b0 = Matrix::from_fn(n, 45, layout, |_, _| rng.gen_range(-2.0..2.0));
@@ -333,7 +332,11 @@ mod tests {
         // Small diagonal entries force genuine row interchanges.
         let a = BandedMatrix::from_fn(n, 2, 2, |i, j| {
             if i == j {
-                if i % 5 == 0 { 1e-8 } else { 4.0 }
+                if i % 5 == 0 {
+                    1e-8
+                } else {
+                    4.0
+                }
             } else {
                 1.0 + (i + j) as f64 * 0.01
             }

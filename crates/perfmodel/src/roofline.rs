@@ -21,8 +21,7 @@ pub fn attainable_gflops(device: &Device, flops_per_point: f64, bytes_per_point:
 /// Whether a kernel is memory-bound on a device (the paper's spline
 /// kernels all are: "All the evaluated kernels here are memory bound").
 pub fn is_memory_bound(device: &Device, flops_per_point: f64, bytes_per_point: f64) -> bool {
-    device.peak_bw_gbs * arithmetic_intensity(flops_per_point, bytes_per_point)
-        < device.peak_gflops
+    device.peak_bw_gbs * arithmetic_intensity(flops_per_point, bytes_per_point) < device.peak_gflops
 }
 
 /// Predicted kernel time in seconds from total memory traffic, assuming

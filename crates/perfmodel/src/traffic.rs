@@ -150,8 +150,7 @@ impl TrafficReport {
                 // bound is higher.
                 let per_elem_ps = device.interior_cost_base_ps
                     + device.interior_cost_band_ps * self.kernel.q_band as f64;
-                let compute =
-                    self.kernel.q as f64 * self.batch as f64 * per_elem_ps * 1e-12;
+                let compute = self.kernel.q as f64 * self.batch as f64 * per_elem_ps * 1e-12;
                 t = t.max(compute);
             }
             total += t;
@@ -480,7 +479,10 @@ pub fn simulate_builder_traffic(
         kernel: *kernel,
         batch,
         wave_stats,
-        phases: acc.into_iter().filter(|(_, s)| s.loads + s.stores > 0).collect(),
+        phases: acc
+            .into_iter()
+            .filter(|(_, s)| s.loads + s.stores > 0)
+            .collect(),
         simulated_lanes: simulated,
         scale,
     }

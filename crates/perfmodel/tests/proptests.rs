@@ -26,7 +26,11 @@ fn cache_conservation_laws() {
         let mut c = Cache::new(size_kib * 1024, line, assoc);
         let mut stores = 0u64;
         for &(addr, is_store) in &ops {
-            let kind = if is_store { AccessKind::Store } else { AccessKind::Load };
+            let kind = if is_store {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
             if is_store {
                 stores += 1;
             }

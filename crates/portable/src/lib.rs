@@ -78,7 +78,12 @@ pub use par::{
     num_threads, parallel_for, parallel_for_each_mut, parallel_sum, scoped_parallel_for,
     scoped_parallel_sum,
 };
-pub use pool::{pool_stats, PoolStats, WorkerTimes};
+pub use pool::{pool_stats, publish_pool_metrics, PoolStats, WorkerTimes};
 pub use strided::{Strided, StridedMut};
 pub use testrng::TestRng;
 pub use transpose::{transpose, transpose_into, transpose_into_with, transpose_reinterpret};
+
+/// The instrumentation layer ([`pp_instrument`]), re-exported so every
+/// downstream crate records through one path without a direct
+/// dependency. Inert unless the `instrument` feature is enabled.
+pub use pp_instrument as instrument;

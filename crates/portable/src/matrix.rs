@@ -120,7 +120,10 @@ impl Matrix {
     /// Panics on out-of-bounds indices.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {
-        assert!(i < self.nrows && j < self.ncols, "Matrix::get out of bounds");
+        assert!(
+            i < self.nrows && j < self.ncols,
+            "Matrix::get out of bounds"
+        );
         self.data[self.layout.offset(i, j, self.nrows, self.ncols)]
     }
 
@@ -130,7 +133,10 @@ impl Matrix {
     /// Panics on out-of-bounds indices.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, v: f64) {
-        assert!(i < self.nrows && j < self.ncols, "Matrix::set out of bounds");
+        assert!(
+            i < self.nrows && j < self.ncols,
+            "Matrix::set out of bounds"
+        );
         let off = self.layout.offset(i, j, self.nrows, self.ncols);
         self.data[off] = v;
     }
@@ -226,7 +232,8 @@ impl Matrix {
             return self.clone();
         }
         let mut out = Matrix::zeros(self.nrows, self.ncols, layout);
-        out.deep_copy_from(self).expect("same shape by construction");
+        out.deep_copy_from(self)
+            .expect("same shape by construction");
         out
     }
 
@@ -252,8 +259,7 @@ impl Matrix {
 
     /// Iterate `(i, j, value)` over all elements (row-major order).
     pub fn iter_entries(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        (0..self.nrows)
-            .flat_map(move |i| (0..self.ncols).map(move |j| (i, j, self.get(i, j))))
+        (0..self.nrows).flat_map(move |i| (0..self.ncols).map(move |j| (i, j, self.get(i, j))))
     }
 }
 
@@ -312,10 +318,7 @@ mod tests {
     fn row_views_match_both_layouts() {
         for layout in [Layout::Left, Layout::Right] {
             let m = Matrix::from_fn(3, 5, layout, |i, j| (i * 100 + j) as f64);
-            assert_eq!(
-                m.row(2).to_vec(),
-                vec![200.0, 201.0, 202.0, 203.0, 204.0]
-            );
+            assert_eq!(m.row(2).to_vec(), vec![200.0, 201.0, 202.0, 203.0, 204.0]);
         }
     }
 

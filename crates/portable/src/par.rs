@@ -51,7 +51,9 @@ fn thread_budget(env: Option<&str>, hardware: usize) -> usize {
 /// every dispatch measurably taxed small batches.
 pub fn num_threads() -> usize {
     *NUM_THREADS.get_or_init(|| {
-        let hardware = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let hardware = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         thread_budget(std::env::var("PP_NUM_THREADS").ok().as_deref(), hardware)
     })
 }

@@ -84,6 +84,7 @@
 //! thread-local "inside a pool dispatch" flag and degrade to the plain
 //! serial loop when set, so nesting is always deadlock-free.
 
+use pp_instrument as instrument;
 use std::any::Any;
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -103,8 +104,14 @@ const SPIN: usize = 1 << 12;
 fn spin_budget() -> usize {
     static BUDGET: OnceLock<usize> = OnceLock::new();
     *BUDGET.get_or_init(|| {
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        if cores > 1 { SPIN } else { 0 }
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if cores > 1 {
+            SPIN
+        } else {
+            0
+        }
     })
 }
 
@@ -236,7 +243,10 @@ pub(crate) fn global() -> &'static Pool {
     POOL.get_or_init(|| {
         let workers = crate::par::num_threads().saturating_sub(1);
         let shared: &'static Shared = Box::leak(Box::new(Shared {
-            sleep: Mutex::new(JobCell { generation: 0, job: None }),
+            sleep: Mutex::new(JobCell {
+                generation: 0,
+                job: None,
+            }),
             wake: Condvar::new(),
             generation: AtomicU64::new(0),
             done_lock: Mutex::new(()),
@@ -252,7 +262,11 @@ pub(crate) fn global() -> &'static Pool {
                 .spawn(move || worker_loop(shared, id))
                 .expect("spawning pool worker");
         }
-        Pool { shared, workers, dispatch_lock: Mutex::new(()) }
+        Pool {
+            shared,
+            workers,
+            dispatch_lock: Mutex::new(()),
+        }
     })
 }
 
@@ -359,6 +373,7 @@ impl Pool {
             unsafe { (*(data as *const F))(i) }
         }
 
+        let timer = instrument::Timer::start();
         let serialised = lock_pool(&self.dispatch_lock);
         let next = AtomicUsize::new(0);
         let joined = AtomicUsize::new(0);
@@ -378,7 +393,9 @@ impl Pool {
             let mut cell = lock_pool(&self.shared.sleep);
             cell.generation += 1;
             cell.job = Some(desc);
-            self.shared.generation.store(cell.generation, Ordering::Release);
+            self.shared
+                .generation
+                .store(cell.generation, Ordering::Release);
         }
         self.shared.wake.notify_all();
 
@@ -406,16 +423,30 @@ impl Pool {
         if done.load(Ordering::Acquire) < joined_count {
             let mut g = lock_pool(&self.shared.done_lock);
             while done.load(Ordering::Acquire) < joined_count {
-                g = self.shared.done_cv.wait(g).unwrap_or_else(|e| e.into_inner());
+                g = self
+                    .shared
+                    .done_cv
+                    .wait(g)
+                    .unwrap_or_else(|e| e.into_inner());
             }
         }
 
         let worker_panic = lock_pool(&self.shared.panic).take();
         drop(serialised);
+        let ns = timer.elapsed_ns();
+        instrument::record_phase_ns(instrument::PhaseId::Dispatch, ns);
+        dispatch_latency_histogram().record(ns);
         if let Some(payload) = caller_panic.or(worker_panic) {
             resume_unwind(payload);
         }
     }
+}
+
+/// Cached handle for the `pool.dispatch_ns` latency histogram, so the
+/// per-dispatch cost is one relaxed add (no registry lookup).
+fn dispatch_latency_histogram() -> &'static instrument::Histogram {
+    static HIST: OnceLock<instrument::Histogram> = OnceLock::new();
+    HIST.get_or_init(|| instrument::histogram("pool.dispatch_ns"))
 }
 
 /// Cumulative busy/idle time of one pool worker.
@@ -467,7 +498,10 @@ impl PoolStats {
 pub fn pool_stats() -> PoolStats {
     let inline = INLINE_DISPATCHES.load(Ordering::Relaxed);
     match POOL.get() {
-        None => PoolStats { inline_dispatches: inline, ..PoolStats::default() },
+        None => PoolStats {
+            inline_dispatches: inline,
+            ..PoolStats::default()
+        },
         Some(pool) => PoolStats {
             workers: pool.workers,
             dispatches: pool.shared.dispatches.load(Ordering::Relaxed),
@@ -484,6 +518,24 @@ pub fn pool_stats() -> PoolStats {
                 .collect(),
         },
     }
+}
+
+/// Publish the pool counters as instrumentation gauges
+/// (`pool.workers`, `pool.dispatches`, `pool.lanes_dispatched`,
+/// `pool.inline_dispatches`, `pool.busy_ms`, `pool.idle_ms`), so a
+/// [`pp_instrument::Snapshot`] carries the busy/idle picture alongside
+/// the dispatch latency histogram. No-op when instrumentation is off.
+pub fn publish_pool_metrics() {
+    if !instrument::enabled() {
+        return;
+    }
+    let stats = pool_stats();
+    instrument::gauge("pool.workers").set(stats.workers as f64);
+    instrument::gauge("pool.dispatches").set(stats.dispatches as f64);
+    instrument::gauge("pool.lanes_dispatched").set(stats.lanes_dispatched as f64);
+    instrument::gauge("pool.inline_dispatches").set(stats.inline_dispatches as f64);
+    instrument::gauge("pool.busy_ms").set(stats.total_busy().as_secs_f64() * 1e3);
+    instrument::gauge("pool.idle_ms").set(stats.total_idle().as_secs_f64() * 1e3);
 }
 
 #[cfg(test)]

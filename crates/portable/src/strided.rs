@@ -211,7 +211,9 @@ impl<'a> StridedMut<'a> {
     #[inline]
     pub fn split_at(self, mid: usize) -> (StridedMut<'a>, StridedMut<'a>) {
         assert!(mid <= self.len, "split_at: mid {mid} > len {}", self.len);
-        let (head, tail) = self.data.split_at_mut((mid * self.stride).min(self.data.len()));
+        let (head, tail) = self
+            .data
+            .split_at_mut((mid * self.stride).min(self.data.len()));
         (
             StridedMut {
                 data: head,
@@ -337,7 +339,10 @@ mod tests {
         assert_eq!(b.len(), 2);
         a.fill(1.0);
         b.fill(2.0);
-        assert_eq!(data, vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 2.0, 0.0, 2.0, 0.0]);
+        assert_eq!(
+            data,
+            vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 2.0, 0.0, 2.0, 0.0]
+        );
     }
 
     #[test]

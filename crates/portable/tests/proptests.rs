@@ -3,8 +3,8 @@
 //! deterministic [`TestRng`] so runs are reproducible and hermetic.
 
 use pp_portable::{
-    block::for_each_lane_block_mut, transpose, transpose_into, transpose_into_with, Layout,
-    Matrix, Parallel, Serial, TestRng,
+    block::for_each_lane_block_mut, transpose, transpose_into, transpose_into_with, Layout, Matrix,
+    Parallel, Serial, TestRng,
 };
 
 fn arb_layout(g: &mut TestRng) -> Layout {

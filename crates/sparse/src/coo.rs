@@ -7,6 +7,7 @@
 //! optimisation that delivers the biggest speed-up in Table III.
 
 use crate::error::{Error, Result};
+use pp_portable::instrument::{PhaseId, Span};
 use pp_portable::{Matrix, Strided, StridedMut};
 
 /// A sparse matrix as three parallel arrays of `(row, col, value)`.
@@ -154,6 +155,7 @@ impl Coo {
     /// gemv→spmv speed-up of Table III comes from.
     #[inline]
     pub fn spmv_lane(&self, alpha: f64, x: &Strided<'_>, y: &mut StridedMut<'_>) {
+        let _span = Span::enter(PhaseId::CornerSpmv);
         debug_assert_eq!(x.len(), self.ncols);
         debug_assert_eq!(y.len(), self.nrows);
         for k in 0..self.nnz() {
@@ -232,8 +234,7 @@ mod tests {
 
     #[test]
     fn duplicates_accumulate() {
-        let coo =
-            Coo::from_triplets(1, 1, vec![0, 0], vec![0, 0], vec![2.0, 3.0]).unwrap();
+        let coo = Coo::from_triplets(1, 1, vec![0, 0], vec![0, 0], vec![2.0, 3.0]).unwrap();
         assert_eq!(coo.to_dense().get(0, 0), 5.0);
         let x = [1.0];
         let mut y = [0.0];

@@ -62,8 +62,11 @@ impl Csr {
         for i in 0..nrows {
             let lo = row_ptr[i];
             let hi = row_ptr[i + 1];
-            let mut row: Vec<(usize, f64)> =
-                col_idx[lo..hi].iter().copied().zip(values[lo..hi].iter().copied()).collect();
+            let mut row: Vec<(usize, f64)> = col_idx[lo..hi]
+                .iter()
+                .copied()
+                .zip(values[lo..hi].iter().copied())
+                .collect();
             row.sort_by_key(|&(c, _)| c);
             let mut it = row.into_iter();
             if let Some((mut pc, mut pv)) = it.next() {
@@ -144,9 +147,7 @@ impl Csr {
 
     /// Read `A(i, j)` (zero when not stored).
     pub fn get(&self, i: usize, j: usize) -> f64 {
-        self.row(i)
-            .find(|&(c, _)| c == j)
-            .map_or(0.0, |(_, v)| v)
+        self.row(i).find(|&(c, _)| c == j).map_or(0.0, |(_, v)| v)
     }
 
     /// Sequential `y ← A x` into a caller-provided buffer.
@@ -257,8 +258,8 @@ impl Csr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pp_portable::{Parallel, Serial};
     use pp_portable::TestRng;
+    use pp_portable::{Parallel, Serial};
 
     fn sample() -> Matrix {
         Matrix::from_rows(&[
@@ -290,14 +291,8 @@ mod tests {
 
     #[test]
     fn duplicate_triplets_merge() {
-        let coo = Coo::from_triplets(
-            2,
-            2,
-            vec![0, 0, 1],
-            vec![1, 1, 0],
-            vec![2.0, 3.0, 1.0],
-        )
-        .unwrap();
+        let coo =
+            Coo::from_triplets(2, 2, vec![0, 0, 1], vec![1, 1, 0], vec![2.0, 3.0, 1.0]).unwrap();
         let csr = Csr::from_coo(&coo);
         assert_eq!(csr.nnz(), 2);
         assert_eq!(csr.get(0, 1), 5.0);

@@ -13,8 +13,7 @@ fn rhs(n: usize, lanes: usize, seed: u64) -> Matrix {
 
 fn main() {
     let n = 32;
-    let space =
-        PeriodicSplineSpace::new(Breaks::uniform(n, 0.0, 1.0).unwrap(), 3).unwrap();
+    let space = PeriodicSplineSpace::new(Breaks::uniform(n, 0.0, 1.0).unwrap(), 3).unwrap();
 
     // --- Scenario 1: NaN-poisoned lanes, recovery disabled -------------
     let mut b = rhs(n, 6, 42);

@@ -47,8 +47,7 @@ fn main() {
             PeriodicSplineSpace::new(Breaks::uniform(n, 0.0, 1.0).unwrap(), degree).unwrap();
         // Cluster points around the steep region: strong grading.
         let graded =
-            PeriodicSplineSpace::new(Breaks::graded(n, 0.0, 1.0, 0.85).unwrap(), degree)
-                .unwrap();
+            PeriodicSplineSpace::new(Breaks::graded(n, 0.0, 1.0, 0.85).unwrap(), degree).unwrap();
 
         let eu = max_error(&uniform);
         let eg = max_error(&graded);

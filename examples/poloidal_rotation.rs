@@ -51,8 +51,8 @@ fn main() {
         "solid-body rotation on a {n}x{n} doubly periodic grid, {steps_per_turn} steps/turn, {turns} turn(s)\n"
     );
 
-    let mut rot = Rotation2D::new(n, 3, std::f64::consts::TAU / steps_per_turn as f64)
-        .expect("setup");
+    let mut rot =
+        Rotation2D::new(n, 3, std::f64::consts::TAU / steps_per_turn as f64).expect("setup");
     let mut f = rot.init_field(blob);
     let f0 = f.clone();
     let m0 = rot.mass(&f);

@@ -11,12 +11,13 @@ use std::time::Instant;
 fn main() {
     // --- 1. a periodic cubic spline space on a uniform mesh ---
     let n = 256;
-    let space = PeriodicSplineSpace::new(
-        Breaks::uniform(n, 0.0, 1.0).expect("mesh"),
-        3,
-    )
-    .expect("space");
-    println!("spline space: degree {}, {} basis functions", space.degree(), space.num_basis());
+    let space =
+        PeriodicSplineSpace::new(Breaks::uniform(n, 0.0, 1.0).expect("mesh"), 3).expect("space");
+    println!(
+        "spline space: degree {}, {} basis functions",
+        space.degree(),
+        space.num_basis()
+    );
 
     // --- 2. a batch of interpolation problems ---
     // Each lane interpolates a phase-shifted wave packet.
@@ -37,7 +38,9 @@ fn main() {
         let builder = SplineBuilder::new(space.clone(), version).expect("factorisation");
         let mut coefs = rhs.clone();
         let start = Instant::now();
-        builder.solve_in_place(&Parallel, &mut coefs).expect("solve");
+        builder
+            .solve_in_place(&Parallel, &mut coefs)
+            .expect("solve");
         let elapsed = start.elapsed();
         println!(
             "{:<14} {:>8.2} ms  ({:.3} GLUPS)",

@@ -14,8 +14,7 @@ fn rhs(n: usize, lanes: usize, seed: u64) -> Matrix {
 
 fn main() {
     let n = 48;
-    let space =
-        PeriodicSplineSpace::new(Breaks::uniform(n, 0.0, 1.0).unwrap(), 3).unwrap();
+    let space = PeriodicSplineSpace::new(Breaks::uniform(n, 0.0, 1.0).unwrap(), 3).unwrap();
 
     // --- Scenario 1: factorization health, captured once at setup ------
     let builder = SplineBuilder::new(space.clone(), BuilderVersion::FusedSpmv).unwrap();
@@ -54,14 +53,10 @@ fn main() {
     }
 
     // --- Scenario 4: verified advection step ---------------------------
-    let space_v =
-        PeriodicSplineSpace::new(Breaks::uniform(64, 0.0, 1.0).unwrap(), 3).unwrap();
-    let backend = SplineBackend::direct_verified(
-        space_v,
-        BuilderVersion::FusedSpmv,
-        VerifyConfig::default(),
-    )
-    .unwrap();
+    let space_v = PeriodicSplineSpace::new(Breaks::uniform(64, 0.0, 1.0).unwrap(), 3).unwrap();
+    let backend =
+        SplineBackend::direct_verified(space_v, BuilderVersion::FusedSpmv, VerifyConfig::default())
+            .unwrap();
     let mut adv = Advection1D::new(backend, vec![0.4, -0.3, 0.8], 0.01).unwrap();
     let mut f = adv.init_distribution(|x, _| (std::f64::consts::TAU * x).sin());
     f.set(2, 20, f64::NAN); // poison one velocity lane of the distribution

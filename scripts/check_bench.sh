@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Bench-regression smoke gate: run the two JSON-emitting benches at
+# smoke sizes and compare against the committed full-size baselines
+# with generous tolerances (see crates/bench/src/bin/bench_gate.rs for
+# exactly what is and is not compared). This is a separate, non-required
+# CI job — timing on shared runners is noisy, so a failure here is a
+# prompt to look, not an automatic merge block.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p target
+
+# PP_NUM_THREADS forces a real worker pool even on single-core runners;
+# without it every dispatch is inline and there is no latency to gate.
+echo "==> dispatch_overhead --smoke (feature-off build: the hot path must not carry the layer)"
+PP_NUM_THREADS=4 cargo run --release -q -p pp-bench --bin dispatch_overhead -- \
+    --smoke --out target/BENCH_dispatch_smoke.json
+
+echo "==> phase_profile --smoke (--features instrument)"
+PP_NUM_THREADS=4 cargo run --release -q -p pp-bench --features instrument --bin phase_profile -- \
+    --smoke --out target/BENCH_phases_smoke.json
+
+echo "==> bench_gate: dispatch latency vs committed BENCH_dispatch.json"
+cargo run --release -q -p pp-bench --bin bench_gate -- \
+    --kind dispatch \
+    --baseline BENCH_dispatch.json \
+    --candidate target/BENCH_dispatch_smoke.json
+
+echo "==> bench_gate: phase attribution vs committed BENCH_phases.json"
+cargo run --release -q -p pp-bench --bin bench_gate -- \
+    --kind phases \
+    --baseline BENCH_phases.json \
+    --candidate target/BENCH_phases_smoke.json
+
+echo "check_bench: all gates passed"

@@ -4,6 +4,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -11,6 +14,13 @@ cargo build --release
 # solve_lane length preconditions) exercised by the suite.
 echo "==> cargo test --workspace"
 cargo test --workspace -q
+
+# The instrumentation layer compiles to a no-op by default, so the
+# workspace run above only covers the inert half. Re-run the crates
+# that carry active-layer tests with the feature on.
+echo "==> cargo test --features instrument (active instrumentation layer)"
+cargo test -q -p pp-instrument --features instrument
+cargo test -q -p batched-splines --features instrument
 
 # Smoke-run the dispatch-overhead bench: exercises the persistent
 # worker-pool dispatch path and the JSON emitter end to end (tiny sizes,

@@ -126,16 +126,9 @@ fn backends_agree_through_time_series() {
 /// through a multi-step run (smoke test of the full physics stack).
 #[test]
 fn vlasov_poisson_smoke() {
-    let mut sim = VlasovPoisson1D1V::new(
-        24,
-        48,
-        TAU / 0.5,
-        5.0,
-        3,
-        0.05,
-        two_stream(1.4, 0.01, 0.5),
-    )
-    .unwrap();
+    let mut sim =
+        VlasovPoisson1D1V::new(24, 48, TAU / 0.5, 5.0, 3, 0.05, two_stream(1.4, 0.01, 0.5))
+            .unwrap();
     let m0 = sim.mass();
     for _ in 0..10 {
         sim.step(&Parallel).unwrap();

@@ -36,8 +36,7 @@ fn tensor_spline_remap_accuracy() {
 /// different end values, solved through the batched banded builder.
 #[test]
 fn clamped_builder_full_pipeline() {
-    let space =
-        ClampedSplineSpace::new(Breaks::graded(48, 0.0, 1.0, 0.5).unwrap(), 4).unwrap();
+    let space = ClampedSplineSpace::new(Breaks::graded(48, 0.0, 1.0, 0.5).unwrap(), 4).unwrap();
     let builder = ClampedSplineBuilder::new(space.clone()).unwrap();
     let nb = space.num_basis();
     let pts = space.interpolation_points();
@@ -75,7 +74,10 @@ fn advection_conserves_spline_integral() {
 
     // Shift the spline by evaluating at displaced points, re-interpolate,
     // compare integrals.
-    let shifted: Vec<f64> = pts.iter().map(|&x| space.eval(&coefs0, x - 0.0123)).collect();
+    let shifted: Vec<f64> = pts
+        .iter()
+        .map(|&x| space.eval(&coefs0, x - 0.0123))
+        .collect();
     let mut b2 = Matrix::from_vec(64, 1, Layout::Left, shifted).unwrap();
     builder.solve_in_place(&Serial, &mut b2).unwrap();
     let mass1 = space.integrate(&b2.col(0).to_vec());
@@ -124,12 +126,22 @@ fn periodic_and_clamped_agree_in_interior() {
 
     let p = PeriodicSplineSpace::new(breaks.clone(), 3).unwrap();
     let cp = p
-        .interpolate_naive(&p.interpolation_points().iter().map(|&x| f(x)).collect::<Vec<_>>())
+        .interpolate_naive(
+            &p.interpolation_points()
+                .iter()
+                .map(|&x| f(x))
+                .collect::<Vec<_>>(),
+        )
         .unwrap();
 
     let c = ClampedSplineSpace::new(breaks, 3).unwrap();
     let cc = c
-        .interpolate_naive(&c.interpolation_points().iter().map(|&x| f(x)).collect::<Vec<_>>())
+        .interpolate_naive(
+            &c.interpolation_points()
+                .iter()
+                .map(|&x| f(x))
+                .collect::<Vec<_>>(),
+        )
         .unwrap();
 
     for k in 10..=30 {

@@ -94,7 +94,9 @@ fn shape_mismatches_rejected() {
     let builder = SplineBuilder::new(space.clone(), BuilderVersion::Fused).unwrap();
     let mut wrong = Matrix::zeros(17, 2, Layout::Left);
     assert!(builder.solve_in_place(&Serial, &mut wrong).is_err());
-    assert!(builder.solve_in_place_tiled(&Serial, &mut wrong, 8).is_err());
+    assert!(builder
+        .solve_in_place_tiled(&Serial, &mut wrong, 8)
+        .is_err());
 
     let ev = SplineEvaluator::new(space.clone());
     let coefs = Matrix::zeros(16, 2, Layout::Left);
@@ -117,7 +119,10 @@ fn shape_mismatches_rejected() {
 fn error_messages_carry_context() {
     let e = pttrf(&[-2.0, 1.0], &[0.1]).unwrap_err();
     let msg = e.to_string();
-    assert!(msg.contains("pttrf") && msg.contains("positive definite"), "{msg}");
+    assert!(
+        msg.contains("pttrf") && msg.contains("positive definite"),
+        "{msg}"
+    );
 
     let e = Breaks::from_points(vec![0.0, 2.0, 1.0]).unwrap_err();
     assert!(e.to_string().contains("index 1"), "{e}");
@@ -245,10 +250,7 @@ fn starved_batch_rescued_by_direct_fallback() {
     let log0 = solver
         .solve_with_recovery(&mut b0, None, &RecoveryPolicy::disabled())
         .unwrap();
-    assert!(log0
-        .outcomes()
-        .iter()
-        .all(|o| *o == LaneOutcome::Stalled));
+    assert!(log0.outcomes().iter().all(|o| *o == LaneOutcome::Stalled));
     assert_eq!(log0.breakdown_census(), vec![(BreakdownKind::MaxIters, 5)]);
 
     // ...and the ladder's last rung rescues all of them.
@@ -259,10 +261,7 @@ fn starved_batch_rescued_by_direct_fallback() {
     assert!(log.all_converged(), "{:?}", log.outcomes());
     assert!(b.max_abs_diff(&reference) < 1e-10);
     let events = log.recovery_events();
-    assert_eq!(
-        events.last().unwrap().stage,
-        RecoveryStage::DirectFallback
-    );
+    assert_eq!(events.last().unwrap().stage, RecoveryStage::DirectFallback);
     assert_eq!(events.last().unwrap().lanes_recovered.len(), 5);
 }
 
@@ -273,8 +272,7 @@ fn starved_batch_rescued_by_direct_fallback() {
 #[test]
 fn solver_switch_rescues_wrong_method_choice() {
     let n = 32;
-    let space =
-        PeriodicSplineSpace::new(Breaks::graded(n, 0.0, 1.0, 0.8).unwrap(), 5).unwrap();
+    let space = PeriodicSplineSpace::new(Breaks::graded(n, 0.0, 1.0, 0.8).unwrap(), 5).unwrap();
     let rhs = random_rhs(n, 3, 5);
     let reference = direct_reference(&space, &rhs);
 
@@ -378,11 +376,18 @@ fn verified_direct_path_quarantines_nan_lanes() {
     for lane in 0..8 {
         if lane == 2 || lane == 5 {
             assert!(!report.verdict(lane).is_healthy());
-            assert!(b.col(lane).to_vec().iter().all(|v| *v == 0.0), "lane {lane}");
+            assert!(
+                b.col(lane).to_vec().iter().all(|v| *v == 0.0),
+                "lane {lane}"
+            );
         } else {
             assert!(matches!(report.verdict(lane), LaneVerdict::Verified { .. }));
             for i in 0..n {
-                assert_eq!(b.get(i, lane), reference.get(i, lane), "lane {lane} row {i}");
+                assert_eq!(
+                    b.get(i, lane),
+                    reference.get(i, lane),
+                    "lane {lane} row {i}"
+                );
             }
         }
     }
@@ -435,19 +440,24 @@ fn extreme_domain_scales_stay_healthy_and_verified() {
     for scale in [1e150_f64, 1e-150] {
         for degree in [3usize, 5] {
             let space =
-                PeriodicSplineSpace::new(Breaks::uniform(24, 0.0, scale).unwrap(), degree)
-                    .unwrap();
+                PeriodicSplineSpace::new(Breaks::uniform(24, 0.0, scale).unwrap(), degree).unwrap();
             let nb = space.num_basis();
             let blocks = pp_splinesolver::SchurBlocks::new(&space).unwrap();
             assert!(blocks.q_health().rcond.is_finite());
-            assert!(!blocks.q_health().is_suspect(), "scale {scale:e} deg {degree}");
+            assert!(
+                !blocks.q_health().is_suspect(),
+                "scale {scale:e} deg {degree}"
+            );
 
             let verified = SplineBuilder::new(space, BuilderVersion::FusedSpmv)
                 .unwrap()
                 .verified(VerifyConfig::default());
             let mut b = random_rhs(nb, 3, 77);
             let report = verified.solve_in_place(&Parallel, &mut b).unwrap();
-            assert!(report.all_verified(), "scale {scale:e} deg {degree}: {report}");
+            assert!(
+                report.all_verified(),
+                "scale {scale:e} deg {degree}: {report}"
+            );
         }
     }
 }

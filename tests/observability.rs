@@ -1,0 +1,163 @@
+//! Full-stack observability tests for the instrumentation layer.
+//!
+//! Run with `cargo test -p batched-splines --features instrument` for
+//! the active-layer tests; the default (feature-off) build instead
+//! checks that the whole stack stays inert. Everything that touches
+//! global instrumentation state lives in ONE `#[test]` per mode so the
+//! test harness's thread pool cannot race `instrument::reset()`.
+
+use pp_bsplines::{Breaks, PeriodicSplineSpace};
+use pp_portable::instrument;
+use pp_portable::{Layout, Matrix, Serial};
+use pp_splinesolver::{BuilderVersion, SplineBuilder};
+
+fn space(nx: usize) -> PeriodicSplineSpace {
+    PeriodicSplineSpace::new(Breaks::uniform(nx, 0.0, 1.0).expect("mesh"), 3).expect("space")
+}
+
+fn rhs(nx: usize, nv: usize) -> Matrix {
+    Matrix::from_fn(nx, nv, Layout::Left, |i, j| {
+        ((i * 13 + j * 7) % 41) as f64 / 41.0 - 0.5
+    })
+}
+
+#[cfg(feature = "instrument")]
+#[test]
+fn instrumented_stack_records_exact_and_attributed_metrics() {
+    use instrument::PhaseId;
+    use pp_portable::{publish_pool_metrics, ExecSpace, Parallel};
+
+    // First pool use reads PP_NUM_THREADS; set it before anything
+    // dispatches so the Parallel section below exercises real workers.
+    // This test binary is its own process, so this cannot race other
+    // suites.
+    std::env::set_var("PP_NUM_THREADS", "4");
+
+    // --- Exactness under concurrency: N threads hammer one counter and
+    // one histogram; the snapshot must account for every record.
+    instrument::reset();
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move || {
+                let c = instrument::counter("obs.test.count");
+                let h = instrument::histogram("obs.test.hist");
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    h.record(t * PER_THREAD + i);
+                }
+            });
+        }
+    });
+    let snap = instrument::Snapshot::capture();
+    assert_eq!(snap.counter_value("obs.test.count"), THREADS * PER_THREAD);
+    let h = snap.histogram("obs.test.hist").expect("histogram present");
+    assert_eq!(h.count, THREADS * PER_THREAD);
+    let n = THREADS * PER_THREAD;
+    assert_eq!(
+        h.sum,
+        n * (n - 1) / 2,
+        "sum of 0..n recorded exactly once each"
+    );
+    assert_eq!(h.min, 0);
+    assert_eq!(h.max, n - 1);
+
+    // --- Full stack, serial: setup and solve each attribute their
+    // inner phases. Setup also runs interior solves (the Schur Q^{-1}U
+    // columns), so snapshot it separately from the per-lane solve.
+    let (nx, nv) = (64, 12);
+    instrument::reset();
+    let builder = SplineBuilder::new(space(nx), BuilderVersion::Baseline).expect("builder");
+    let setup = instrument::Snapshot::capture();
+    assert!(
+        setup.phase_total_ns(PhaseId::Assemble) > 0,
+        "builder setup records matrix assembly"
+    );
+    assert!(
+        setup.phase_calls(PhaseId::FactorPttrf) >= 1,
+        "builder setup records the interior factorization"
+    );
+
+    instrument::reset();
+    let mut b = rhs(nx, nv);
+    builder
+        .solve_in_place(&Serial, &mut b)
+        .expect("serial solve");
+    let snap = instrument::Snapshot::capture();
+    assert_eq!(
+        snap.phase_calls(PhaseId::SolvePttrs),
+        nv as u64,
+        "one tridiagonal solve span per lane"
+    );
+    assert_eq!(
+        snap.phase_calls(PhaseId::SchurGetrs),
+        nv as u64,
+        "one Schur border solve span per lane"
+    );
+
+    // --- Full stack, pooled: spans opened on worker threads must land
+    // in the same global totals, and the dispatch path must self-report.
+    instrument::reset();
+    let mut b = rhs(nx, nv);
+    builder
+        .solve_in_place(&Parallel, &mut b)
+        .expect("pooled solve");
+    // Force a second dispatch through the generic lane path too.
+    Parallel.for_each_lane_mut(&mut b, |_, mut lane| {
+        for i in 0..lane.len() {
+            lane[i] = std::hint::black_box(lane[i]);
+        }
+    });
+    publish_pool_metrics();
+    let snap = instrument::Snapshot::capture();
+    assert_eq!(
+        snap.phase_calls(PhaseId::SolvePttrs),
+        nv as u64,
+        "worker-thread spans attribute to the global phase totals"
+    );
+    assert!(
+        snap.phase_calls(PhaseId::Dispatch) >= 1,
+        "pool dispatch span recorded"
+    );
+    let d = snap
+        .histogram("pool.dispatch_ns")
+        .expect("dispatch latency histogram");
+    assert!(d.count >= 1);
+    assert!(d.mean() > 0.0);
+    assert!(
+        snap.gauges.iter().any(|(name, _)| name == "pool.workers"),
+        "publish_pool_metrics exports pool gauges"
+    );
+
+    // --- The JSON emitter must carry what we just measured.
+    let json = snap.to_json();
+    assert!(json.contains("\"solve_pttrs\""));
+    assert!(json.contains("\"pool.dispatch_ns\""));
+}
+
+#[cfg(not(feature = "instrument"))]
+#[test]
+fn feature_off_stack_is_inert() {
+    assert!(!instrument::enabled());
+
+    // Exercise the whole stack: builder setup, serial solve, handle use.
+    let (nx, nv) = (64, 8);
+    let builder = SplineBuilder::new(space(nx), BuilderVersion::Baseline).expect("builder");
+    let mut b = rhs(nx, nv);
+    builder
+        .solve_in_place(&Serial, &mut b)
+        .expect("serial solve");
+    instrument::counter("obs.off.count").inc();
+    instrument::histogram("obs.off.hist").record(42);
+    instrument::gauge("obs.off.gauge").set(1.0);
+
+    // Nothing above may have created any registry state.
+    let snap = instrument::Snapshot::capture();
+    assert!(snap.is_empty(), "feature-off build must record nothing");
+    assert_eq!(snap.to_json().matches("solve_pttrs").count(), 0);
+
+    // And the handle types must be zero-sized (true no-op API).
+    assert_eq!(std::mem::size_of::<instrument::Counter>(), 0);
+    assert_eq!(std::mem::size_of::<instrument::Span>(), 0);
+}

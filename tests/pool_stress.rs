@@ -43,8 +43,7 @@ fn concurrent_solves_match_serial_and_dont_deadlock() {
         for (t, reference) in references.iter().enumerate() {
             let space = space.clone();
             s.spawn(move || {
-                let builder =
-                    SplineBuilder::new(space, BuilderVersion::FusedSpmv).unwrap();
+                let builder = SplineBuilder::new(space, BuilderVersion::FusedSpmv).unwrap();
                 for _ in 0..ROUNDS {
                     let mut b = rhs(nx, nv, t);
                     builder.solve_in_place(&Parallel, &mut b).unwrap();
@@ -70,7 +69,9 @@ fn panicking_lane_propagates_and_does_not_poison_later_dispatches() {
             });
         }));
         let payload = result.expect_err("lane panic must reach the dispatcher");
-        let msg = payload.downcast_ref::<String>().expect("panic payload is a string");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("panic payload is a string");
         assert!(msg.contains("injected lane failure"), "{msg}");
 
         // The very next dispatch on the same pool must behave normally.
@@ -105,7 +106,10 @@ fn pool_observability_counters_advance() {
         std::hint::black_box(i);
     });
     let after = pool_stats();
-    assert!(after.dispatches > before.dispatches, "dispatch counter must advance");
+    assert!(
+        after.dispatches > before.dispatches,
+        "dispatch counter must advance"
+    );
     assert!(
         after.lanes_dispatched >= before.lanes_dispatched + 4096,
         "lane counter must advance by at least the batch size"
