@@ -300,6 +300,7 @@ impl Advection1D {
     /// standing feet untouched, so the driver stays usable.
     pub fn set_dt(&mut self, dt: f64) -> Result<()> {
         if !dt.is_finite() {
+            instrument::trace_instant(instrument::InstantKind::NonFiniteInput);
             return Err(Error::NonFiniteInput { lane: 0, index: 0 });
         }
         self.dt = dt;
@@ -349,6 +350,10 @@ impl Advection1D {
             for j in 0..nv {
                 for i in 0..nx {
                     if !self.feet.get(i, j).is_finite() {
+                        instrument::trace_instant_lane(
+                            instrument::InstantKind::NonFiniteInput,
+                            j as u32,
+                        );
                         return Err(Error::NonFiniteInput { lane: j, index: i });
                     }
                 }
@@ -442,6 +447,7 @@ impl Advection1D {
         // A non-finite displacement would silently poison a whole lane's
         // feet; reject it at the boundary for every backend.
         if let Some(j) = displacements.iter().position(|d| !d.is_finite()) {
+            instrument::trace_instant_lane(instrument::InstantKind::NonFiniteInput, j as u32);
             return Err(Error::NonFiniteInput { lane: j, index: 0 });
         }
         for j in 0..self.nv() {

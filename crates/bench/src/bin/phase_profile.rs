@@ -2,7 +2,9 @@
 //! of the paper's Table III methodology on CPU. Runs every
 //! `BuilderVersion` under the instrumentation layer, snapshots the phase
 //! totals, and writes `BENCH_phases.json` with derived GLUPS / achieved
-//! bandwidth / roofline-fraction figures.
+//! bandwidth / roofline-fraction figures. Wall clock the spans do not
+//! attribute is reported as an explicit `"other"` phase, so per-version
+//! phase totals + other always sum to wall clock.
 //!
 //! The attribution loop runs on `Serial` so that phase sums are
 //! comparable to wall clock (on a parallel executor span totals add up
@@ -44,6 +46,13 @@ fn json_f64(v: f64) -> String {
 /// on the serial path, so the total is directly comparable to wall time.
 fn phase_sum_ns(snapshot: &Snapshot) -> u64 {
     snapshot.phases.iter().map(|s| s.total_ns).sum()
+}
+
+/// Wall clock not attributed to any phase span: loop control, rhs
+/// bookkeeping, span overhead itself. Reported as an explicit `"other"`
+/// bucket so phase totals + other always sum to wall clock.
+fn other_ns(snapshot: &Snapshot, wall: Duration) -> u64 {
+    (wall.as_nanos() as u64).saturating_sub(phase_sum_ns(snapshot))
 }
 
 fn main() {
@@ -124,6 +133,11 @@ fn main() {
                 s.calls
             );
         }
+        println!(
+            "    {:<14} {:>9.3} ms  (unattributed remainder)",
+            "other",
+            other_ns(&snapshot, wall) as f64 / 1e6
+        );
         profiles.push(VersionProfile {
             version,
             wall,
@@ -184,21 +198,23 @@ fn main() {
         );
         let _ = writeln!(j, "      \"phase_cover\": {},", json_f64(cover));
         j.push_str("      \"phases\": [\n");
-        for (i, s) in p.snapshot.phases.iter().enumerate() {
-            let _ = write!(
+        for s in &p.snapshot.phases {
+            let _ = writeln!(
                 j,
-                "        {{\"phase\": \"{}\", \"calls\": {}, \"total_ms\": {}, \"mean_ns\": {}}}",
+                "        {{\"phase\": \"{}\", \"calls\": {}, \"total_ms\": {}, \"mean_ns\": {}}},",
                 s.phase.name(),
                 s.calls,
                 json_f64(s.total_ns as f64 / 1e6),
                 json_f64(s.total_ns as f64 / s.calls.max(1) as f64),
             );
-            j.push_str(if i + 1 < p.snapshot.phases.len() {
-                ",\n"
-            } else {
-                "\n"
-            });
         }
+        // The unattributed remainder closes the array: phase totals plus
+        // "other" sum to wall_ms by construction.
+        let _ = writeln!(
+            j,
+            "        {{\"phase\": \"other\", \"calls\": 0, \"total_ms\": {}, \"mean_ns\": null}}",
+            json_f64(other_ns(&p.snapshot, p.wall) as f64 / 1e6),
+        );
         j.push_str("      ],\n");
         let _ = writeln!(j, "      \"roofline\": {}", p.roofline.to_json());
         j.push_str("    }");

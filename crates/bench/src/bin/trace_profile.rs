@@ -1,0 +1,113 @@
+//! Flight-recorder capture of an instrumented pooled solve: runs every
+//! `BuilderVersion` on the worker pool, snapshots the per-thread event
+//! rings, and writes a Chrome/Perfetto `trace_events` JSON timeline plus
+//! a folded-stack flamegraph text file next to it. The committed copy
+//! (`results/trace_example.json`) is the repository's example trace —
+//! open it at <https://ui.perfetto.dev> to see pool dispatches
+//! interleaving with per-lane solve spans.
+//!
+//! Build with `--features instrument` or the timeline comes back empty
+//! (the recorder compiles to a no-op without it).
+//!
+//! Usage: `trace_profile [--smoke] [--out PATH]`
+
+use pp_bench::SplineConfig;
+use pp_portable::instrument::{self, PhaseId};
+use pp_portable::{Layout, Matrix, Parallel};
+use pp_splinesolver::{BuilderVersion, SplineBuilder};
+
+fn main() {
+    let mut smoke = false;
+    let mut out = String::from("results/trace_example.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument {other:?} (expected --smoke / --out PATH)"),
+        }
+    }
+
+    // The recorder and the pool read their knobs once, on first use —
+    // defaults must be in place before the first instrumented call. A
+    // modest ring keeps the committed trace reviewable; four workers make
+    // the interleaving visible even on a single-core runner.
+    if std::env::var_os("PP_TRACE_CAPACITY").is_none() {
+        std::env::set_var("PP_TRACE_CAPACITY", "1024");
+    }
+    if std::env::var_os("PP_NUM_THREADS").is_none() {
+        std::env::set_var("PP_NUM_THREADS", "4");
+    }
+
+    let (nx, nv, iters) = if smoke { (128, 64, 2) } else { (512, 256, 3) };
+    println!("=== trace_profile: flight-recorder timeline capture ===");
+    println!(
+        "nx {nx}, nv {nv}, {iters} pooled solve(s) per version, instrumented: {}{}",
+        instrument::enabled(),
+        if smoke { " [smoke]" } else { "" }
+    );
+    if !instrument::enabled() {
+        println!("warning: built without --features instrument; the timeline will be empty");
+    }
+
+    let space = SplineConfig {
+        degree: 3,
+        uniform: true,
+    }
+    .space(nx);
+    let rhs = Matrix::from_fn(nx, nv, Layout::Left, |i, j| {
+        ((i * 31 + j * 17) % 97) as f64 / 97.0 - 0.5
+    });
+
+    // Warm-up outside the recorded window: spins up the pool, registers
+    // every worker's ring, and takes first-touch costs off the timeline.
+    let warm = SplineBuilder::new(space.clone(), BuilderVersion::Baseline).expect("builder setup");
+    let mut b = rhs.clone();
+    warm.solve_in_place(&Parallel, &mut b).expect("warm-up");
+
+    instrument::trace_reset();
+    for version in BuilderVersion::ALL {
+        let builder = SplineBuilder::new(space.clone(), version).expect("builder setup");
+        let mut b = rhs.clone();
+        for _ in 0..iters {
+            builder.solve_in_place(&Parallel, &mut b).expect("solve");
+        }
+    }
+    let trace = instrument::trace_snapshot();
+
+    println!(
+        "captured {} event(s) across {} thread(s) (ring capacity {})",
+        trace.event_count(),
+        trace.threads_with_events(),
+        trace.capacity
+    );
+    for t in &trace.threads {
+        if t.events.is_empty() {
+            continue;
+        }
+        println!(
+            "    {:<12} {:>6} event(s), {} overwritten",
+            t.name,
+            t.events.len(),
+            t.dropped
+        );
+    }
+    for phase in [PhaseId::Dispatch, PhaseId::SolvePttrs, PhaseId::CornerSpmv] {
+        println!(
+            "    {:<14} {} span(s) in window",
+            phase.name(),
+            trace.begin_count(phase)
+        );
+    }
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("creating output directory");
+    }
+    std::fs::write(&out, instrument::chrome_trace_json(&trace)).expect("writing trace JSON");
+    let folded = match out.rsplit_once('.') {
+        Some((stem, _)) => format!("{stem}.folded"),
+        None => format!("{out}.folded"),
+    };
+    std::fs::write(&folded, instrument::folded_stacks(&trace)).expect("writing folded stacks");
+    println!("wrote {out} (Perfetto) and {folded} (flamegraph folded stacks)");
+}

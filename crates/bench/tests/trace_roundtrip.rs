@@ -1,0 +1,257 @@
+//! Round-trip tests between the hand-rolled JSON *writers* in
+//! `pp-instrument` (metrics snapshots, Chrome trace export, fault
+//! dumps) and the hand-rolled std-only *parser* in
+//! `pp_bench::json` — the two halves are maintained separately and this
+//! suite is what keeps them from drifting silently. Every document the
+//! writers can emit must come back intact: escaped strings, large /
+//! negative / fractional numbers, and nested arrays of objects.
+//!
+//! The same pass schema-checks the exported timeline against the Chrome
+//! `trace_events` format (the acceptance contract for Perfetto loads).
+
+use pp_bench::json::Json;
+use pp_portable::instrument::{
+    chrome_trace_json, FaultDump, HistogramStat, InstantKind, PhaseId, PhaseStat, Snapshot,
+    ThreadTrace, Trace, TraceEvent, TraceEventKind,
+};
+
+/// A thread name exercising every escape class the writer knows:
+/// quote, backslash, newline, tab, a sub-0x20 control, and non-ASCII.
+const NASTY: &str = "po\"ol \\ 0;\n\tname\u{1}é";
+
+fn ev(t_ns: u64, kind: TraceEventKind, lane: Option<u32>) -> TraceEvent {
+    TraceEvent { t_ns, kind, lane }
+}
+
+/// Validate `doc` against the Chrome `trace_events` schema subset our
+/// exporter emits; returns (complete, instant, metadata) event counts.
+fn check_chrome_schema(doc: &Json) -> (usize, usize, usize) {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    let (mut x, mut i, mut m) = (0, 0, 0);
+    for e in events {
+        let ph = e.get("ph").and_then(Json::as_str).expect("ph string");
+        assert!(!e
+            .get("name")
+            .and_then(Json::as_str)
+            .expect("name string")
+            .is_empty());
+        assert_eq!(e.get("pid").and_then(Json::as_f64), Some(1.0));
+        assert!(e.get("tid").and_then(Json::as_f64).is_some(), "tid number");
+        match ph {
+            "X" => {
+                x += 1;
+                assert!(e.get("ts").and_then(Json::as_f64).is_some(), "X has ts");
+                let dur = e.get("dur").and_then(Json::as_f64).expect("X has dur");
+                assert!(dur >= 0.0, "durations are non-negative");
+            }
+            "i" => {
+                i += 1;
+                assert!(e.get("ts").and_then(Json::as_f64).is_some(), "i has ts");
+                assert_eq!(e.get("s").and_then(Json::as_str), Some("t"));
+            }
+            "M" => {
+                m += 1;
+                assert_eq!(e.get("name").and_then(Json::as_str), Some("thread_name"));
+                assert!(
+                    e.at(&["args", "name"]).and_then(Json::as_str).is_some(),
+                    "M carries the thread name"
+                );
+            }
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+    (x, i, m)
+}
+
+#[test]
+fn chrome_trace_export_round_trips_through_bench_parser() {
+    let trace = Trace {
+        threads: vec![
+            ThreadTrace {
+                tid: 0,
+                name: NASTY.into(),
+                events: vec![
+                    // Nested spans with a large-timestamp tail: µs
+                    // formatting must survive f64 parsing exactly.
+                    ev(1_000, TraceEventKind::Begin(PhaseId::AdvectionStep), None),
+                    ev(2_000, TraceEventKind::Begin(PhaseId::SolvePttrs), Some(3)),
+                    ev(
+                        2_500,
+                        TraceEventKind::Instant(InstantKind::LaneQuarantined),
+                        Some(3),
+                    ),
+                    ev(4_000, TraceEventKind::End(PhaseId::SolvePttrs), Some(3)),
+                    ev(
+                        1_234_567_891,
+                        TraceEventKind::End(PhaseId::AdvectionStep),
+                        None,
+                    ),
+                ],
+                dropped: 0,
+            },
+            ThreadTrace {
+                tid: 1,
+                name: "pp-pool-0".into(),
+                events: vec![ev(
+                    7_000,
+                    TraceEventKind::Instant(InstantKind::DispatchCommit),
+                    None,
+                )],
+                dropped: 9,
+            },
+        ],
+        capacity: 64,
+    };
+
+    let doc = Json::parse(&chrome_trace_json(&trace)).expect("exporter emits valid JSON");
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ns")
+    );
+    let (x, i, m) = check_chrome_schema(&doc);
+    assert_eq!((x, i, m), (2, 2, 2), "2 spans, 2 instants, 2 thread names");
+
+    let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+    // The escaped thread name comes back byte-identical…
+    let names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+        .filter_map(|e| e.at(&["args", "name"]).and_then(Json::as_str))
+        .collect();
+    assert!(names.contains(&NASTY), "escaping round-trips: {names:?}");
+    // …the lossy ring is flagged in the name…
+    assert!(names.contains(&"pp-pool-0 (dropped 9)"));
+    // …lane args and µs/ns timestamp precision survive.
+    let quarantine = events
+        .iter()
+        .find(|e| e.get("name").and_then(Json::as_str) == Some("lane_quarantined"))
+        .expect("instant exported");
+    assert_eq!(
+        quarantine.at(&["args", "lane"]).and_then(Json::as_f64),
+        Some(3.0)
+    );
+    assert_eq!(quarantine.get("ts").and_then(Json::as_f64), Some(2.500));
+    let outer = events
+        .iter()
+        .find(|e| e.get("name").and_then(Json::as_str) == Some("advection_step"))
+        .expect("outer span exported");
+    assert_eq!(outer.get("ts").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(
+        outer.get("dur").and_then(Json::as_f64),
+        Some(1_234_566.891),
+        "nanosecond fraction survives the decimal µs encoding"
+    );
+}
+
+#[test]
+fn snapshot_and_fault_dump_round_trip_through_bench_parser() {
+    // A snapshot exercising the number grammar end to end: u64-range
+    // counters, negative/fractional gauges, and nested bucket arrays.
+    let metrics = Snapshot {
+        phases: vec![PhaseStat {
+            phase: PhaseId::Dispatch,
+            calls: 3,
+            total_ns: 1_500_000,
+        }],
+        counters: vec![("big \"counter\"\\".into(), u64::MAX), ("zero".into(), 0)],
+        gauges: vec![
+            ("negative".into(), -1234.567),
+            ("tiny".into(), 0.001),
+            ("nan_becomes_null".into(), f64::NAN),
+        ],
+        histograms: vec![HistogramStat {
+            name: "h\tist".into(),
+            count: 10,
+            sum: 5_000,
+            min: 1,
+            max: 900,
+            buckets: vec![(8, 5), (512, 4), (1024, 1)],
+        }],
+    };
+
+    let doc = Json::parse(&metrics.to_json()).expect("snapshot writer emits valid JSON");
+    assert_eq!(
+        doc.at(&["counters", "big \"counter\"\\"])
+            .and_then(Json::as_f64),
+        Some(u64::MAX as f64),
+        "u64-range counters survive (to f64 precision)"
+    );
+    assert_eq!(
+        doc.at(&["gauges", "negative"]).and_then(Json::as_f64),
+        Some(-1234.567)
+    );
+    assert_eq!(
+        doc.at(&["gauges", "tiny"]).and_then(Json::as_f64),
+        Some(0.001)
+    );
+    assert_eq!(doc.at(&["gauges", "nan_becomes_null"]), Some(&Json::Null));
+    let hist = &doc.get("histograms").and_then(Json::as_array).unwrap()[0];
+    assert_eq!(hist.get("name").and_then(Json::as_str), Some("h\tist"));
+    let buckets = hist.get("buckets").and_then(Json::as_array).unwrap();
+    assert_eq!(buckets.len(), 3, "nested bucket array survives");
+    assert_eq!(buckets[1].get("le").and_then(Json::as_f64), Some(512.0));
+    assert_eq!(buckets[1].get("count").and_then(Json::as_f64), Some(4.0));
+    let phase = &doc.get("phases").and_then(Json::as_array).unwrap()[0];
+    assert_eq!(phase.get("phase").and_then(Json::as_str), Some("dispatch"));
+
+    // The fault-dump wrapper nests the timeline *and* the metrics in one
+    // document; both halves must still parse in place.
+    let dump = FaultDump {
+        reason: "round_trip",
+        detail: NASTY.into(),
+        t_ns: 123_456_789,
+        trace: Trace {
+            threads: vec![ThreadTrace {
+                tid: 2,
+                name: "worker".into(),
+                events: vec![
+                    ev(10, TraceEventKind::Begin(PhaseId::KrylovIter), Some(1)),
+                    ev(
+                        15,
+                        TraceEventKind::Instant(InstantKind::BreakdownStagnation),
+                        Some(1),
+                    ),
+                    ev(20, TraceEventKind::End(PhaseId::KrylovIter), Some(1)),
+                ],
+                dropped: 0,
+            }],
+            capacity: 64,
+        },
+        metrics,
+    };
+    let doc = Json::parse(&dump.to_json()).expect("fault-dump writer emits valid JSON");
+    assert_eq!(doc.get("reason").and_then(Json::as_str), Some("round_trip"));
+    assert_eq!(doc.get("detail").and_then(Json::as_str), Some(NASTY));
+    assert_eq!(doc.get("t_ns").and_then(Json::as_f64), Some(123_456_789.0));
+    let (x, i, m) = check_chrome_schema(&doc);
+    assert_eq!((x, i, m), (1, 1, 1));
+    assert_eq!(
+        doc.at(&["metrics", "gauges", "negative"])
+            .and_then(Json::as_f64),
+        Some(-1234.567),
+        "metrics snapshot rides along intact"
+    );
+
+    // A live capture parses too (empty in the feature-off build).
+    let live = Snapshot::capture();
+    Json::parse(&live.to_json()).expect("live snapshot parses");
+}
+
+#[test]
+fn committed_example_trace_is_schema_valid() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/trace_example.json"
+    );
+    let text = std::fs::read_to_string(path).expect("committed example trace exists");
+    let doc = Json::parse(&text).expect("committed trace parses");
+    let (x, _, m) = check_chrome_schema(&doc);
+    assert!(
+        x >= 100,
+        "committed trace holds a real timeline ({x} spans)"
+    );
+    assert!(m >= 2, "committed trace spans multiple threads");
+}

@@ -15,7 +15,7 @@ use pp_iterative::{
     Preconditioner, RecoveryEvent, RecoveryStage, SolveResult, StopCriteria, CPU_COLS_PER_CHUNK,
     GPU_COLS_PER_CHUNK,
 };
-use pp_portable::instrument::{counter, Counter};
+use pp_portable::instrument::{counter, fault_dump, trace_instant, Counter, InstantKind};
 use pp_portable::{Layout, Matrix, Parallel};
 use pp_sparse::Csr;
 use std::sync::OnceLock;
@@ -274,6 +274,11 @@ impl IterativeSplineSolver {
                 continue;
             }
             attempts += 1;
+            trace_instant(match stage {
+                RecoveryStage::Reprecondition => InstantKind::RecoveryReprecondition,
+                RecoveryStage::SolverSwitch => InstantKind::RecoverySolverSwitch,
+                RecoveryStage::DirectFallback => InstantKind::RecoveryDirectFallback,
+            });
             let recovered = match stage {
                 RecoveryStage::Reprecondition => {
                     // Stronger smoothing: double the block size (capped at
@@ -324,6 +329,24 @@ impl IterativeSplineSolver {
                 stage,
                 lanes_attempted: failed,
                 lanes_recovered: recovered,
+            });
+        }
+        if attempts > 0 {
+            // The ladder ran: snapshot the flight recorder with the
+            // breakdown/recovery timeline still in the rings.
+            fault_dump("recovery_escalation", || {
+                use std::fmt::Write as _;
+                let mut d = format!("{attempts} recovery rung(s) ran");
+                for ev in logger.recovery_events() {
+                    let _ = write!(
+                        d,
+                        "; {:?}: {}/{} lane(s) recovered",
+                        ev.stage,
+                        ev.lanes_recovered.len(),
+                        ev.lanes_attempted.len()
+                    );
+                }
+                d
             });
         }
         Ok(logger)

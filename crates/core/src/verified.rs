@@ -34,7 +34,9 @@ use crate::iterative_backend::{IterativeConfig, IterativeSplineSolver};
 use pp_bsplines::assemble_interpolation_matrix;
 use pp_iterative::solver::{norm2, residual_into};
 use pp_linalg::{getrf, refine_lane, LuFactors, RefineConfig};
-use pp_portable::instrument::{counter, Counter, PhaseId, Span};
+use pp_portable::instrument::{
+    counter, fault_dump, trace_instant_lane, Counter, InstantKind, PhaseId, Span,
+};
 use pp_portable::{ExecSpace, Matrix, StridedMut};
 use pp_sparse::Csr;
 
@@ -428,16 +430,43 @@ impl VerifiedBuilder {
             let b_lane = rhs.col(lane).to_vec();
             if let Some(index) = b_lane.iter().position(|v| !v.is_finite()) {
                 zero_lane(b, lane);
+                trace_instant_lane(InstantKind::NonFiniteInput, lane as u32);
+                trace_instant_lane(InstantKind::LaneQuarantined, lane as u32);
                 verdicts.push(LaneVerdict::Quarantined {
                     reason: QuarantineReason::NonFiniteInput { index },
                 });
                 continue;
             }
-            verdicts.push(self.verify_lane(b, lane, &b_lane, probed));
+            let verdict = self.verify_lane(b, lane, &b_lane, probed);
+            match &verdict {
+                LaneVerdict::Refined { .. } => {
+                    trace_instant_lane(InstantKind::LaneRefined, lane as u32);
+                }
+                LaneVerdict::Recovered { .. } => {
+                    trace_instant_lane(InstantKind::LaneRecovered, lane as u32);
+                }
+                LaneVerdict::Quarantined { .. } => {
+                    trace_instant_lane(InstantKind::LaneQuarantined, lane as u32);
+                }
+                LaneVerdict::Verified { .. } | LaneVerdict::Unsampled => {}
+            }
+            verdicts.push(verdict);
         }
         drop(verify_span);
         let report = LaneReport { verdicts };
         publish_verify_metrics(&report);
+        if !report.quarantined_lanes().is_empty() {
+            // Quarantine means data was lost: snapshot the flight
+            // recorder so the milliseconds leading up to it survive.
+            fault_dump("verified_quarantine", || {
+                let mut d = report.to_string();
+                for lane in report.quarantined_lanes() {
+                    use std::fmt::Write as _;
+                    let _ = write!(d, "; lane {lane}: {}", report.verdict(lane));
+                }
+                d
+            });
+        }
         Ok(report)
     }
 

@@ -7,9 +7,14 @@
 //! on first use per thread and on snapshot/reset — never per record.
 
 use crate::phase::PhaseId;
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::{Arc, Mutex};
+use crate::trace::{FaultDump, InstantKind, ThreadTrace, Trace, TraceEvent, TraceEventKind};
+use std::collections::{BTreeMap, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{
+    AtomicU64,
+    Ordering::{Acquire, Relaxed, Release},
+};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// `histogram` bucket count: bucket 0 holds zero, bucket `b ≥ 1` holds
@@ -69,6 +74,247 @@ pub(crate) fn phase_totals() -> [(u64, u64); PhaseId::COUNT] {
 }
 
 // ---------------------------------------------------------------------
+// Event-timeline flight recorder
+// ---------------------------------------------------------------------
+//
+// Each thread owns a fixed-capacity ring of (timestamp, packed-code)
+// slot pairs: recording is two relaxed stores plus a release store of
+// the head — no locks, no allocation, bounded memory, overwrite-oldest.
+// A snapshot reads every ring under the registry mutex; because the
+// owning thread keeps writing, a slot being overwritten *during* the
+// read can tear (new timestamp, old code). Torn slots decode to
+// mismatched span pairs, which the exporters drop — acceptable for a
+// flight recorder whose job is the milliseconds around a fault.
+
+/// Event-code packing: `tag(2) | id(30) | lane(32)`.
+const TAG_EMPTY: u64 = 0;
+const TAG_BEGIN: u64 = 1;
+const TAG_END: u64 = 2;
+const TAG_INSTANT: u64 = 3;
+
+/// Sentinel lane meaning "not lane-scoped".
+const LANE_NONE: u32 = u32::MAX;
+
+struct Slot {
+    t_ns: AtomicU64,
+    code: AtomicU64,
+}
+
+pub(crate) struct Ring {
+    tid: u64,
+    name: String,
+    /// Total events ever written; `head % slots.len()` is the next slot.
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl Ring {
+    /// Single-writer append (only the owning thread calls this).
+    #[inline]
+    fn push(&self, t_ns: u64, code: u64) {
+        let i = self.head.load(Relaxed);
+        let slot = &self.slots[(i % self.slots.len() as u64) as usize];
+        slot.t_ns.store(t_ns, Relaxed);
+        slot.code.store(code, Relaxed);
+        self.head.store(i + 1, Release);
+    }
+}
+
+/// Ring capacity in events per thread, from `PP_TRACE_CAPACITY` (read
+/// once), default 8192, clamped to `[16, 2^22]`.
+fn trace_capacity() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("PP_TRACE_CAPACITY")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map_or(8192, |v| v.clamp(16, 1 << 22))
+    })
+}
+
+/// Process-wide trace epoch: all event timestamps are ns since this.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// `at` as ns since the trace epoch (saturating: the very first caller
+/// may have read its clock just before initialising the epoch).
+#[inline]
+fn ns_since_epoch(at: Instant) -> u64 {
+    at.duration_since(epoch()).as_nanos() as u64
+}
+
+/// All rings ever created, one per recording thread (kept alive past
+/// thread exit, like `PHASE_BLOCKS`).
+static RINGS: Mutex<Vec<Arc<Ring>>> = Mutex::new(Vec::new());
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static TL_RING: Arc<Ring> = {
+        let cap = trace_capacity();
+        let tid = NEXT_TID.fetch_add(1, Relaxed);
+        let name = std::thread::current()
+            .name()
+            .map_or_else(|| format!("thread-{tid}"), str::to_string);
+        let slots = (0..cap)
+            .map(|_| Slot {
+                t_ns: AtomicU64::new(0),
+                code: AtomicU64::new(TAG_EMPTY),
+            })
+            .collect();
+        let ring = Arc::new(Ring {
+            tid,
+            name,
+            head: AtomicU64::new(0),
+            slots,
+        });
+        RINGS.lock().unwrap().push(Arc::clone(&ring));
+        ring
+    };
+}
+
+#[inline]
+fn pack(tag: u64, id: usize, lane: u32) -> u64 {
+    (tag << 62) | ((id as u64) << 32) | lane as u64
+}
+
+#[inline]
+fn trace_event(t_ns: u64, tag: u64, id: usize, lane: u32) {
+    TL_RING.with(|r| r.push(t_ns, pack(tag, id, lane)));
+}
+
+/// Record a one-off timeline marker on this thread.
+#[inline]
+pub fn trace_instant(kind: InstantKind) {
+    trace_event(
+        ns_since_epoch(Instant::now()),
+        TAG_INSTANT,
+        kind.index(),
+        LANE_NONE,
+    );
+}
+
+/// Record a lane-scoped timeline marker on this thread.
+#[inline]
+pub fn trace_instant_lane(kind: InstantKind, lane: u32) {
+    trace_event(
+        ns_since_epoch(Instant::now()),
+        TAG_INSTANT,
+        kind.index(),
+        lane,
+    );
+}
+
+/// Copy every thread's surviving event window into plain data.
+pub fn trace_snapshot() -> Trace {
+    let rings: Vec<Arc<Ring>> = RINGS.lock().unwrap().iter().map(Arc::clone).collect();
+    let mut threads = Vec::with_capacity(rings.len());
+    for ring in rings {
+        let cap = ring.slots.len() as u64;
+        let head = ring.head.load(Acquire);
+        let n = head.min(cap);
+        let mut events = Vec::with_capacity(n as usize);
+        for i in (head - n)..head {
+            let slot = &ring.slots[(i % cap) as usize];
+            let t_ns = slot.t_ns.load(Relaxed);
+            let code = slot.code.load(Relaxed);
+            let tag = code >> 62;
+            let id = ((code >> 32) & 0x3FFF_FFFF) as usize;
+            let lane_raw = code as u32;
+            let kind = match tag {
+                TAG_BEGIN if id < PhaseId::COUNT => TraceEventKind::Begin(PhaseId::ALL[id]),
+                TAG_END if id < PhaseId::COUNT => TraceEventKind::End(PhaseId::ALL[id]),
+                TAG_INSTANT if id < InstantKind::COUNT => {
+                    TraceEventKind::Instant(InstantKind::ALL[id])
+                }
+                // Empty, torn, or corrupt slot — skip it.
+                _ => continue,
+            };
+            events.push(TraceEvent {
+                t_ns,
+                kind,
+                lane: (lane_raw != LANE_NONE).then_some(lane_raw),
+            });
+        }
+        threads.push(ThreadTrace {
+            tid: ring.tid,
+            name: ring.name.clone(),
+            events,
+            dropped: head.saturating_sub(cap),
+        });
+    }
+    Trace {
+        threads,
+        capacity: trace_capacity(),
+    }
+}
+
+/// Clear every thread's ring (ring registrations stay).
+///
+/// Like [`reset`], concurrent recording during the clear lands on
+/// whichever side it races with; call between measurement windows.
+pub fn trace_reset() {
+    for ring in RINGS.lock().unwrap().iter() {
+        for slot in ring.slots.iter() {
+            slot.code.store(TAG_EMPTY, Relaxed);
+            slot.t_ns.store(0, Relaxed);
+        }
+        ring.head.store(0, Release);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dump-on-fault
+// ---------------------------------------------------------------------
+
+/// In-memory dumps kept for test/driver inspection (oldest evicted).
+const FAULT_DUMPS_KEEP: usize = 8;
+
+static FAULT_DUMPS: Mutex<VecDeque<FaultDump>> = Mutex::new(VecDeque::new());
+static DUMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Dump directory from `PP_TRACE_DUMP_DIR` (read once); `None` keeps
+/// dumps in memory only.
+fn dump_dir() -> Option<&'static Path> {
+    static DIR: OnceLock<Option<PathBuf>> = OnceLock::new();
+    DIR.get_or_init(|| std::env::var_os("PP_TRACE_DUMP_DIR").map(PathBuf::from))
+        .as_deref()
+}
+
+/// Snapshot the flight recorder into a [`FaultDump`]: marks the
+/// timeline, copies every ring and the aggregate metrics, renders
+/// `detail` (lazily — feature-off builds never evaluate it), stores the
+/// dump in memory for [`take_fault_dumps`], and best-effort writes it
+/// to `PP_TRACE_DUMP_DIR` when set (a dump must never fail the solve,
+/// so write errors are swallowed).
+pub fn fault_dump(reason: &'static str, detail: impl FnOnce() -> String) {
+    let t_ns = ns_since_epoch(Instant::now());
+    trace_instant(InstantKind::FaultDumped);
+    let dump = FaultDump {
+        reason,
+        detail: detail(),
+        t_ns,
+        trace: trace_snapshot(),
+        metrics: crate::Snapshot::capture(),
+    };
+    let seq = DUMP_SEQ.fetch_add(1, Relaxed);
+    if let Some(dir) = dump_dir() {
+        let _ = dump.write_to(dir, seq);
+    }
+    let mut q = FAULT_DUMPS.lock().unwrap();
+    if q.len() == FAULT_DUMPS_KEEP {
+        q.pop_front();
+    }
+    q.push_back(dump);
+}
+
+/// Drain the in-memory fault dumps captured so far (oldest first).
+pub fn take_fault_dumps() -> Vec<FaultDump> {
+    FAULT_DUMPS.lock().unwrap().drain(..).collect()
+}
+
+// ---------------------------------------------------------------------
 // Span / Timer
 // ---------------------------------------------------------------------
 
@@ -84,6 +330,7 @@ pub(crate) fn phase_totals() -> [(u64, u64); PhaseId::COUNT] {
 #[must_use = "a span records on drop; binding it to _ drops immediately"]
 pub struct Span {
     phase: PhaseId,
+    lane: u32,
     start: Instant,
 }
 
@@ -91,17 +338,32 @@ impl Span {
     /// Start timing `phase`; the elapsed time is recorded on drop.
     #[inline]
     pub fn enter(phase: PhaseId) -> Span {
-        Span {
-            phase,
-            start: Instant::now(),
-        }
+        Span::enter_impl(phase, LANE_NONE)
+    }
+
+    /// Like [`Span::enter`], additionally stamping the batch lane the
+    /// span concerns onto its timeline events.
+    #[inline]
+    pub fn enter_lane(phase: PhaseId, lane: u32) -> Span {
+        Span::enter_impl(phase, lane)
+    }
+
+    #[inline]
+    fn enter_impl(phase: PhaseId, lane: u32) -> Span {
+        // One clock read serves both the phase timer and the timeline
+        // Begin event.
+        let start = Instant::now();
+        trace_event(ns_since_epoch(start), TAG_BEGIN, phase.index(), lane);
+        Span { phase, lane, start }
     }
 }
 
 impl Drop for Span {
     #[inline]
     fn drop(&mut self) {
-        record_phase_ns(self.phase, self.start.elapsed().as_nanos() as u64);
+        let end = Instant::now();
+        record_phase_ns(self.phase, end.duration_since(self.start).as_nanos() as u64);
+        trace_event(ns_since_epoch(end), TAG_END, self.phase.index(), self.lane);
     }
 }
 

@@ -4,6 +4,7 @@
 //! allocate, lock, or leak.
 
 use crate::phase::PhaseId;
+use crate::trace::{FaultDump, InstantKind, Trace};
 
 /// RAII phase timer (inert: zero-sized, records nothing).
 ///
@@ -17,6 +18,12 @@ impl Span {
     /// No-op.
     #[inline(always)]
     pub fn enter(_phase: PhaseId) -> Span {
+        Span
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn enter_lane(_phase: PhaseId, _lane: u32) -> Span {
         Span
     }
 }
@@ -117,3 +124,31 @@ pub fn histogram(_name: &'static str) -> Histogram {
 /// No-op.
 #[inline(always)]
 pub fn reset() {}
+
+/// No-op.
+#[inline(always)]
+pub fn trace_instant(_kind: InstantKind) {}
+
+/// No-op.
+#[inline(always)]
+pub fn trace_instant_lane(_kind: InstantKind, _lane: u32) {}
+
+/// Always empty.
+#[inline(always)]
+pub fn trace_snapshot() -> Trace {
+    Trace::default()
+}
+
+/// No-op.
+#[inline(always)]
+pub fn trace_reset() {}
+
+/// No-op; `detail` is never evaluated.
+#[inline(always)]
+pub fn fault_dump(_reason: &'static str, _detail: impl FnOnce() -> String) {}
+
+/// Always empty.
+#[inline(always)]
+pub fn take_fault_dumps() -> Vec<FaultDump> {
+    Vec::new()
+}

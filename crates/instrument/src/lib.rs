@@ -22,6 +22,16 @@
 //!   registry into plain data, with [`RooflineAnnotation`] computing
 //!   GLUPS / achieved bandwidth / roofline fraction via `pp-perfmodel`.
 //!
+//! On top of the aggregates sits the **event-timeline flight recorder**:
+//! every [`Span`] additionally logs Begin/End events (plus one-off
+//! [`InstantKind`] markers via [`trace_instant`]) into a fixed-capacity
+//! per-thread ring buffer — always-on, overwrite-oldest, bounded memory.
+//! [`trace_snapshot`] copies the surviving window into a [`Trace`];
+//! [`chrome_trace_json`] / [`folded_stacks`] export it for Perfetto or
+//! flamegraph tooling; and [`fault_dump`] snapshots rings + metrics into
+//! a [`FaultDump`] when a fault-handling path fires (see `PP_TRACE_*`
+//! env knobs on the recorder functions).
+//!
 //! ## Feature gating
 //!
 //! Everything is behind the `instrument` cargo feature. When it is off
@@ -35,24 +45,30 @@
 //! `--features instrument` on any crate in the stack lights up the whole
 //! pipeline (cargo feature unification).
 
+mod export;
 mod phase;
 mod snapshot;
+mod trace;
 
+pub use export::{chrome_trace_events, chrome_trace_json, folded_stacks};
 pub use phase::PhaseId;
 pub use snapshot::{HistogramStat, PhaseStat, RooflineAnnotation, Snapshot};
+pub use trace::{FaultDump, InstantKind, ThreadTrace, Trace, TraceEvent, TraceEventKind};
 
 #[cfg(feature = "instrument")]
 mod active;
 #[cfg(feature = "instrument")]
 pub use active::{
-    counter, gauge, histogram, record_phase_ns, reset, Counter, Gauge, Histogram, Span, Timer,
+    counter, fault_dump, gauge, histogram, record_phase_ns, reset, take_fault_dumps, trace_instant,
+    trace_instant_lane, trace_reset, trace_snapshot, Counter, Gauge, Histogram, Span, Timer,
 };
 
 #[cfg(not(feature = "instrument"))]
 mod inert;
 #[cfg(not(feature = "instrument"))]
 pub use inert::{
-    counter, gauge, histogram, record_phase_ns, reset, Counter, Gauge, Histogram, Span, Timer,
+    counter, fault_dump, gauge, histogram, record_phase_ns, reset, take_fault_dumps, trace_instant,
+    trace_instant_lane, trace_reset, trace_snapshot, Counter, Gauge, Histogram, Span, Timer,
 };
 
 /// Whether this build records anything (`instrument` feature on).
@@ -90,6 +106,20 @@ mod tests {
             assert!(snap.is_empty());
         }
         let _ = snap.to_json();
+
+        // The trace API exists in both modes too.
+        trace_instant(InstantKind::DispatchCommit);
+        trace_instant_lane(InstantKind::LaneQuarantined, 4);
+        let trace = trace_snapshot();
+        if enabled() {
+            assert!(trace.instant_count(InstantKind::DispatchCommit) >= 1);
+            assert!(trace.begin_count(PhaseId::Assemble) >= 1);
+        } else {
+            assert!(trace.is_empty());
+            assert!(take_fault_dumps().is_empty());
+        }
+        let _ = chrome_trace_json(&trace);
+        let _ = folded_stacks(&trace);
     }
 
     #[cfg(not(feature = "instrument"))]

@@ -111,7 +111,7 @@ impl RooflineAnnotation {
         format!(
             "{{\"device\": \"{}\", \"glups\": {}, \"achieved_bw_gbs\": {}, \
              \"peak_bw_gbs\": {}, \"bandwidth_fraction\": {}, \"roofline_fraction\": {}}}",
-            self.device,
+            json_escape(self.device),
             json_f64(self.glups),
             json_f64(self.achieved_bw_gbs),
             json_f64(self.peak_bw_gbs),
@@ -275,14 +275,20 @@ impl Snapshot {
         }
         j.push_str("  ],\n  \"counters\": {");
         for (k, (name, v)) in self.counters.iter().enumerate() {
-            let _ = write!(j, "{}\"{name}\": {v}", if k == 0 { "" } else { ", " });
+            let _ = write!(
+                j,
+                "{}\"{}\": {v}",
+                if k == 0 { "" } else { ", " },
+                json_escape(name)
+            );
         }
         j.push_str("},\n  \"gauges\": {");
         for (k, (name, v)) in self.gauges.iter().enumerate() {
             let _ = write!(
                 j,
-                "{}\"{name}\": {}",
+                "{}\"{}\": {}",
                 if k == 0 { "" } else { ", " },
+                json_escape(name),
                 json_f64(*v)
             );
         }
@@ -292,7 +298,7 @@ impl Snapshot {
                 j,
                 "    {{\"name\": \"{}\", \"count\": {}, \"mean\": {}, \"min\": {}, \
                  \"max\": {}, \"p50_le\": {}, \"p99_le\": {}, \"buckets\": [",
-                h.name,
+                json_escape(&h.name),
                 h.count,
                 json_f64(h.mean()),
                 h.min,
@@ -326,6 +332,26 @@ pub(crate) fn json_f64(v: f64) -> String {
     } else {
         "null".into()
     }
+}
+
+/// Escape `s` for inclusion inside a JSON string literal, per RFC 8259:
+/// backslash, quote, and all control characters below 0x20.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,127 @@
+//! Flight-recorder integration tests. Everything touching the global
+//! rings lives in ONE `#[test]` per feature mode, so the libtest thread
+//! pool cannot race `trace_reset()` — the same discipline as the
+//! repo-level observability suite.
+
+use pp_instrument as instrument;
+use pp_instrument::{InstantKind, PhaseId, Span};
+
+#[cfg(feature = "instrument")]
+#[test]
+fn flight_recorder_records_multithreaded_timelines() {
+    use pp_instrument::TraceEventKind;
+
+    // This binary is its own process: the knobs must be set before the
+    // first event creates a ring / captures a dump.
+    let dump_dir = std::env::temp_dir().join(format!("pp_trace_test_{}", std::process::id()));
+    std::env::set_var("PP_TRACE_CAPACITY", "64");
+    std::env::set_var("PP_TRACE_DUMP_DIR", &dump_dir);
+
+    // --- Multi-thread recording: named threads, nested spans, instants.
+    instrument::trace_reset();
+    std::thread::scope(|s| {
+        for t in 0..3u32 {
+            std::thread::Builder::new()
+                .name(format!("rec-{t}"))
+                .spawn_scoped(s, move || {
+                    let _outer = Span::enter(PhaseId::AdvectionStep);
+                    for lane in 0..4u32 {
+                        let _inner = Span::enter_lane(PhaseId::KrylovIter, lane);
+                        instrument::trace_instant_lane(InstantKind::BreakdownStagnation, lane);
+                    }
+                })
+                .expect("spawn");
+        }
+    });
+    let trace = instrument::trace_snapshot();
+    assert!(trace.threads_with_events() >= 3, "one window per thread");
+    assert_eq!(trace.capacity, 64, "PP_TRACE_CAPACITY honoured");
+    assert!(trace.begin_count(PhaseId::AdvectionStep) >= 3);
+    assert!(trace.begin_count(PhaseId::KrylovIter) >= 12);
+    assert!(trace.instant_count(InstantKind::BreakdownStagnation) >= 12);
+    for thread in &trace.threads {
+        // Single-writer rings: each thread's window is time-ordered.
+        for w in thread.events.windows(2) {
+            assert!(w[0].t_ns <= w[1].t_ns, "events in record order");
+        }
+        if thread.name.starts_with("rec-") {
+            let lanes: Vec<u32> = thread
+                .events
+                .iter()
+                .filter(|e| e.kind == TraceEventKind::Begin(PhaseId::KrylovIter))
+                .map(|e| e.lane.expect("lane-stamped span"))
+                .collect();
+            assert_eq!(lanes, vec![0, 1, 2, 3], "lane stamps survive");
+        }
+    }
+
+    // --- Overwrite-oldest: flood one ring past capacity.
+    instrument::trace_reset();
+    for _ in 0..100 {
+        instrument::trace_instant(InstantKind::DispatchCommit);
+    }
+    let trace = instrument::trace_snapshot();
+    let me = trace
+        .threads
+        .iter()
+        .find(|t| !t.events.is_empty())
+        .expect("this thread recorded");
+    assert_eq!(me.events.len(), 64, "window bounded by capacity");
+    assert_eq!(me.dropped, 36, "100 events, 64 kept");
+
+    // --- Exporters on a live snapshot.
+    let json = instrument::chrome_trace_json(&trace);
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("\"dispatch_commit\""));
+    let _ = instrument::folded_stacks(&trace);
+
+    // --- Dump-on-fault: in-memory inspection + disk write.
+    assert!(instrument::take_fault_dumps().is_empty());
+    instrument::fault_dump("trace_test", || "synthetic fault".to_string());
+    let dumps = instrument::take_fault_dumps();
+    assert_eq!(dumps.len(), 1);
+    assert!(instrument::take_fault_dumps().is_empty(), "take drains");
+    let dump = &dumps[0];
+    assert_eq!(dump.reason, "trace_test");
+    assert_eq!(dump.detail, "synthetic fault");
+    assert!(
+        dump.trace.instant_count(InstantKind::FaultDumped) >= 1,
+        "the capture marks its own timeline"
+    );
+    let on_disk = dump_dir.join("fault_dump_0000.json");
+    let written = std::fs::read_to_string(&on_disk).expect("dump written to PP_TRACE_DUMP_DIR");
+    assert!(written.contains("\"reason\": \"trace_test\""));
+    assert!(written.contains("\"traceEvents\""));
+    std::fs::remove_dir_all(&dump_dir).ok();
+
+    // --- trace_reset clears every window but keeps registrations.
+    instrument::trace_reset();
+    let trace = instrument::trace_snapshot();
+    assert!(trace.is_empty());
+    assert!(!trace.threads.is_empty(), "rings survive the reset");
+}
+
+#[cfg(not(feature = "instrument"))]
+#[test]
+fn feature_off_trace_api_is_inert() {
+    assert!(!instrument::enabled());
+
+    {
+        let _span = Span::enter(PhaseId::AdvectionStep);
+        let _lane_span = Span::enter_lane(PhaseId::KrylovIter, 7);
+    }
+    instrument::trace_instant(InstantKind::DispatchCommit);
+    instrument::trace_instant_lane(InstantKind::LaneQuarantined, 3);
+    instrument::fault_dump("off", || unreachable!("detail must not be evaluated"));
+
+    let trace = instrument::trace_snapshot();
+    assert!(trace.is_empty());
+    assert_eq!(trace.threads.len(), 0, "no ring state exists");
+    assert!(instrument::take_fault_dumps().is_empty());
+    assert_eq!(std::mem::size_of::<Span>(), 0, "span stays zero-sized");
+
+    // Exporters still work on (empty) plain data.
+    let json = instrument::chrome_trace_json(&trace);
+    assert!(json.contains("\"traceEvents\""));
+    assert_eq!(instrument::folded_stacks(&trace), "");
+}

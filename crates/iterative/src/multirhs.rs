@@ -25,7 +25,7 @@ use crate::logger::ConvergenceLogger;
 use crate::precond::Preconditioner;
 use crate::solver::{IterativeSolver, SolveResult};
 use crate::stop::StopCriteria;
-use pp_portable::instrument::{counter, Counter, PhaseId, Span};
+use pp_portable::instrument::{counter, trace_instant_lane, Counter, InstantKind, PhaseId, Span};
 use pp_portable::{parallel_for_each_mut, Matrix};
 use pp_sparse::Csr;
 use std::sync::OnceLock;
@@ -198,8 +198,8 @@ impl<'a> ChunkedSolver<'a> {
                 })
                 .collect();
 
-            parallel_for_each_mut(&mut slots, |_, slot| {
-                let _span = Span::enter(PhaseId::KrylovIter);
+            parallel_for_each_mut(&mut slots, |offset, slot| {
+                let _span = Span::enter_lane(PhaseId::KrylovIter, (begin + offset) as u32);
                 let res = self
                     .solver
                     .solve(a, self.precond, &slot.rhs, &mut slot.x, &self.stop);
@@ -212,6 +212,20 @@ impl<'a> ChunkedSolver<'a> {
                     .expect("parallel_for_each_mut visits every slot");
                 b.col_mut(begin + offset).copy_from_slice(&slot.x);
                 logger.record(res);
+                if let Some(kind) = res.breakdown {
+                    trace_instant_lane(
+                        match kind {
+                            BreakdownKind::RhoZero => InstantKind::BreakdownRhoZero,
+                            BreakdownKind::OmegaZero => InstantKind::BreakdownOmegaZero,
+                            BreakdownKind::NonFiniteResidual => {
+                                InstantKind::BreakdownNonFiniteResidual
+                            }
+                            BreakdownKind::Stagnation => InstantKind::BreakdownStagnation,
+                            BreakdownKind::MaxIters => InstantKind::BreakdownMaxIters,
+                        },
+                        (begin + offset) as u32,
+                    );
+                }
                 let outcome = LaneOutcome::from_result(&res);
                 lane_metrics().of(outcome).inc();
                 outcomes.push(outcome);

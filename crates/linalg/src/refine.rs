@@ -9,7 +9,7 @@
 //! step count, stop at a target backward error, stop when a step fails to
 //! halve the error, and never accept a step that makes things worse.
 
-use pp_portable::instrument::{counter, Counter, PhaseId, Span};
+use pp_portable::instrument::{counter, trace_instant, Counter, InstantKind, PhaseId, Span};
 use std::sync::OnceLock;
 
 /// Tuning knobs for [`refine_lane`]. The defaults mirror LAPACK `*rfs`.
@@ -92,6 +92,11 @@ pub fn refine_lane(
     let out = refine_lane_impl(matvec, solve, anorm_inf, b, x, cfg);
     refine_metrics().calls.inc();
     refine_metrics().steps.add(out.steps as u64);
+    if !out.converged {
+        // Refinement ran out of improvement above the target: a timeline
+        // marker so traces show where the escalation pressure came from.
+        trace_instant(InstantKind::RefineSaturated);
+    }
     out
 }
 

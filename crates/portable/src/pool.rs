@@ -336,6 +336,9 @@ fn worker_loop(shared: &'static Shared, id: usize) {
         shared.clocks[id]
             .idle_ns
             .fetch_add(idle_from.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        // Timeline marker: this worker committed to the live job (the
+        // commit itself happened under the sleep mutex above).
+        instrument::trace_instant(instrument::InstantKind::DispatchCommit);
 
         let busy_from = Instant::now();
         let _guard = DispatchGuard::enter();
@@ -374,6 +377,7 @@ impl Pool {
         }
 
         let timer = instrument::Timer::start();
+        let span = instrument::Span::enter(instrument::PhaseId::Dispatch);
         let serialised = lock_pool(&self.dispatch_lock);
         let next = AtomicUsize::new(0);
         let joined = AtomicUsize::new(0);
@@ -411,6 +415,8 @@ impl Pool {
             cell.job = None;
             joined.load(Ordering::Relaxed)
         };
+        // Timeline marker: from here no further worker can commit.
+        instrument::trace_instant(instrument::InstantKind::DispatchRevoke);
 
         // Completion handshake: no return (normal or unwinding) until
         // every committed worker has released its borrow of
@@ -433,9 +439,10 @@ impl Pool {
 
         let worker_panic = lock_pool(&self.shared.panic).take();
         drop(serialised);
-        let ns = timer.elapsed_ns();
-        instrument::record_phase_ns(instrument::PhaseId::Dispatch, ns);
-        dispatch_latency_histogram().record(ns);
+        // The span records the Dispatch phase total and the timeline
+        // Begin/End pair; the timer feeds the latency histogram.
+        drop(span);
+        dispatch_latency_histogram().record(timer.elapsed_ns());
         if let Some(payload) = caller_panic.or(worker_panic) {
             resume_unwind(payload);
         }

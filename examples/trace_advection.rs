@@ -1,0 +1,121 @@
+//! Flight-recorder walkthrough on the miniature Vlasov–Poisson solver:
+//! run a short two-stream advection with tracing on, export the
+//! timeline for Perfetto, then inject one deterministic fault through
+//! the `probe_lanes` hook and show the quarantine leaving a fault dump
+//! behind (in memory and on disk via `PP_TRACE_DUMP_DIR`).
+//!
+//! Run with: `cargo run --release --features instrument --example trace_advection`
+//!
+//! Outputs (paths overridable by the env knobs printed below):
+//! * `target/trace_advection.json`   — open at <https://ui.perfetto.dev>
+//! * `target/trace_advection.folded` — `flamegraph.pl` / speedscope input
+//! * `target/trace_advection_dumps/fault_dump_*.json` — dump-on-fault
+
+use batched_splines::prelude::*;
+use pp_advection::vlasov::two_stream;
+use pp_portable::instrument;
+
+fn main() {
+    // The recorder and the pool read their knobs once, on first use —
+    // defaults must be in place before the first instrumented call.
+    for (knob, default) in [
+        ("PP_NUM_THREADS", "4"),
+        ("PP_TRACE_CAPACITY", "2048"),
+        ("PP_TRACE_DUMP_DIR", "target/trace_advection_dumps"),
+    ] {
+        if std::env::var_os(knob).is_none() {
+            std::env::set_var(knob, default);
+        }
+        println!("{knob} = {}", std::env::var(knob).unwrap());
+    }
+    if !instrument::enabled() {
+        println!("note: built without --features instrument; the timeline will be empty");
+    }
+
+    let (nx, nv, steps) = (48, 96, 8);
+    let k = 0.5;
+    let dt = 0.05;
+
+    // --- Part 1: a clean traced run --------------------------------------
+    let mut sim = VlasovPoisson1D1V::new(
+        nx,
+        nv,
+        2.0 * std::f64::consts::PI / k,
+        5.0,
+        3,
+        dt,
+        two_stream(1.4, 0.01, k),
+    )
+    .expect("setup");
+    sim.solve_poisson();
+    // Warm-up spins up the pool and registers every worker's recorder.
+    sim.step(&Parallel).expect("warm-up step");
+
+    instrument::trace_reset();
+    for _ in 0..steps {
+        sim.step(&Parallel).expect("step");
+    }
+    let trace = instrument::trace_snapshot();
+    println!(
+        "\ntraced {steps} step(s): {} event(s) across {} thread(s)",
+        trace.event_count(),
+        trace.threads_with_events()
+    );
+    std::fs::create_dir_all("target").expect("target dir");
+    std::fs::write(
+        "target/trace_advection.json",
+        instrument::chrome_trace_json(&trace),
+    )
+    .expect("writing trace");
+    std::fs::write(
+        "target/trace_advection.folded",
+        instrument::folded_stacks(&trace),
+    )
+    .expect("writing folded stacks");
+    println!("wrote target/trace_advection.json and target/trace_advection.folded");
+
+    // --- Part 2: one injected fault, one dump ----------------------------
+    // The direct path is backward stable, so a healthy lane essentially
+    // never fails verification; `probe_lanes` injects the failure
+    // deterministically. With the fallback ladder off, the probed lane
+    // has nowhere to go but quarantine — the fault path we want to see.
+    let _ = instrument::take_fault_dumps();
+    let mut faulty = VlasovPoisson1D1V::new_verified(
+        nx,
+        nv,
+        2.0 * std::f64::consts::PI / k,
+        5.0,
+        3,
+        dt,
+        VerifyConfig {
+            probe_lanes: vec![5],
+            use_ladder: false,
+            ..VerifyConfig::default()
+        },
+        two_stream(1.4, 0.01, k),
+    )
+    .expect("setup");
+    faulty.solve_poisson();
+    faulty.step(&Parallel).expect("faulty step");
+
+    let dumps = instrument::take_fault_dumps();
+    println!("\ninjected fault produced {} dump(s):", dumps.len());
+    for d in &dumps {
+        println!(
+            "  [{}] {} — {} event(s) in the window, quarantine instants: {}",
+            d.reason,
+            d.detail,
+            d.trace.event_count(),
+            d.trace
+                .instant_count(instrument::InstantKind::LaneQuarantined),
+        );
+    }
+    assert!(
+        !instrument::enabled() || !dumps.is_empty(),
+        "instrumented faulty step must leave a dump"
+    );
+    println!(
+        "disk copies under {} (newest per process run)",
+        std::env::var("PP_TRACE_DUMP_DIR").unwrap()
+    );
+}

@@ -17,9 +17,11 @@ cargo test --workspace -q
 
 # The instrumentation layer compiles to a no-op by default, so the
 # workspace run above only covers the inert half. Re-run the crates
-# that carry active-layer tests with the feature on.
+# that carry active-layer tests with the feature on (pp-bench carries
+# the trace round-trip/export schema tests).
 echo "==> cargo test --features instrument (active instrumentation layer)"
 cargo test -q -p pp-instrument --features instrument
+cargo test -q -p pp-bench --features instrument
 cargo test -q -p batched-splines --features instrument
 
 # Smoke-run the dispatch-overhead bench: exercises the persistent
@@ -30,6 +32,18 @@ mkdir -p target
 PP_NUM_THREADS=4 cargo run --release -q -p pp-bench --bin dispatch_overhead -- \
     --smoke --out target/BENCH_dispatch_smoke.json
 test -s target/BENCH_dispatch_smoke.json
+
+# Smoke-run the flight recorder end to end: a traced pooled solve
+# (Perfetto export) and the traced-advection example with one injected
+# fault (dump-on-fault, written under target/ for CI artifact upload).
+echo "==> trace smoke (flight recorder export + dump-on-fault example)"
+PP_NUM_THREADS=4 cargo run --release -q -p pp-bench --features instrument \
+    --bin trace_profile -- --smoke --out target/trace_example_smoke.json
+test -s target/trace_example_smoke.json
+PP_NUM_THREADS=4 cargo run --release -q --features instrument \
+    --example trace_advection > /dev/null
+test -s target/trace_advection.json
+ls target/trace_advection_dumps/fault_dump_*.json > /dev/null
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

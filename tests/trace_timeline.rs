@@ -1,0 +1,158 @@
+//! Full-stack flight-recorder tests: an injected fault must leave a
+//! `FaultDump` whose timeline holds the triggering instant *and* the
+//! span events of the threads that were working in the window before it.
+//!
+//! Everything touching the global rings lives in ONE `#[test]` per
+//! feature mode (same discipline as `tests/observability.rs`).
+
+use pp_bsplines::{Breaks, PeriodicSplineSpace};
+use pp_portable::instrument;
+use pp_portable::{Layout, Matrix, TestRng};
+use pp_splinesolver::{BuilderVersion, SplineBuilder, VerifyConfig};
+
+fn space(nx: usize) -> PeriodicSplineSpace {
+    PeriodicSplineSpace::new(Breaks::uniform(nx, 0.0, 1.0).expect("mesh"), 3).expect("space")
+}
+
+fn rhs(nx: usize, nv: usize, seed: u64) -> Matrix {
+    let mut rng = TestRng::seed_from_u64(seed);
+    Matrix::from_fn(nx, nv, Layout::Left, |_, _| rng.gen_range(-2.0..2.0))
+}
+
+#[cfg(feature = "instrument")]
+#[test]
+fn injected_faults_dump_multithreaded_timelines() {
+    use instrument::{InstantKind, PhaseId, TraceEventKind};
+    use pp_iterative::FaultInjector;
+    use pp_portable::Parallel;
+    use pp_splinesolver::{IterativeConfig, IterativeSplineSolver, RecoveryPolicy};
+
+    // First pool use reads PP_NUM_THREADS; this binary is its own
+    // process, so setting it here cannot race other suites.
+    std::env::set_var("PP_NUM_THREADS", "4");
+
+    let (nx, nv) = (64, 256);
+    let sp = space(nx);
+
+    // --- Fault 1: a probed lane with the ladder disabled is forced into
+    // quarantine, which must snapshot the rings. Workers commit to a
+    // dispatch only if they wake before the work runs out, so retry a
+    // few times until the window shows spans from ≥ 2 threads.
+    let verified = SplineBuilder::new(sp.clone(), BuilderVersion::FusedSpmv)
+        .expect("builder")
+        .verified(VerifyConfig {
+            probe_lanes: vec![3],
+            use_ladder: false,
+            ..VerifyConfig::default()
+        });
+    let mut dump = None;
+    for attempt in 0..10 {
+        instrument::trace_reset();
+        let _ = instrument::take_fault_dumps();
+        let mut b = rhs(nx, nv, attempt);
+        let report = verified
+            .solve_in_place(&Parallel, &mut b)
+            .expect("verified solve");
+        assert_eq!(report.quarantined_lanes(), vec![3]);
+
+        let mut dumps = instrument::take_fault_dumps();
+        assert_eq!(dumps.len(), 1, "one dump per quarantined batch");
+        let d = dumps.pop().expect("checked length");
+        let threads_with_spans = d
+            .trace
+            .threads
+            .iter()
+            .filter(|t| {
+                t.events
+                    .iter()
+                    .any(|e| matches!(e.kind, TraceEventKind::Begin(_)))
+            })
+            .count();
+        if threads_with_spans >= 2 {
+            dump = Some(d);
+            break;
+        }
+    }
+    let dump = dump.expect("a 256-lane pooled solve lands work on ≥ 2 threads");
+
+    assert_eq!(dump.reason, "verified_quarantine");
+    assert!(dump.detail.contains("lane 3"), "{}", dump.detail);
+    // The timeline holds the quarantine instant, stamped with the lane…
+    assert!(dump.trace.instant_count(InstantKind::LaneQuarantined) >= 1);
+    assert!(dump.trace.threads.iter().any(|t| t.events.iter().any(|e| {
+        e.kind == TraceEventKind::Instant(InstantKind::LaneQuarantined) && e.lane == Some(3)
+    })));
+    // …the span events leading up to it, and the dispatch protocol.
+    assert!(dump.trace.begin_count(PhaseId::Verify) >= 1);
+    assert!(dump.trace.begin_count(PhaseId::Dispatch) >= 1);
+    assert!(dump.trace.instant_count(InstantKind::DispatchRevoke) >= 1);
+    // The metrics snapshot rode along.
+    assert!(dump.metrics.counter_value("verify.lanes_quarantined") >= 1);
+    // And the dump exports as a Perfetto-loadable object.
+    let json = dump.to_json();
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("\"lane_quarantined\""));
+
+    // --- Fault 2: a NaN-poisoned lane breaks the Krylov solver, the
+    // recovery ladder runs, and the escalation snapshots the rings with
+    // the breakdown instant still in the window.
+    instrument::trace_reset();
+    let _ = instrument::take_fault_dumps();
+    let solver = IterativeSplineSolver::new(sp, IterativeConfig::gpu()).expect("solver");
+    let mut b = rhs(nx, 6, 99);
+    let mut injector = FaultInjector::new(7);
+    let poisoned = injector.poison_nan_lanes(&mut b, 1);
+    let log = solver
+        .solve_with_recovery(&mut b, None, &RecoveryPolicy::default())
+        .expect("recovery solve");
+    assert_eq!(log.failed_lanes(), poisoned);
+
+    let dumps = instrument::take_fault_dumps();
+    let dump = dumps
+        .iter()
+        .find(|d| d.reason == "recovery_escalation")
+        .expect("escalation captured a dump");
+    assert!(dump.detail.contains("recovery rung"), "{}", dump.detail);
+    assert!(
+        dump.trace
+            .instant_count(InstantKind::BreakdownNonFiniteResidual)
+            >= 1,
+        "the breakdown that triggered the ladder is in the window"
+    );
+    assert!(
+        dump.trace
+            .instant_count(InstantKind::RecoveryReprecondition)
+            >= 1
+    );
+    assert!(dump.trace.instant_count(InstantKind::RecoverySolverSwitch) >= 1);
+    assert!(
+        dump.trace
+            .instant_count(InstantKind::RecoveryDirectFallback)
+            >= 1
+    );
+    assert!(dump.trace.begin_count(PhaseId::KrylovIter) >= 1);
+}
+
+#[cfg(not(feature = "instrument"))]
+#[test]
+fn feature_off_faults_record_nothing() {
+    use pp_portable::Serial;
+
+    let (nx, nv) = (32, 8);
+    let verified = SplineBuilder::new(space(nx), BuilderVersion::FusedSpmv)
+        .expect("builder")
+        .verified(VerifyConfig {
+            probe_lanes: vec![1],
+            use_ladder: false,
+            ..VerifyConfig::default()
+        });
+    let mut b = rhs(nx, nv, 1);
+    let report = verified
+        .solve_in_place(&Serial, &mut b)
+        .expect("verified solve");
+    assert_eq!(report.quarantined_lanes(), vec![1]);
+
+    // The fault path ran, but the inert build captured nothing.
+    assert!(instrument::take_fault_dumps().is_empty());
+    assert!(instrument::trace_snapshot().is_empty());
+}
