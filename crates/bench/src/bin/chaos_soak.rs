@@ -1,0 +1,190 @@
+//! Chaos-soak campaign: seeded randomized fault scenarios driven through
+//! the budgeted batched Krylov stack, with hard invariants checked on
+//! every round. Writes machine-readable `BENCH_chaos.json` and exits
+//! non-zero if any invariant is violated — this is a robustness gate, not
+//! a performance benchmark.
+//!
+//! Each seed deterministically generates one scenario (system size, batch
+//! width, NaN-poisoned lanes, near-singular perturbation, per-lane spin
+//! delay, budget class) via [`FaultInjector::chaos_round`]. Invariants:
+//!
+//! * **no hang** — a budgeted round returns within its deadline plus the
+//!   pool watchdog slack plus a scheduling margin;
+//! * **no silent cuts** — every lane the budget cut short is surfaced as
+//!   `LaneOutcome::Partial` and logged as `BudgetExhausted`;
+//! * **determinism** — rounds without clock pressure replay bit-for-bit
+//!   from their seed (solution checksum included);
+//! * **no poisoned pool** — after the whole campaign the worker pool
+//!   still runs a clean dispatch and a clean solve converges.
+//!
+//! Usage: `chaos_soak [--seeds N] [--smoke] [--out PATH]`
+//!   --seeds  number of seeds to soak (default 64; minimum 32 enforced
+//!            unless --smoke)
+//!   --smoke  8 seeds, for scripts/verify.sh and CI PR runs
+//!   --out    output JSON path (default BENCH_chaos.json)
+
+use pp_iterative::{ChaosBudgetKind, FaultInjector};
+use pp_portable::parallel_for;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+fn main() {
+    let mut smoke = false;
+    let mut seeds: Option<u64> = None;
+    let mut out = String::from("BENCH_chaos.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--seeds" => {
+                seeds = Some(
+                    args.next()
+                        .expect("--seeds needs a count")
+                        .parse()
+                        .expect("--seeds needs an integer"),
+                )
+            }
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument {other:?} (expected --seeds N / --smoke / --out)"),
+        }
+    }
+    let count = match (smoke, seeds) {
+        (true, n) => n.unwrap_or(8),
+        (false, Some(n)) => n.max(32),
+        (false, None) => 64,
+    };
+
+    println!("=== chaos_soak: {count} seeded fault campaign(s) ===");
+    println!("seed,lanes,poisoned,near_singular,budget,elapsed_us,converged,partial,broke,stalled");
+
+    let started = Instant::now();
+    let mut rows = Vec::new();
+    let mut violations = Vec::new();
+    let (mut unlimited, mut ample, mut tight) = (0usize, 0usize, 0usize);
+    let mut total_partial = 0usize;
+    for seed in 0..count {
+        let r = FaultInjector::chaos_round(seed);
+        match r.budget_kind {
+            ChaosBudgetKind::Unlimited => unlimited += 1,
+            ChaosBudgetKind::Ample => ample += 1,
+            ChaosBudgetKind::Tight => tight += 1,
+        }
+        total_partial += r.partial;
+        if !r.no_hang() {
+            violations.push(format!(
+                "seed {seed}: hang — elapsed {:?} exceeds bound {:?}",
+                r.elapsed,
+                r.hang_bound()
+            ));
+        }
+        if !r.tallies_consistent() {
+            violations.push(format!(
+                "seed {seed}: tally mismatch — {}+{}+{}+{} != {} lanes",
+                r.converged, r.partial, r.broke, r.stalled, r.lanes
+            ));
+        }
+        let logged_cuts = r
+            .lane_results
+            .iter()
+            .filter(|res| res.breakdown == Some(pp_iterative::BreakdownKind::BudgetExhausted))
+            .count();
+        if logged_cuts != r.partial {
+            violations.push(format!(
+                "seed {seed}: silent cut — {} partial lanes but {} BudgetExhausted records",
+                r.partial, logged_cuts
+            ));
+        }
+        if r.budget_kind != ChaosBudgetKind::Tight {
+            let replay = FaultInjector::chaos_round(seed);
+            if replay.checksum != r.checksum {
+                violations.push(format!(
+                    "seed {seed}: nondeterministic replay — checksum {:#x} vs {:#x}",
+                    r.checksum, replay.checksum
+                ));
+            }
+        }
+        println!(
+            "{seed},{},{},{},{:?},{},{},{},{},{}",
+            r.lanes,
+            r.poisoned.len(),
+            r.near_singular,
+            r.budget_kind,
+            r.elapsed.as_micros(),
+            r.converged,
+            r.partial,
+            r.broke,
+            r.stalled
+        );
+        rows.push(r);
+    }
+    let campaign_elapsed = started.elapsed();
+
+    // Pool-health probe: the campaign must leave the worker pool usable.
+    let hits = AtomicUsize::new(0);
+    parallel_for(1024, |_| {
+        hits.fetch_add(1, Ordering::Relaxed);
+    });
+    if hits.load(Ordering::Relaxed) != 1024 {
+        violations.push(format!(
+            "poisoned pool — post-campaign dispatch visited {}/1024 lanes",
+            hits.load(Ordering::Relaxed)
+        ));
+    }
+
+    let stats = pp_portable::pool_stats();
+    println!(
+        "\ncampaign: {count} seed(s) in {:?}; budgets {unlimited} unlimited / {ample} ample / \
+         {tight} tight; {total_partial} partial lane(s); pool: {} deadline miss(es), \
+         {} cancelled dispatch(es), {} watchdog trip(s)",
+        campaign_elapsed, stats.deadline_misses, stats.cancelled_dispatches, stats.watchdog_trips
+    );
+
+    // Hand-rolled JSON (the workspace is hermetic: no serde).
+    let mut j = String::new();
+    j.push_str("{\n  \"bench\": \"chaos_soak\",\n");
+    let _ = writeln!(j, "  \"smoke\": {smoke},");
+    let _ = writeln!(j, "  \"seeds\": {count},");
+    let _ = writeln!(j, "  \"elapsed_ms\": {},", campaign_elapsed.as_millis());
+    let _ = writeln!(
+        j,
+        "  \"budget_mix\": {{\"unlimited\": {unlimited}, \"ample\": {ample}, \"tight\": {tight}}},"
+    );
+    let _ = writeln!(j, "  \"partial_lanes\": {total_partial},");
+    let _ = writeln!(j, "  \"deadline_misses\": {},", stats.deadline_misses);
+    let _ = writeln!(j, "  \"watchdog_trips\": {},", stats.watchdog_trips);
+    let _ = writeln!(j, "  \"violations\": {},", violations.len());
+    j.push_str("  \"rounds\": [\n");
+    for (k, r) in rows.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{\"seed\": {}, \"lanes\": {}, \"poisoned\": {}, \"near_singular\": {}, \
+             \"budget\": \"{:?}\", \"elapsed_us\": {}, \"converged\": {}, \"partial\": {}, \
+             \"broke\": {}, \"stalled\": {}, \"checksum\": \"{:#x}\"}}",
+            r.seed,
+            r.lanes,
+            r.poisoned.len(),
+            r.near_singular,
+            r.budget_kind,
+            r.elapsed.as_micros(),
+            r.converged,
+            r.partial,
+            r.broke,
+            r.stalled,
+            r.checksum
+        );
+        j.push_str(if k + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ]\n}\n");
+    std::fs::write(&out, &j).expect("write JSON");
+    println!("wrote {out}");
+
+    if !violations.is_empty() {
+        eprintln!("\nchaos_soak: {} invariant violation(s):", violations.len());
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+    println!("all invariants held across {count} seed(s)");
+}

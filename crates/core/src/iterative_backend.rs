@@ -82,7 +82,10 @@ pub enum KrylovKind {
 }
 
 /// Configuration of the iterative backend.
-#[derive(Debug, Clone, Copy)]
+///
+/// Cloning is cheap; a [`Budget`](pp_portable::Budget) attached to `stop`
+/// is shared (`Arc`) between clones.
+#[derive(Debug, Clone)]
 pub struct IterativeConfig {
     /// Solver choice.
     pub kind: KrylovKind,
@@ -273,6 +276,14 @@ impl IterativeSplineSolver {
             if !enabled || failed.is_empty() || attempts >= policy.max_attempts {
                 continue;
             }
+            // A rung is pure extra work; once the wall-clock budget (if
+            // any) is gone, stop escalating and leave the remaining lanes
+            // with their typed outcomes. The skip is observable via the
+            // counter so degraded runs cannot masquerade as exhaustive.
+            if self.config.stop.budget_exhausted() {
+                counter("recovery.rungs_skipped_budget").inc();
+                break;
+            }
             attempts += 1;
             trace_instant(match stage {
                 RecoveryStage::Reprecondition => InstantKind::RecoveryReprecondition,
@@ -382,7 +393,7 @@ impl IterativeSplineSolver {
         ChunkedSolver::new(
             solver.as_ref(),
             &self.precond,
-            self.config.stop,
+            self.config.stop.clone(),
             self.config.cols_per_chunk,
         )
         .warm_start(self.config.warm_start)

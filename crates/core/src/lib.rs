@@ -75,5 +75,6 @@ pub use evaluator::SplineEvaluator;
 pub use iterative_backend::{IterativeConfig, IterativeSplineSolver, KrylovKind, RecoveryPolicy};
 pub use tensor2d::TensorSpline2D;
 pub use verified::{
-    FallbackRung, LaneReport, LaneVerdict, QuarantineReason, VerifiedBuilder, VerifyConfig,
+    Degradation, DegradedReport, FallbackRung, LaneReport, LaneVerdict, QuarantineReason,
+    VerifiedBuilder, VerifyConfig,
 };

@@ -35,9 +35,9 @@ use pp_bsplines::assemble_interpolation_matrix;
 use pp_iterative::solver::{norm2, residual_into};
 use pp_linalg::{getrf, refine_lane, LuFactors, RefineConfig};
 use pp_portable::instrument::{
-    counter, fault_dump, trace_instant_lane, Counter, InstantKind, PhaseId, Span,
+    counter, fault_dump, trace_instant, trace_instant_lane, Counter, InstantKind, PhaseId, Span,
 };
-use pp_portable::{ExecSpace, Matrix, StridedMut};
+use pp_portable::{Budget, ExecSpace, Matrix, StridedMut};
 use pp_sparse::Csr;
 
 /// Tuning knobs for [`VerifiedBuilder`].
@@ -234,6 +234,117 @@ fn publish_verify_metrics(report: &LaneReport) {
     }
 }
 
+/// One corner the budgeted verified solve had to cut. Every degradation
+/// is recorded — a deadline can reduce the work done, but never silently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Degradation {
+    /// Iterative refinement was skipped for these lanes (they fell
+    /// through to the ladder / quarantine directly).
+    RefinementSkipped {
+        /// Lanes affected, ascending.
+        lanes: Vec<usize>,
+    },
+    /// The fallback ladder was cut short for these lanes — rungs that
+    /// might have recovered them were never attempted.
+    LadderCapped {
+        /// Lanes affected, ascending.
+        lanes: Vec<usize>,
+    },
+    /// Residual verification stopped early: lanes from `from_lane` on
+    /// keep their primary (unverified) solutions and are reported
+    /// [`LaneVerdict::Unsampled`]. Non-finite *inputs* are still
+    /// quarantined — that scan is cheap and always runs.
+    SamplingReduced {
+        /// First lane left unverified.
+        from_lane: usize,
+        /// How many stride-selected lanes went unchecked.
+        lanes_skipped: usize,
+    },
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Degradation::RefinementSkipped { lanes } => {
+                write!(f, "refinement skipped on {} lane(s)", lanes.len())
+            }
+            Degradation::LadderCapped { lanes } => {
+                write!(f, "fallback ladder capped on {} lane(s)", lanes.len())
+            }
+            Degradation::SamplingReduced {
+                from_lane,
+                lanes_skipped,
+            } => write!(
+                f,
+                "verification stopped at lane {from_lane} ({lanes_skipped} lane(s) unchecked)"
+            ),
+        }
+    }
+}
+
+/// Result of a budgeted verified solve: the per-lane verdicts plus the
+/// explicit list of corners the deadline forced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedReport {
+    /// Per-lane verdicts (same shape as the unbudgeted report).
+    pub lanes: LaneReport,
+    /// Every degradation taken, in the order it happened. Empty when the
+    /// budget was ample — the solve is then identical to the unbudgeted
+    /// path.
+    pub degradations: Vec<Degradation>,
+}
+
+impl DegradedReport {
+    /// `true` when the budget forced at least one corner to be cut.
+    pub fn is_degraded(&self) -> bool {
+        !self.degradations.is_empty()
+    }
+}
+
+impl fmt::Display for DegradedReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.lanes)?;
+        if self.is_degraded() {
+            write!(f, "; degraded:")?;
+            for d in &self.degradations {
+                write!(f, " [{d}]")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-lane skip lists accumulated while a budgeted solve runs.
+#[derive(Default)]
+struct DegradeLog {
+    refine_skipped: Vec<usize>,
+    ladder_capped: Vec<usize>,
+    sampling_cut: Option<(usize, usize)>,
+}
+
+impl DegradeLog {
+    fn into_degradations(self) -> Vec<Degradation> {
+        let mut out = Vec::new();
+        if !self.refine_skipped.is_empty() {
+            out.push(Degradation::RefinementSkipped {
+                lanes: self.refine_skipped,
+            });
+        }
+        if !self.ladder_capped.is_empty() {
+            out.push(Degradation::LadderCapped {
+                lanes: self.ladder_capped,
+            });
+        }
+        if let Some((from_lane, lanes_skipped)) = self.sampling_cut {
+            out.push(Degradation::SamplingReduced {
+                from_lane,
+                lanes_skipped,
+            });
+        }
+        out
+    }
+}
+
 /// Per-lane verdicts for one verified batched solve.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LaneReport {
@@ -405,6 +516,47 @@ impl VerifiedBuilder {
     /// downstream stages; consult the returned [`LaneReport`] to find and
     /// re-source them.
     pub fn solve_in_place<E: ExecSpace>(&self, exec: &E, b: &mut Matrix) -> Result<LaneReport> {
+        let (report, _) = self.solve_impl(exec, b, None)?;
+        Ok(report)
+    }
+
+    /// Budgeted variant of [`VerifiedBuilder::solve_in_place`]: same
+    /// pipeline, but `budget` is polled between stages and the solve
+    /// degrades *gracefully* instead of overrunning the deadline:
+    ///
+    /// * once the budget is exhausted, iterative refinement is skipped for
+    ///   lanes that fail the residual check;
+    /// * the fallback ladder stops escalating (rungs not yet attempted are
+    ///   abandoned);
+    /// * residual verification of the remaining lanes is dropped — they
+    ///   keep their primary (unverified) solutions and are reported
+    ///   [`LaneVerdict::Unsampled`]. The non-finite *input* scan always
+    ///   runs, so poisoned lanes are quarantined regardless of budget.
+    ///
+    /// Every corner cut is listed in [`DegradedReport::degradations`];
+    /// with an ample budget the list is empty and the result (healthy
+    /// lanes included) is bit-identical to the unbudgeted path. Any
+    /// degradation also emits a [`InstantKind::DegradedVerify`] instant
+    /// and a flight-recorder fault dump.
+    pub fn solve_in_place_budgeted<E: ExecSpace>(
+        &self,
+        exec: &E,
+        b: &mut Matrix,
+        budget: &Budget,
+    ) -> Result<DegradedReport> {
+        let (lanes, degradations) = self.solve_impl(exec, b, Some(budget))?;
+        Ok(DegradedReport {
+            lanes,
+            degradations,
+        })
+    }
+
+    fn solve_impl<E: ExecSpace>(
+        &self,
+        exec: &E,
+        b: &mut Matrix,
+        budget: Option<&Budget>,
+    ) -> Result<(LaneReport, Vec<Degradation>)> {
         let n = self.builder.space().num_basis();
         if b.nrows() != n {
             return Err(Error::ShapeMismatch {
@@ -420,10 +572,33 @@ impl VerifiedBuilder {
 
         let stride = self.config.sample_stride.max(1);
         let mut verdicts = Vec::with_capacity(b.ncols());
+        let mut degrade = DegradeLog::default();
         let verify_span = Span::enter(PhaseId::Verify);
         for lane in 0..b.ncols() {
             let probed = self.config.probe_lanes.contains(&lane);
-            if !probed && lane % stride != 0 {
+            let selected = probed || lane % stride == 0;
+            let out_of_time = budget.is_some_and(|bud| bud.exhausted());
+            if selected && out_of_time && degrade.sampling_cut.is_none() {
+                degrade.sampling_cut = Some((lane, 0));
+            }
+            if !selected || out_of_time {
+                if selected {
+                    if let Some((_, skipped)) = degrade.sampling_cut.as_mut() {
+                        *skipped += 1;
+                    }
+                    // The input scan is O(n) and guards the no-NaN
+                    // promise; it runs even when verification cannot.
+                    let b_lane = rhs.col(lane).to_vec();
+                    if let Some(index) = b_lane.iter().position(|v| !v.is_finite()) {
+                        zero_lane(b, lane);
+                        trace_instant_lane(InstantKind::NonFiniteInput, lane as u32);
+                        trace_instant_lane(InstantKind::LaneQuarantined, lane as u32);
+                        verdicts.push(LaneVerdict::Quarantined {
+                            reason: QuarantineReason::NonFiniteInput { index },
+                        });
+                        continue;
+                    }
+                }
                 verdicts.push(LaneVerdict::Unsampled);
                 continue;
             }
@@ -437,7 +612,7 @@ impl VerifiedBuilder {
                 });
                 continue;
             }
-            let verdict = self.verify_lane(b, lane, &b_lane, probed);
+            let verdict = self.verify_lane(b, lane, &b_lane, probed, budget, &mut degrade);
             match &verdict {
                 LaneVerdict::Refined { .. } => {
                     trace_instant_lane(InstantKind::LaneRefined, lane as u32);
@@ -467,7 +642,20 @@ impl VerifiedBuilder {
                 d
             });
         }
-        Ok(report)
+        let degradations = degrade.into_degradations();
+        if !degradations.is_empty() {
+            counter("verify.degraded_batches").inc();
+            trace_instant(InstantKind::DegradedVerify);
+            fault_dump("degraded_verify", || {
+                use std::fmt::Write as _;
+                let mut d = format!("budgeted verify degraded ({} way(s))", degradations.len());
+                for deg in &degradations {
+                    let _ = write!(d, "; {deg}");
+                }
+                d
+            });
+        }
+        Ok((report, degradations))
     }
 
     /// Verify one lane whose input is already known finite.
@@ -477,6 +665,8 @@ impl VerifiedBuilder {
         lane: usize,
         b_lane: &[f64],
         probed: bool,
+        budget: Option<&Budget>,
+        degrade: &mut DegradeLog,
     ) -> LaneVerdict {
         let mut x = b.col(lane).to_vec();
         let rr = self.relative_residual(&x, b_lane);
@@ -484,8 +674,18 @@ impl VerifiedBuilder {
             return LaneVerdict::Verified { residual: rr };
         }
 
-        // Stage 2: iterative refinement with the primary factors.
-        if !probed {
+        let out_of_time = || budget.is_some_and(|bud| bud.exhausted());
+
+        // Stage 2: iterative refinement with the primary factors. Under
+        // an exhausted budget the stage is skipped (and recorded): the
+        // lane goes straight to the ladder / quarantine decision.
+        let refine_allowed = if !probed && out_of_time() {
+            degrade.refine_skipped.push(lane);
+            false
+        } else {
+            true
+        };
+        if !probed && refine_allowed {
             let outcome = refine_lane(
                 |x, y| self.matrix.spmv_into(x, y),
                 |r| self.primary_solve(r),
@@ -511,6 +711,15 @@ impl VerifiedBuilder {
         let mut saw_finite = rr.is_finite();
         if self.config.use_ladder {
             for rung in self.ladder() {
+                // Each rung is strictly more expensive than the last;
+                // once the budget is gone, stop escalating and record
+                // the cap instead of overrunning the deadline.
+                if out_of_time() {
+                    if degrade.ladder_capped.last() != Some(&lane) {
+                        degrade.ladder_capped.push(lane);
+                    }
+                    break;
+                }
                 match self.solve_on_rung(rung, b_lane) {
                     Some(mut y) => {
                         let rr = self.relative_residual(&y, b_lane);
@@ -872,6 +1081,99 @@ mod tests {
             .verified(VerifyConfig::default());
         let mut bad = Matrix::zeros(17, 2, Layout::Left);
         assert!(verified.solve_in_place(&Parallel, &mut bad).is_err());
+    }
+
+    #[test]
+    fn ample_budget_is_bit_identical_and_undegraded() {
+        use std::time::Duration;
+        let sp = space(28, 3, true);
+        let verified = SplineBuilder::new(sp.clone(), BuilderVersion::FusedSpmv)
+            .unwrap()
+            .verified(VerifyConfig::default());
+        let rhs = random_rhs(28, 6, 13);
+
+        let mut plain = rhs.clone();
+        let plain_report = verified.solve_in_place(&Parallel, &mut plain).unwrap();
+
+        let mut budgeted = rhs.clone();
+        let report = verified
+            .solve_in_place_budgeted(
+                &Parallel,
+                &mut budgeted,
+                &Budget::with_deadline(Duration::from_secs(600)),
+            )
+            .unwrap();
+
+        assert!(!report.is_degraded(), "{report}");
+        assert_eq!(report.lanes, plain_report);
+        for lane in 0..6 {
+            for i in 0..28 {
+                assert_eq!(budgeted.get(i, lane), plain.get(i, lane));
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_sampling_but_still_quarantines_nan() {
+        let sp = space(24, 3, true);
+        let verified = SplineBuilder::new(sp, BuilderVersion::FusedSpmv)
+            .unwrap()
+            .verified(VerifyConfig::default());
+        let mut rhs = random_rhs(24, 5, 17);
+        rhs.set(3, 2, f64::NAN);
+
+        let budget = Budget::unlimited();
+        budget.cancel();
+        let report = verified
+            .solve_in_place_budgeted(&Parallel, &mut rhs, &budget)
+            .unwrap();
+
+        assert!(report.is_degraded());
+        // Verification was dropped entirely...
+        assert!(report.degradations.iter().any(|d| matches!(
+            d,
+            Degradation::SamplingReduced {
+                from_lane: 0,
+                lanes_skipped: 5
+            }
+        )));
+        // ...but the poisoned lane is still quarantined, not propagated.
+        assert_eq!(report.lanes.quarantined_lanes(), vec![2]);
+        for i in 0..24 {
+            assert_eq!(rhs.get(i, 2), 0.0);
+        }
+        for lane in [0usize, 1, 3, 4] {
+            assert_eq!(*report.lanes.verdict(lane), LaneVerdict::Unsampled);
+        }
+    }
+
+    #[test]
+    fn probe_lane_under_exhausted_budget_caps_the_ladder() {
+        // A probed lane normally escalates down the ladder; with the
+        // budget gone before verification starts, every stage is cut and
+        // the lane lands in quarantine with the cuts on record.
+        let sp = space(24, 3, true);
+        let config = VerifyConfig {
+            probe_lanes: vec![1],
+            ..VerifyConfig::default()
+        };
+        let verified = SplineBuilder::new(sp, BuilderVersion::FusedSpmv)
+            .unwrap()
+            .verified(config);
+        let mut rhs = random_rhs(24, 3, 23);
+        let budget = Budget::unlimited();
+        budget.cancel();
+        let report = verified
+            .solve_in_place_budgeted(&Parallel, &mut rhs, &budget)
+            .unwrap();
+        assert!(report.is_degraded(), "{report}");
+        // Probed lane 1 was selected but never verified; it stays
+        // Unsampled with the sampling cut on record (the ladder never
+        // even started, so no per-lane cap entry is required).
+        assert!(report
+            .degradations
+            .iter()
+            .any(|d| matches!(d, Degradation::SamplingReduced { .. })));
     }
 
     #[test]

@@ -121,14 +121,12 @@ impl Ring {
 }
 
 /// Ring capacity in events per thread, from `PP_TRACE_CAPACITY` (read
-/// once), default 8192, clamped to `[16, 2^22]`.
+/// once), default 8192, clamped to `[16, 2^22]`. Malformed or clamped
+/// values warn once to stderr (see [`crate::env`]).
 fn trace_capacity() -> usize {
     static CAP: OnceLock<usize> = OnceLock::new();
     *CAP.get_or_init(|| {
-        std::env::var("PP_TRACE_CAPACITY")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .map_or(8192, |v| v.clamp(16, 1 << 22))
+        crate::env::env_usize_clamped("PP_TRACE_CAPACITY", 16, 1 << 22).unwrap_or(8192)
     })
 }
 
@@ -268,18 +266,36 @@ pub fn trace_reset() {
 // Dump-on-fault
 // ---------------------------------------------------------------------
 
-/// In-memory dumps kept for test/driver inspection (oldest evicted).
-const FAULT_DUMPS_KEEP: usize = 8;
+/// In-memory dumps kept for test/driver inspection (oldest evicted),
+/// from `PP_FAULT_DUMP_CAP` (read once), default 8, clamped to
+/// `[1, 1024]`. Evictions are counted on the `fault_dumps.dropped`
+/// counter so silent loss is observable.
+fn fault_dumps_keep() -> usize {
+    static KEEP: OnceLock<usize> = OnceLock::new();
+    *KEEP.get_or_init(|| crate::env::env_usize_clamped("PP_FAULT_DUMP_CAP", 1, 1024).unwrap_or(8))
+}
 
 static FAULT_DUMPS: Mutex<VecDeque<FaultDump>> = Mutex::new(VecDeque::new());
 static DUMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Dump directory from `PP_TRACE_DUMP_DIR` (read once); `None` keeps
-/// dumps in memory only.
+/// dumps in memory only. An *empty* value is almost certainly a broken
+/// shell expansion — it warns once and is treated as unset rather than
+/// silently writing dumps into the current directory.
 fn dump_dir() -> Option<&'static Path> {
     static DIR: OnceLock<Option<PathBuf>> = OnceLock::new();
-    DIR.get_or_init(|| std::env::var_os("PP_TRACE_DUMP_DIR").map(PathBuf::from))
-        .as_deref()
+    DIR.get_or_init(|| {
+        let dir = std::env::var_os("PP_TRACE_DUMP_DIR")?;
+        if dir.is_empty() {
+            crate::env::warn_once(
+                "PP_TRACE_DUMP_DIR",
+                "PP_TRACE_DUMP_DIR is set but empty; fault dumps stay in memory only",
+            );
+            return None;
+        }
+        Some(PathBuf::from(dir))
+    })
+    .as_deref()
 }
 
 /// Snapshot the flight recorder into a [`FaultDump`]: marks the
@@ -303,8 +319,9 @@ pub fn fault_dump(reason: &'static str, detail: impl FnOnce() -> String) {
         let _ = dump.write_to(dir, seq);
     }
     let mut q = FAULT_DUMPS.lock().unwrap();
-    if q.len() == FAULT_DUMPS_KEEP {
+    while q.len() >= fault_dumps_keep() {
         q.pop_front();
+        counter("fault_dumps.dropped").inc();
     }
     q.push_back(dump);
 }

@@ -45,6 +45,7 @@
 //! `--features instrument` on any crate in the stack lights up the whole
 //! pipeline (cargo feature unification).
 
+pub mod env;
 mod export;
 mod phase;
 mod snapshot;

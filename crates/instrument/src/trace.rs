@@ -51,11 +51,19 @@ pub enum InstantKind {
     RefineSaturated,
     /// A [`FaultDump`] was captured here.
     FaultDumped,
+    /// The pool watchdog saw a dispatch overrun its deadline by more
+    /// than the configured slack.
+    WatchdogTrip,
+    /// A time budget ran out before the work under it finished.
+    BudgetExhausted,
+    /// `VerifiedBuilder` degraded its verification under budget
+    /// pressure (skipped refinement, sampling, or ladder rungs).
+    DegradedVerify,
 }
 
 impl InstantKind {
     /// Number of instant kinds (length of [`InstantKind::ALL`]).
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 19;
 
     /// Every kind, in declaration order (= index order).
     pub const ALL: [InstantKind; Self::COUNT] = [
@@ -75,6 +83,9 @@ impl InstantKind {
         InstantKind::NonFiniteInput,
         InstantKind::RefineSaturated,
         InstantKind::FaultDumped,
+        InstantKind::WatchdogTrip,
+        InstantKind::BudgetExhausted,
+        InstantKind::DegradedVerify,
     ];
 
     /// Dense index of this kind (its discriminant).
@@ -102,6 +113,9 @@ impl InstantKind {
             InstantKind::NonFiniteInput => "non_finite_input",
             InstantKind::RefineSaturated => "refine_saturated",
             InstantKind::FaultDumped => "fault_dumped",
+            InstantKind::WatchdogTrip => "watchdog_trip",
+            InstantKind::BudgetExhausted => "budget_exhausted",
+            InstantKind::DegradedVerify => "degraded_verify",
         }
     }
 }

@@ -11,9 +11,15 @@
 //! All randomness comes from [`TestRng`], so a seed pins the exact fault
 //! pattern across platforms and runs.
 
+use crate::bicgstab::BiCgStab;
+use crate::logger::ConvergenceLogger;
+use crate::multirhs::{ChunkedSolver, LaneOutcome};
+use crate::precond::BlockJacobi;
+use crate::solver::{IterativeSolver, SolveResult};
 use crate::stop::StopCriteria;
-use pp_portable::{Matrix, TestRng};
+use pp_portable::{watchdog_slack, Budget, Layout, Matrix, TestRng};
 use pp_sparse::Csr;
+use std::time::{Duration, Instant};
 
 /// Deterministic generator of the failure modes a batched Krylov stack
 /// must survive.
@@ -95,8 +101,252 @@ impl FaultInjector {
     /// `max_iters` iterations — forces `MaxIters` outcomes on any lane
     /// that genuinely needs the work.
     pub fn starved(stop: &StopCriteria, max_iters: usize) -> StopCriteria {
-        StopCriteria { max_iters, ..*stop }
+        StopCriteria {
+            max_iters,
+            ..stop.clone()
+        }
     }
+
+    /// Run one seeded chaos round: a randomized-but-reproducible batched
+    /// solve with faults injected (NaN-poisoned lanes, a near-singular
+    /// matrix, deterministic per-lane spin delays) under a randomized
+    /// wall-clock budget, returning what happened as a [`ChaosReport`].
+    ///
+    /// The scenario — sizes, faults, budget class — is a pure function of
+    /// `seed`. With an [`ChaosBudgetKind::Unlimited`] or
+    /// [`ChaosBudgetKind::Ample`] budget the *outcome* is a pure function
+    /// of the seed too (including the solution bits, captured in
+    /// `checksum`); under a [`ChaosBudgetKind::Tight`] budget only the
+    /// invariants hold: the round returns within the deadline plus
+    /// bounded slack, every unfinished lane is surfaced as
+    /// [`LaneOutcome::Partial`], and the pool stays usable.
+    pub fn chaos_round(seed: u64) -> ChaosReport {
+        let mut inj = FaultInjector::new(seed);
+        let n = 8 + inj.rng.gen_range(0..24_usize);
+        let batch = 4 + inj.rng.gen_range(0..20_usize);
+        let base = Csr::from_dense(
+            &Matrix::from_fn(n, n, Layout::Right, |i, j| {
+                if i == j {
+                    4.0
+                } else if i.abs_diff(j) == 1 {
+                    -1.0
+                } else {
+                    0.0
+                }
+            }),
+            0.0,
+        );
+        let near_singular = inj.rng.gen_range(0..4_usize) == 0;
+        let a = if near_singular {
+            inj.near_singular(&base, 1e-12)
+        } else {
+            base
+        };
+        let mut b = {
+            // Pull the random values out first so the closure does not
+            // fight the injector for the RNG.
+            let mut vals = Vec::with_capacity(n * batch);
+            for _ in 0..n * batch {
+                vals.push(inj.rng.gen_range(-1.0..1.0));
+            }
+            let mut next = vals.into_iter();
+            Matrix::from_fn(n, batch, Layout::Left, |_, _| {
+                next.next().expect("pre-drawn n*batch values")
+            })
+        };
+        let poison_count = inj.rng.gen_range(0..3_usize).min(batch);
+        let poisoned = inj.poison_nan_lanes(&mut b, poison_count);
+        let spin = Duration::from_micros(inj.rng.gen_range(0..200_u64));
+        let budget_kind = match inj.rng.gen_range(0..3_usize) {
+            0 => ChaosBudgetKind::Unlimited,
+            1 => ChaosBudgetKind::Ample,
+            _ => ChaosBudgetKind::Tight,
+        };
+        let deadline = match budget_kind {
+            ChaosBudgetKind::Unlimited => None,
+            ChaosBudgetKind::Ample => Some(Duration::from_secs(5)),
+            ChaosBudgetKind::Tight => Some(Duration::from_micros(inj.rng.gen_range(50..2000_u64))),
+        };
+        let block = 1 + inj.rng.gen_range(0..4_usize);
+        let chunk = 1 + inj.rng.gen_range(0..batch);
+
+        let mut stop = StopCriteria::with_tol(1e-13).with_max_iters(400);
+        if let Some(d) = deadline {
+            stop = stop.with_budget(Budget::with_deadline(d));
+        }
+        let precond = BlockJacobi::new(&a, block);
+        let slow = SlowSolver::new(&BiCgStab, spin);
+        let driver = ChunkedSolver::new(&slow, &precond, stop, chunk);
+        let mut logger = ConvergenceLogger::new();
+
+        let started = Instant::now();
+        let outcomes = driver.solve_in_place(&a, &mut b, None, &mut logger);
+        let elapsed = started.elapsed();
+
+        let mut report = ChaosReport {
+            seed,
+            lanes: batch,
+            poisoned,
+            near_singular,
+            spin,
+            budget_kind,
+            deadline,
+            elapsed,
+            converged: 0,
+            partial: 0,
+            broke: 0,
+            stalled: 0,
+            checksum: checksum_matrix(&b),
+            lane_results: logger.lane_results().to_vec(),
+        };
+        for o in &outcomes {
+            match o {
+                LaneOutcome::Converged => report.converged += 1,
+                LaneOutcome::Partial { .. } => report.partial += 1,
+                LaneOutcome::Broke(_) => report.broke += 1,
+                LaneOutcome::Stalled => report.stalled += 1,
+            }
+        }
+        report
+    }
+}
+
+/// Which budget class a chaos round drew.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosBudgetKind {
+    /// No budget attached at all.
+    Unlimited,
+    /// A 5 s deadline no healthy round comes near — outcomes must match
+    /// the unlimited ones bit for bit.
+    Ample,
+    /// A deadline in the tens-of-microseconds to low-milliseconds range —
+    /// the round races the clock and only invariants are asserted.
+    Tight,
+}
+
+/// What one [`FaultInjector::chaos_round`] did and observed.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// The seed that generated the scenario.
+    pub seed: u64,
+    /// Batch width (number of lanes).
+    pub lanes: usize,
+    /// NaN-poisoned lane indices, ascending.
+    pub poisoned: Vec<usize>,
+    /// Whether the matrix was perturbed toward singularity.
+    pub near_singular: bool,
+    /// Busy-wait injected before every lane solve.
+    pub spin: Duration,
+    /// Budget class drawn for this round.
+    pub budget_kind: ChaosBudgetKind,
+    /// The concrete deadline, when one was attached.
+    pub deadline: Option<Duration>,
+    /// Wall-clock time the round actually took.
+    pub elapsed: Duration,
+    /// Lanes that converged.
+    pub converged: usize,
+    /// Lanes cut short by the budget ([`LaneOutcome::Partial`]).
+    pub partial: usize,
+    /// Lanes with hard breakdowns.
+    pub broke: usize,
+    /// Lanes that stalled (soft failure).
+    pub stalled: usize,
+    /// Order-dependent hash of the output bits (determinism probe).
+    pub checksum: u64,
+    /// Raw per-lane records, lane order.
+    pub lane_results: Vec<SolveResult>,
+}
+
+impl ChaosReport {
+    /// The hard no-hang bound for this round: the deadline plus the
+    /// watchdog slack plus a generous scheduling margin. Rounds without a
+    /// deadline have no bound (cooperative cancellation has nothing to
+    /// cut short).
+    pub fn hang_bound(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d + watchdog_slack() + Duration::from_millis(500))
+    }
+
+    /// `true` when the round respected its no-hang bound (vacuously true
+    /// without a deadline).
+    pub fn no_hang(&self) -> bool {
+        match self.hang_bound() {
+            Some(bound) => self.elapsed <= bound,
+            None => true,
+        }
+    }
+
+    /// `true` when every lane is accounted for by exactly one tally.
+    pub fn tallies_consistent(&self) -> bool {
+        self.converged + self.partial + self.broke + self.stalled == self.lanes
+    }
+
+    /// Fault pattern + outcome fields that must be identical across runs
+    /// of the same seed regardless of budget class (the scenario is a
+    /// pure function of the seed even when timing is not).
+    pub fn scenario_fingerprint(&self) -> (usize, Vec<usize>, bool, u128, Option<Duration>) {
+        (
+            self.lanes,
+            self.poisoned.clone(),
+            self.near_singular,
+            self.spin.as_nanos(),
+            self.deadline,
+        )
+    }
+}
+
+/// An [`IterativeSolver`] wrapper that busy-waits a fixed, deterministic
+/// delay before every lane solve — the chaos campaign's "slow lane"
+/// fault. The spin is wall-clock (not sleep) so it holds a worker thread
+/// the way a genuinely slow lane would.
+pub struct SlowSolver<'a> {
+    inner: &'a dyn IterativeSolver,
+    delay: Duration,
+}
+
+impl<'a> SlowSolver<'a> {
+    /// Wrap `inner`, spinning for `delay` before each solve.
+    pub fn new(inner: &'a dyn IterativeSolver, delay: Duration) -> Self {
+        Self { inner, delay }
+    }
+}
+
+impl IterativeSolver for SlowSolver<'_> {
+    fn name(&self) -> &'static str {
+        "slow"
+    }
+
+    fn solve(
+        &self,
+        a: &Csr,
+        m: &dyn crate::precond::Preconditioner,
+        b: &[f64],
+        x: &mut [f64],
+        stop: &StopCriteria,
+    ) -> SolveResult {
+        if !self.delay.is_zero() {
+            let until = Instant::now() + self.delay;
+            while Instant::now() < until {
+                std::hint::spin_loop();
+            }
+        }
+        self.inner.solve(a, m, b, x, stop)
+    }
+}
+
+/// Order-dependent FNV-1a hash over the matrix bits: two runs that
+/// produce the same solutions produce the same checksum.
+fn checksum_matrix(m: &Matrix) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    for j in 0..m.ncols() {
+        for v in m.col(j).to_vec() {
+            for byte in v.to_bits().to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+    }
+    h
 }
 
 #[cfg(test)]
@@ -182,5 +432,46 @@ mod tests {
         assert_eq!(starved.max_iters, 2);
         assert_eq!(starved.tol, 1e-12);
         assert_eq!(starved.stall_window, 50);
+    }
+
+    #[test]
+    fn chaos_round_scenarios_are_seed_deterministic() {
+        for seed in [0u64, 1, 2, 3] {
+            let a = FaultInjector::chaos_round(seed);
+            let b = FaultInjector::chaos_round(seed);
+            assert_eq!(a.scenario_fingerprint(), b.scenario_fingerprint());
+            assert!(a.tallies_consistent(), "seed {seed}: {a:?}");
+            assert!(
+                a.no_hang(),
+                "seed {seed}: {:?} > {:?}",
+                a.elapsed,
+                a.hang_bound()
+            );
+            if a.budget_kind != ChaosBudgetKind::Tight {
+                // Without clock pressure the whole outcome is replayable,
+                // down to the output bits.
+                assert_eq!(a.checksum, b.checksum, "seed {seed}");
+                assert_eq!(
+                    (a.converged, a.partial, a.broke, a.stalled),
+                    (b.converged, b.partial, b.broke, b.stalled),
+                    "seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_round_surfaces_every_budget_cut() {
+        // Whatever the seed, a lane the budget cut short must show up as
+        // Partial in the tallies AND as BudgetExhausted in the raw log.
+        for seed in 0..8u64 {
+            let r = FaultInjector::chaos_round(seed);
+            let logged = r
+                .lane_results
+                .iter()
+                .filter(|res| res.breakdown == Some(crate::BreakdownKind::BudgetExhausted))
+                .count();
+            assert_eq!(logged, r.partial, "seed {seed}: {r:?}");
+        }
     }
 }

@@ -58,6 +58,7 @@
 #![allow(clippy::int_plus_one)]
 
 pub mod block;
+pub mod budget;
 pub mod error;
 pub mod exec;
 pub mod layout;
@@ -70,15 +71,16 @@ pub mod testrng;
 pub mod transpose;
 
 pub use block::{for_each_lane_block_mut, BlockMut};
+pub use budget::{Budget, CancelToken, DispatchOutcome};
 pub use error::{Error, Result};
 pub use exec::{ExecSpace, Parallel, ScopedParallel, Serial};
 pub use layout::Layout;
 pub use matrix::Matrix;
 pub use par::{
-    num_threads, parallel_for, parallel_for_each_mut, parallel_sum, scoped_parallel_for,
-    scoped_parallel_sum,
+    num_threads, parallel_for, parallel_for_budgeted, parallel_for_each_mut,
+    parallel_for_each_mut_budgeted, parallel_sum, scoped_parallel_for, scoped_parallel_sum,
 };
-pub use pool::{pool_stats, publish_pool_metrics, PoolStats, WorkerTimes};
+pub use pool::{pool_stats, publish_pool_metrics, watchdog_slack, PoolStats, WorkerTimes};
 pub use strided::{Strided, StridedMut};
 pub use testrng::TestRng;
 pub use transpose::{transpose, transpose_into, transpose_into_with, transpose_reinterpret};

@@ -17,11 +17,19 @@
 //! baseline the `dispatch_overhead` bench bin measures the pool against.
 //!
 //! The worker budget comes from [`num_threads`]: the `PP_NUM_THREADS`
-//! environment variable when set (clamped to ≥ 1), else the hardware's
-//! available parallelism, cached once per process.
+//! environment variable when set (clamped to `[1, 4096]`, warn-once on
+//! malformed values), else the hardware's available parallelism, cached
+//! once per process.
+//!
+//! Deadline-aware variants ([`parallel_for_budgeted`],
+//! [`parallel_for_each_mut_budgeted`]) take a [`Budget`] and stop
+//! claiming new chunks once it is exhausted — see [`crate::budget`] for
+//! the cooperative-cancellation contract.
 
+use crate::budget::{Budget, DispatchOutcome};
 use crate::pool;
 use crate::ptr::SharedMutPtr;
+use pp_instrument as instrument;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
@@ -29,26 +37,34 @@ use std::sync::OnceLock;
 /// negligible while still load-balancing ragged lane costs.
 const CHUNKS_PER_WORKER: usize = 8;
 
+/// Upper clamp for `PP_NUM_THREADS`: far above any real host, low
+/// enough that a typo (`PP_NUM_THREADS=40000`) cannot ask the OS for
+/// tens of thousands of parked workers.
+const MAX_THREADS: usize = 4096;
+
 static NUM_THREADS: OnceLock<usize> = OnceLock::new();
 
 /// Resolve the worker budget from an optional `PP_NUM_THREADS` value and
-/// the hardware fallback. Split out for unit testing (the cached
-/// [`num_threads`] reads the real environment exactly once).
+/// the hardware fallback. Malformed values warn once to stderr and fall
+/// back to the hardware count; out-of-range values warn and clamp to
+/// `[1, 4096]`. Split out for unit testing (the cached [`num_threads`]
+/// reads the real environment exactly once).
 fn thread_budget(env: Option<&str>, hardware: usize) -> usize {
-    match env.and_then(|s| s.trim().parse::<usize>().ok()) {
-        Some(n) => n.max(1),
-        None => hardware.max(1),
+    match instrument::env::parse_usize_clamped("PP_NUM_THREADS", env, 1, MAX_THREADS) {
+        Some(n) => n,
+        None => hardware.clamp(1, MAX_THREADS),
     }
 }
 
 /// Number of worker threads to use for batch dispatch.
 ///
-/// Honours the `PP_NUM_THREADS` environment variable (clamped to ≥ 1;
-/// non-numeric values are ignored), falling back to the hardware's
-/// available parallelism. The value is computed **once** and cached for
-/// the life of the process — both because the persistent pool sizes
-/// itself from it, and because re-querying `available_parallelism` on
-/// every dispatch measurably taxed small batches.
+/// Honours the `PP_NUM_THREADS` environment variable (clamped to
+/// `[1, 4096]`; malformed values warn once to stderr and are ignored),
+/// falling back to the hardware's available parallelism. The value is
+/// computed **once** and cached for the life of the process — both
+/// because the persistent pool sizes itself from it, and because
+/// re-querying `available_parallelism` on every dispatch measurably
+/// taxed small batches.
 pub fn num_threads() -> usize {
     *NUM_THREADS.get_or_init(|| {
         let hardware = std::thread::available_parallelism()
@@ -114,6 +130,97 @@ where
         f(i, unsafe { &mut *slots.0.add(i) });
     };
     pool::global().dispatch(n, 1, &run);
+}
+
+/// [`parallel_for`] under a [`Budget`]: stops claiming new chunks once
+/// the budget is exhausted and reports whether the range was drained.
+///
+/// The serial fallback (tiny batch, one worker, nested dispatch) polls
+/// the budget at the same chunk granularity the pool would use, so the
+/// deadline contract — overshoot bounded by one chunk of lane work — is
+/// identical on both paths.
+pub fn parallel_for_budgeted<F: Fn(usize) + Sync>(
+    n: usize,
+    budget: &Budget,
+    f: F,
+) -> DispatchOutcome {
+    let threads = num_threads().min(n);
+    let chunk = n.div_ceil(threads.max(1) * CHUNKS_PER_WORKER).max(1);
+    if threads <= 1 || pool::in_dispatch() {
+        pool::note_inline_dispatch();
+        return serial_for_budgeted(n, chunk, budget, &f);
+    }
+    pool::global().dispatch_budgeted(n, chunk, Some(budget), &f)
+}
+
+/// [`parallel_for_each_mut`] under a [`Budget`]. On
+/// [`DispatchOutcome::TimedOut`] the items past the last claimed chunk
+/// were **not** visited — callers that need per-item completion state
+/// must encode it in the items themselves (the chunked multi-RHS solver
+/// leaves unvisited lanes' result slots empty and reports them as
+/// budget-exhausted).
+pub fn parallel_for_each_mut_budgeted<T, F>(
+    items: &mut [T],
+    budget: &Budget,
+    f: F,
+) -> DispatchOutcome
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    let threads = num_threads().min(n);
+    if threads <= 1 || pool::in_dispatch() {
+        pool::note_inline_dispatch();
+        let chunk = n.div_ceil(CHUNKS_PER_WORKER).max(1);
+        let mut iter = items.iter_mut().enumerate();
+        let mut visited = 0usize;
+        while visited < n {
+            if budget.exhausted() {
+                pool::note_timed_out(budget);
+                return DispatchOutcome::TimedOut;
+            }
+            for (i, item) in iter.by_ref().take(chunk) {
+                f(i, item);
+                visited += 1;
+            }
+        }
+        return DispatchOutcome::Completed;
+    }
+    struct Slots<T>(*mut T);
+    // SAFETY: each index is claimed by exactly one worker (atomic
+    // fetch-add), so no two threads ever form a `&mut` to the same slot.
+    unsafe impl<T: Send> Sync for Slots<T> {}
+    let slots = Slots(items.as_mut_ptr());
+    let slots = &slots;
+    let run = move |i: usize| {
+        // SAFETY: `i < n` and each `i` is produced exactly once.
+        f(i, unsafe { &mut *slots.0.add(i) });
+    };
+    pool::global().dispatch_budgeted(n, 1, Some(budget), &run)
+}
+
+/// Budget-polling serial loop shared by the inline fallbacks: runs `f`
+/// over `0..n`, checking the budget before each `chunk`-sized block.
+fn serial_for_budgeted(
+    n: usize,
+    chunk: usize,
+    budget: &Budget,
+    f: impl Fn(usize),
+) -> DispatchOutcome {
+    let mut lo = 0usize;
+    while lo < n {
+        if budget.exhausted() {
+            pool::note_timed_out(budget);
+            return DispatchOutcome::TimedOut;
+        }
+        let hi = (lo + chunk).min(n);
+        for i in lo..hi {
+            f(i);
+        }
+        lo = hi;
+    }
+    DispatchOutcome::Completed
 }
 
 /// Sum `f(i)` over `i in 0..n` with deterministic per-chunk partials.
@@ -291,6 +398,65 @@ mod tests {
         }
         let mut empty: Vec<u64> = Vec::new();
         parallel_for_each_mut(&mut empty, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn budgeted_for_completes_under_ample_budget() {
+        let budget = Budget::with_deadline(std::time::Duration::from_secs(3600));
+        let hits: Vec<AtomicUsize> = (0..999).map(|_| AtomicUsize::new(0)).collect();
+        let outcome = parallel_for_budgeted(999, &budget, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(outcome, DispatchOutcome::Completed);
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn budgeted_for_times_out_when_cancelled() {
+        let budget = Budget::unlimited();
+        budget.cancel();
+        let count = AtomicUsize::new(0);
+        let outcome = parallel_for_budgeted(10_000, &budget, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(outcome, DispatchOutcome::TimedOut);
+        assert_eq!(count.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn budgeted_for_each_mut_marks_visited_slots_only() {
+        let budget = Budget::with_deadline(std::time::Duration::from_secs(3600));
+        let mut items: Vec<u64> = vec![0; 503];
+        let outcome = parallel_for_each_mut_budgeted(&mut items, &budget, |i, slot| {
+            *slot = i as u64 + 1;
+        });
+        assert_eq!(outcome, DispatchOutcome::Completed);
+        for (i, v) in items.iter().enumerate() {
+            assert_eq!(*v, i as u64 + 1);
+        }
+
+        let exhausted = Budget::unlimited();
+        exhausted.cancel();
+        let mut items: Vec<u64> = vec![0; 503];
+        let outcome = parallel_for_each_mut_budgeted(&mut items, &exhausted, |_, slot| {
+            *slot = 1;
+        });
+        assert_eq!(outcome, DispatchOutcome::TimedOut);
+        assert!(items.iter().all(|v| *v == 0), "no slot visited");
+    }
+
+    #[test]
+    fn budgeted_serial_fallback_checks_budget_when_nested() {
+        // Inside a dispatch (or on a single-worker host) the budgeted
+        // loop degrades to the polling serial fallback; an exhausted
+        // budget must still stop it. Assertion failures propagate as
+        // lane panics.
+        parallel_for(64, |_| {
+            let budget = Budget::unlimited();
+            budget.cancel();
+            let o = parallel_for_budgeted(100, &budget, |_| panic!("must not run"));
+            assert_eq!(o, DispatchOutcome::TimedOut);
+        });
     }
 
     #[test]

@@ -45,6 +45,16 @@ PP_NUM_THREADS=4 cargo run --release -q --features instrument \
 test -s target/trace_advection.json
 ls target/trace_advection_dumps/fault_dump_*.json > /dev/null
 
+# Smoke-run the chaos-soak campaign: seeded fault scenarios (NaN lanes,
+# near-singular systems, slow lanes) under wall-clock budgets. The binary
+# exits non-zero if any invariant (no hang, no silent budget cut, seeded
+# determinism, healthy pool) is violated. The full >= 32-seed soak runs
+# in the nightly CI job.
+echo "==> chaos_soak smoke (budgets, cancellation, watchdog invariants)"
+PP_NUM_THREADS=4 cargo run --release -q -p pp-bench --bin chaos_soak -- \
+    --smoke --out target/BENCH_chaos_smoke.json
+test -s target/BENCH_chaos_smoke.json
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -66,10 +66,12 @@ pub mod prelude {
     pub use pp_iterative::{BreakdownKind, FaultInjector, LaneOutcome, StopCriteria};
     pub use pp_linalg::FactorHealth;
     pub use pp_perfmodel::{glups, Device};
-    pub use pp_portable::{ExecSpace, Layout, Matrix, Parallel, Serial};
+    pub use pp_portable::{
+        Budget, CancelToken, DispatchOutcome, ExecSpace, Layout, Matrix, Parallel, Serial,
+    };
     pub use pp_splinesolver::{
-        BuilderVersion, FallbackRung, IterativeConfig, IterativeSplineSolver, KrylovKind,
-        LaneReport, LaneVerdict, QuarantineReason, RecoveryPolicy, SplineBuilder, SplineEvaluator,
-        VerifiedBuilder, VerifyConfig,
+        BuilderVersion, Degradation, DegradedReport, FallbackRung, IterativeConfig,
+        IterativeSplineSolver, KrylovKind, LaneReport, LaneVerdict, QuarantineReason,
+        RecoveryPolicy, SplineBuilder, SplineEvaluator, VerifiedBuilder, VerifyConfig,
     };
 }
