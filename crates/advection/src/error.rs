@@ -20,6 +20,12 @@ pub enum Error {
         /// Position within the lane.
         index: usize,
     },
+    /// Writing a checkpoint failed, or a restored snapshot is unusable
+    /// (corrupt, or incompatible with this solver's grid / time step).
+    Checkpoint {
+        /// Explanation.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -31,6 +37,7 @@ impl fmt::Display for Error {
                 f,
                 "non-finite value in advection input at lane {lane}, index {index}"
             ),
+            Error::Checkpoint { detail } => write!(f, "checkpoint: {detail}"),
         }
     }
 }
@@ -43,6 +50,7 @@ impl From<pp_splinesolver::Error> for Error {
             pp_splinesolver::Error::NonFiniteInput { lane, index } => {
                 Error::NonFiniteInput { lane, index }
             }
+            pp_splinesolver::Error::Checkpoint { detail } => Error::Checkpoint { detail },
             other => Error::Spline(other),
         }
     }

@@ -13,11 +13,13 @@
 //! `f ≈ 0` near the cut this is the standard benign approximation for
 //! two-stream-instability demos.
 
+use std::path::PathBuf;
+
 use crate::error::{Error, Result};
 use crate::semilagrangian::{Advection1D, AdvectionDiagnostics, SplineBackend};
 use pp_bsplines::{Breaks, PeriodicSplineSpace};
 use pp_portable::{transpose_into_with, ExecSpace, Layout, Matrix};
-use pp_splinesolver::{BuilderVersion, VerifyConfig};
+use pp_splinesolver::{BuilderVersion, CheckpointStore, Snapshot, VerifyConfig};
 
 /// Self-consistent 1D1V Vlasov–Poisson solver on a doubly periodic
 /// `(x, v)` grid.
@@ -35,6 +37,13 @@ pub struct VlasovPoisson1D1V {
     dt: f64,
     /// Latest electric field `E(x_i)`.
     e_field: Vec<f64>,
+    /// Completed Strang steps since construction or restore.
+    step_index: u64,
+    /// Run seed recorded in checkpoints (RNG / chaos-harness seed), so a
+    /// resumed run replays the same injected-fault schedule.
+    seed: u64,
+    /// Periodic checkpointing: `(store, every-n-steps)`.
+    checkpoint: Option<(CheckpointStore, u64)>,
 }
 
 impl VlasovPoisson1D1V {
@@ -125,6 +134,9 @@ impl VlasovPoisson1D1V {
             v_grid,
             dt,
             e_field: vec![0.0; nx],
+            step_index: 0,
+            seed: 0,
+            checkpoint: None,
         })
     }
 
@@ -195,6 +207,95 @@ impl VlasovPoisson1D1V {
         self.f.as_slice().iter().sum::<f64>() * self.dx * self.dv
     }
 
+    /// Completed Strang steps since construction, or since the restored
+    /// checkpoint after [`VlasovPoisson1D1V::resume_from`].
+    pub fn step_index(&self) -> u64 {
+        self.step_index
+    }
+
+    /// Record `seed` (the run's RNG / chaos-harness seed) in every
+    /// checkpoint, so a resumed run can replay the same schedule.
+    pub fn set_seed(&mut self, seed: u64) {
+        self.seed = seed;
+    }
+
+    /// The recorded run seed (restored along with the state).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Checkpoint into `store` every `n` completed steps (`n` is clamped
+    /// to at least 1). Combine with [`CheckpointStore::from_env`] to honor
+    /// `PP_CHECKPOINT_DIR`/`PP_CHECKPOINT_KEEP`. Each write is atomic and
+    /// `fsync`ed; see [`CheckpointStore::write`].
+    pub fn checkpoint_every(&mut self, n: u64, store: CheckpointStore) {
+        self.checkpoint = Some((store, n.max(1)));
+    }
+
+    /// Serialise the full simulation state (distribution, field, step
+    /// index, time step, run seed) into a [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        let mut s = Snapshot::new();
+        s.push_matrix("f", &self.f);
+        s.push_f64s("e_field", &self.e_field);
+        s.push_u64("step", self.step_index);
+        s.push_f64("dt", self.dt);
+        s.push_u64("seed", self.seed);
+        s
+    }
+
+    /// Load state from a snapshot written by a solver with the same grid
+    /// and time step. The restored distribution is bit-exact, so stepping
+    /// on from here reproduces the uninterrupted run bit for bit.
+    pub fn restore(&mut self, snapshot: &Snapshot) -> Result<()> {
+        let f = snapshot.get_matrix("f").map_err(Error::from)?;
+        if f.shape() != self.f.shape() {
+            return Err(Error::Checkpoint {
+                detail: format!(
+                    "snapshot grid {:?} does not match solver grid {:?}",
+                    f.shape(),
+                    self.f.shape()
+                ),
+            });
+        }
+        let dt = snapshot.get_f64("dt").map_err(Error::from)?;
+        if dt.to_bits() != self.dt.to_bits() {
+            return Err(Error::Checkpoint {
+                detail: format!("snapshot dt {dt:e} does not match solver dt {:e}", self.dt),
+            });
+        }
+        let e_field = snapshot.get_f64s("e_field").map_err(Error::from)?;
+        if e_field.len() != self.e_field.len() {
+            return Err(Error::Checkpoint {
+                detail: format!(
+                    "snapshot field has {} points, solver has {}",
+                    e_field.len(),
+                    self.e_field.len()
+                ),
+            });
+        }
+        self.step_index = snapshot.get_u64("step").map_err(Error::from)?;
+        self.seed = snapshot.get_u64("seed").map_err(Error::from)?;
+        self.f = f;
+        self.e_field = e_field;
+        Ok(())
+    }
+
+    /// Resume from the newest valid checkpoint generation under `dir`.
+    /// Corrupt generations are skipped in favour of older intact ones
+    /// (see [`CheckpointStore::restore_latest`]). Returns the restored
+    /// step index, or `None` when no restorable checkpoint exists — the
+    /// run then simply starts fresh.
+    pub fn resume_from(&mut self, dir: impl Into<PathBuf>) -> Result<Option<u64>> {
+        match CheckpointStore::new(dir).restore_latest() {
+            Some((_, snapshot)) => {
+                self.restore(&snapshot)?;
+                Ok(Some(self.step_index))
+            }
+            None => Ok(None),
+        }
+    }
+
     /// One Strang-split time step.
     pub fn step<E: ExecSpace>(&mut self, exec: &E) -> Result<()> {
         // Half x-advection.
@@ -218,6 +319,12 @@ impl VlasovPoisson1D1V {
         self.f = back;
         // Half x-advection.
         self.adv_x.step(exec, &mut self.f)?;
+        self.step_index += 1;
+        if let Some((store, every)) = &self.checkpoint {
+            if self.step_index % *every == 0 {
+                store.write(self.step_index, &self.snapshot())?;
+            }
+        }
         Ok(())
     }
 }

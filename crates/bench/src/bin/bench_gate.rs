@@ -17,6 +17,13 @@
 //!       --candidate target/BENCH_dispatch_smoke.json [--tol 4.0]
 //!   bench_gate --kind phases --baseline BENCH_phases.json \
 //!       --candidate target/BENCH_phases_smoke.json [--tol 4.0]
+//!   bench_gate --kind chaos --baseline BENCH_chaos.json \
+//!       --candidate target/BENCH_chaos_smoke.json
+//!
+//! The chaos kind is a pure robustness gate (no timing): both documents
+//! must report zero invariant violations and zero silent-wrong SDC
+//! rounds, and the committed baseline must prove the fault campaign
+//! actually exercised corruption (detections > 0).
 
 use pp_bench::json::Json;
 use std::process::ExitCode;
@@ -183,6 +190,44 @@ fn gate_phases(gate: &mut Gate, baseline: &Json, candidate: &Json, tol: f64) {
     }
 }
 
+/// Gate the chaos_soak campaign: zero tolerance for invariant
+/// violations or silent-wrong SDC rounds, in both the fresh smoke run
+/// and the committed full-size baseline.
+fn gate_chaos(gate: &mut Gate, baseline: &Json, candidate: &Json) {
+    gate.check(
+        candidate.get("bench").and_then(Json::as_str) == Some("chaos_soak"),
+        "candidate is a chaos_soak document",
+    );
+    gate.check(
+        f64_at(candidate, &["violations"]) == Some(0.0),
+        "candidate reports zero invariant violations",
+    );
+    gate.check(
+        f64_at(candidate, &["sdc", "silent_wrong"]) == Some(0.0),
+        "candidate reports zero silent-wrong SDC rounds",
+    );
+    let rounds = candidate
+        .get("rounds")
+        .and_then(Json::as_array)
+        .map_or(0, <[Json]>::len);
+    gate.check(
+        rounds >= 8,
+        format!("candidate soaked at least 8 seeds (got {rounds})"),
+    );
+    gate.check(
+        f64_at(baseline, &["violations"]) == Some(0.0),
+        "baseline reports zero invariant violations",
+    );
+    gate.check(
+        f64_at(baseline, &["sdc", "silent_wrong"]) == Some(0.0),
+        "baseline reports zero silent-wrong SDC rounds",
+    );
+    gate.check(
+        f64_at(baseline, &["sdc", "detected"]).unwrap_or(0.0) > 0.0,
+        "baseline campaign actually injected and detected corruption",
+    );
+}
+
 fn main() -> ExitCode {
     let mut kind = String::new();
     let mut baseline = String::new();
@@ -204,7 +249,7 @@ fn main() -> ExitCode {
     }
     assert!(
         !kind.is_empty() && !baseline.is_empty() && !candidate.is_empty(),
-        "usage: bench_gate --kind dispatch|phases --baseline PATH --candidate PATH [--tol F]"
+        "usage: bench_gate --kind dispatch|phases|chaos --baseline PATH --candidate PATH [--tol F]"
     );
     assert!(
         tol >= 3.0,
@@ -218,7 +263,8 @@ fn main() -> ExitCode {
     match kind.as_str() {
         "dispatch" => gate_dispatch(&mut gate, &base, &cand, tol),
         "phases" => gate_phases(&mut gate, &base, &cand, tol),
-        other => panic!("unknown --kind {other:?} (expected dispatch|phases)"),
+        "chaos" => gate_chaos(&mut gate, &base, &cand),
+        other => panic!("unknown --kind {other:?} (expected dispatch|phases|chaos)"),
     }
     if gate.failures.is_empty() {
         println!("bench_gate: {} check(s) passed", gate.checks);

@@ -6,7 +6,8 @@
 //!
 //! Each seed deterministically generates one scenario (system size, batch
 //! width, NaN-poisoned lanes, near-singular perturbation, per-lane spin
-//! delay, budget class) via [`FaultInjector::chaos_round`]. Invariants:
+//! delay, budget class, memory-corruption mode) via
+//! [`FaultInjector::chaos_round`]. Invariants:
 //!
 //! * **no hang** — a budgeted round returns within its deadline plus the
 //!   pool watchdog slack plus a scheduling margin;
@@ -15,7 +16,11 @@
 //! * **determinism** — rounds without clock pressure replay bit-for-bit
 //!   from their seed (solution checksum included);
 //! * **no poisoned pool** — after the whole campaign the worker pool
-//!   still runs a clean dispatch and a clean solve converges.
+//!   still runs a clean dispatch and a clean solve converges;
+//! * **SDC containment** — the ABFT leg never lets injected bit-flips
+//!   produce a silent wrong answer: transient flips are corrected,
+//!   persistent factor corruption is detected, clean rounds never trip
+//!   (`ChaosReport::sdc_contained`).
 //!
 //! Usage: `chaos_soak [--seeds N] [--smoke] [--out PATH]`
 //!   --seeds  number of seeds to soak (default 64; minimum 32 enforced
@@ -56,13 +61,18 @@ fn main() {
     };
 
     println!("=== chaos_soak: {count} seeded fault campaign(s) ===");
-    println!("seed,lanes,poisoned,near_singular,budget,elapsed_us,converged,partial,broke,stalled");
+    println!(
+        "seed,lanes,poisoned,near_singular,budget,elapsed_us,converged,partial,broke,stalled,\
+         sdc_mode,sdc_detected,sdc_corrected,sdc_uncorrected,sdc_silent_wrong"
+    );
 
     let started = Instant::now();
     let mut rows = Vec::new();
     let mut violations = Vec::new();
     let (mut unlimited, mut ample, mut tight) = (0usize, 0usize, 0usize);
     let mut total_partial = 0usize;
+    let (mut sdc_detected, mut sdc_corrected, mut sdc_uncorrected, mut sdc_silent_wrong) =
+        (0usize, 0usize, 0usize, 0usize);
     for seed in 0..count {
         let r = FaultInjector::chaos_round(seed);
         match r.budget_kind {
@@ -71,6 +81,17 @@ fn main() {
             ChaosBudgetKind::Tight => tight += 1,
         }
         total_partial += r.partial;
+        sdc_detected += r.sdc_detected;
+        sdc_corrected += r.sdc_corrected;
+        sdc_uncorrected += r.sdc_uncorrected;
+        sdc_silent_wrong += r.sdc_silent_wrong;
+        if !r.sdc_contained() {
+            violations.push(format!(
+                "seed {seed}: sdc containment — mode {:?}: {} detected, {} corrected, \
+                 {} uncorrected, {} SILENT WRONG ANSWER(S)",
+                r.sdc_mode, r.sdc_detected, r.sdc_corrected, r.sdc_uncorrected, r.sdc_silent_wrong
+            ));
+        }
         if !r.no_hang() {
             violations.push(format!(
                 "seed {seed}: hang — elapsed {:?} exceeds bound {:?}",
@@ -105,7 +126,7 @@ fn main() {
             }
         }
         println!(
-            "{seed},{},{},{},{:?},{},{},{},{},{}",
+            "{seed},{},{},{},{:?},{},{},{},{},{},{:?},{},{},{},{}",
             r.lanes,
             r.poisoned.len(),
             r.near_singular,
@@ -114,7 +135,12 @@ fn main() {
             r.converged,
             r.partial,
             r.broke,
-            r.stalled
+            r.stalled,
+            r.sdc_mode,
+            r.sdc_detected,
+            r.sdc_corrected,
+            r.sdc_uncorrected,
+            r.sdc_silent_wrong
         );
         rows.push(r);
     }
@@ -136,7 +162,9 @@ fn main() {
     println!(
         "\ncampaign: {count} seed(s) in {:?}; budgets {unlimited} unlimited / {ample} ample / \
          {tight} tight; {total_partial} partial lane(s); pool: {} deadline miss(es), \
-         {} cancelled dispatch(es), {} watchdog trip(s)",
+         {} cancelled dispatch(es), {} watchdog trip(s); sdc: {sdc_detected} detected / \
+         {sdc_corrected} corrected / {sdc_uncorrected} uncorrected / \
+         {sdc_silent_wrong} silent-wrong",
         campaign_elapsed, stats.deadline_misses, stats.cancelled_dispatches, stats.watchdog_trips
     );
 
@@ -153,6 +181,11 @@ fn main() {
     let _ = writeln!(j, "  \"partial_lanes\": {total_partial},");
     let _ = writeln!(j, "  \"deadline_misses\": {},", stats.deadline_misses);
     let _ = writeln!(j, "  \"watchdog_trips\": {},", stats.watchdog_trips);
+    let _ = writeln!(
+        j,
+        "  \"sdc\": {{\"detected\": {sdc_detected}, \"corrected\": {sdc_corrected}, \
+         \"uncorrected\": {sdc_uncorrected}, \"silent_wrong\": {sdc_silent_wrong}}},"
+    );
     let _ = writeln!(j, "  \"violations\": {},", violations.len());
     j.push_str("  \"rounds\": [\n");
     for (k, r) in rows.iter().enumerate() {
@@ -160,7 +193,9 @@ fn main() {
             j,
             "    {{\"seed\": {}, \"lanes\": {}, \"poisoned\": {}, \"near_singular\": {}, \
              \"budget\": \"{:?}\", \"elapsed_us\": {}, \"converged\": {}, \"partial\": {}, \
-             \"broke\": {}, \"stalled\": {}, \"checksum\": \"{:#x}\"}}",
+             \"broke\": {}, \"stalled\": {}, \"sdc_mode\": \"{:?}\", \"sdc_detected\": {}, \
+             \"sdc_corrected\": {}, \"sdc_uncorrected\": {}, \"sdc_silent_wrong\": {}, \
+             \"checksum\": \"{:#x}\"}}",
             r.seed,
             r.lanes,
             r.poisoned.len(),
@@ -171,6 +206,11 @@ fn main() {
             r.partial,
             r.broke,
             r.stalled,
+            r.sdc_mode,
+            r.sdc_detected,
+            r.sdc_corrected,
+            r.sdc_uncorrected,
+            r.sdc_silent_wrong,
             r.checksum
         );
         j.push_str(if k + 1 < rows.len() { ",\n" } else { "\n" });

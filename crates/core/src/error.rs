@@ -38,6 +38,12 @@ pub enum Error {
         /// Position within the lane.
         index: usize,
     },
+    /// A checkpoint could not be written, or a snapshot failed to decode
+    /// (truncated, checksum mismatch, wrong version, missing section).
+    Checkpoint {
+        /// Explanation.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -67,6 +73,7 @@ impl fmt::Display for Error {
                 f,
                 "non-finite value in solver input at lane {lane}, index {index}"
             ),
+            Error::Checkpoint { detail } => write!(f, "checkpoint error: {detail}"),
         }
     }
 }

@@ -60,6 +60,7 @@
 
 pub mod blocks;
 pub mod builder;
+pub mod checkpoint;
 pub mod clamped_builder;
 pub mod error;
 pub mod evaluator;
@@ -69,6 +70,7 @@ pub mod verified;
 
 pub use blocks::{QClass, QFactors, SchurBlocks};
 pub use builder::{BuilderVersion, SplineBuilder};
+pub use checkpoint::{CheckpointStore, Snapshot, DEFAULT_KEEP};
 pub use clamped_builder::ClampedSplineBuilder;
 pub use error::{Error, Result};
 pub use evaluator::SplineEvaluator;

@@ -33,7 +33,7 @@ use crate::error::{Error, Result};
 use crate::iterative_backend::{IterativeConfig, IterativeSplineSolver};
 use pp_bsplines::assemble_interpolation_matrix;
 use pp_iterative::solver::{norm2, residual_into};
-use pp_linalg::{getrf, refine_lane, LuFactors, RefineConfig};
+use pp_linalg::{flip_bit, getrf, refine_lane, LuFactors, RefineConfig, DEFAULT_ABFT_TOL};
 use pp_portable::instrument::{
     counter, fault_dump, trace_instant, trace_instant_lane, Counter, InstantKind, PhaseId, Span,
 };
@@ -61,6 +61,31 @@ pub struct VerifyConfig {
     /// direct path is backward stable, so exercising the ladder in tests
     /// (and in production burn-in) needs a deterministic trigger.
     pub probe_lanes: Vec<usize>,
+    /// ABFT checksum screen over **every** lane (including ones
+    /// `sample_stride` skips): after the batched solve, each lane is
+    /// checked against the factor-time column-sum identity
+    /// `(Aᵀ𝟙)·x = Σb` in O(n). A tripped lane is retried once from its
+    /// pristine right-hand side, then escalated through
+    /// refinement/ladder/quarantine like any failing lane. Defaults to
+    /// the `PP_ABFT` environment switch (off when unset).
+    pub abft: bool,
+    /// Fault-injection hook: flip a significant bit in these lanes'
+    /// freshly solved coefficients before the ABFT screen runs — the
+    /// deterministic silent-data-corruption trigger. Strikes once per
+    /// lane per solve; with [`VerifyConfig::sdc_probe_persistent`] it
+    /// also re-strikes the ABFT retry, modelling corruption the retry
+    /// cannot shake off.
+    pub sdc_probe_lanes: Vec<usize>,
+    /// Make [`VerifyConfig::sdc_probe_lanes`] corrupt the ABFT retry
+    /// too (persistent corruption instead of a transient upset).
+    pub sdc_probe_persistent: bool,
+}
+
+/// The process-default of [`VerifyConfig::abft`]: the `PP_ABFT`
+/// environment switch, read once, warn-once on malformed values.
+fn abft_default() -> bool {
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| pp_portable::instrument::env::env_bool("PP_ABFT").unwrap_or(false))
 }
 
 impl Default for VerifyConfig {
@@ -72,6 +97,9 @@ impl Default for VerifyConfig {
             use_ladder: true,
             use_iterative_rung: true,
             probe_lanes: Vec::new(),
+            abft: abft_default(),
+            sdc_probe_lanes: Vec::new(),
+            sdc_probe_persistent: false,
         }
     }
 }
@@ -91,6 +119,14 @@ pub enum QuarantineReason {
         /// That best (smallest) relative residual.
         residual: f64,
     },
+    /// The ABFT checksum screen caught silent data corruption in this
+    /// lane, the single retry still tripped, and the budget left no room
+    /// for the recovery ladder. The lane's (corrupted) solution must not
+    /// survive unverified, so it is zeroed.
+    SdcDetected {
+        /// Relative checksum discrepancy of the retried solve.
+        discrepancy: f64,
+    },
 }
 
 impl fmt::Display for QuarantineReason {
@@ -102,6 +138,12 @@ impl fmt::Display for QuarantineReason {
             QuarantineReason::NonFiniteSolution => write!(f, "non-finite solution on every rung"),
             QuarantineReason::ResidualAboveTol { residual } => {
                 write!(f, "best residual {residual:.3e} above tolerance")
+            }
+            QuarantineReason::SdcDetected { discrepancy } => {
+                write!(
+                    f,
+                    "silent data corruption (checksum discrepancy {discrepancy:.3e}), unrecovered"
+                )
             }
         }
     }
@@ -166,6 +208,15 @@ pub enum LaneVerdict {
         /// Relative residual of the recovered solution.
         residual: f64,
     },
+    /// The ABFT checksum screen caught silent data corruption and one
+    /// retry from the pristine right-hand side produced a clean,
+    /// residual-verified solution.
+    SdcCorrected {
+        /// Relative checksum discrepancy of the corrupted first solve.
+        discrepancy: f64,
+        /// Relative residual of the retried (accepted) solution.
+        residual: f64,
+    },
     /// The lane was zeroed and flagged; see the reason.
     Quarantined {
         /// Why recovery was impossible.
@@ -191,6 +242,13 @@ impl fmt::Display for LaneVerdict {
             LaneVerdict::Recovered { rung, residual } => {
                 write!(f, "recovered via {rung} (residual {residual:.3e})")
             }
+            LaneVerdict::SdcCorrected {
+                discrepancy,
+                residual,
+            } => write!(
+                f,
+                "sdc corrected on retry (discrepancy {discrepancy:.3e}, residual {residual:.3e})"
+            ),
             LaneVerdict::Quarantined { reason } => write!(f, "quarantined: {reason}"),
         }
     }
@@ -216,6 +274,24 @@ fn verify_metrics() -> &'static VerifyMetrics {
     })
 }
 
+/// Cached counter handles for the silent-data-corruption tallies. The
+/// names match the ones `pp_linalg::abft` bumps, so process-wide totals
+/// aggregate both detection layers.
+struct SdcMetrics {
+    detected: Counter,
+    corrected: Counter,
+    uncorrected: Counter,
+}
+
+fn sdc_metrics() -> &'static SdcMetrics {
+    static METRICS: OnceLock<SdcMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| SdcMetrics {
+        detected: counter("sdc.detected"),
+        corrected: counter("sdc.corrected"),
+        uncorrected: counter("sdc.uncorrected"),
+    })
+}
+
 /// Tally one batch's verdicts into the instrumentation counters.
 fn publish_verify_metrics(report: &LaneReport) {
     if !pp_portable::instrument::enabled() {
@@ -227,7 +303,7 @@ fn publish_verify_metrics(report: &LaneReport) {
             LaneVerdict::Unsampled => continue,
             LaneVerdict::Verified { .. } => m.verified.inc(),
             LaneVerdict::Refined { .. } => m.refined.inc(),
-            LaneVerdict::Recovered { .. } => m.recovered.inc(),
+            LaneVerdict::Recovered { .. } | LaneVerdict::SdcCorrected { .. } => m.recovered.inc(),
             LaneVerdict::Quarantined { .. } => m.quarantined.inc(),
         }
         m.sampled.inc();
@@ -387,6 +463,12 @@ impl LaneReport {
         self.lanes_where(|v| matches!(v, LaneVerdict::Refined { .. }))
     }
 
+    /// Lanes where the ABFT screen caught corruption and the retry healed
+    /// it.
+    pub fn sdc_corrected_lanes(&self) -> Vec<usize> {
+        self.lanes_where(|v| matches!(v, LaneVerdict::SdcCorrected { .. }))
+    }
+
     /// `true` when every sampled lane passed on the first try.
     pub fn all_verified(&self) -> bool {
         self.verdicts
@@ -401,7 +483,8 @@ impl LaneReport {
             .filter_map(|v| match v {
                 LaneVerdict::Verified { residual }
                 | LaneVerdict::Refined { residual, .. }
-                | LaneVerdict::Recovered { residual, .. } => Some(*residual),
+                | LaneVerdict::Recovered { residual, .. }
+                | LaneVerdict::SdcCorrected { residual, .. } => Some(*residual),
                 _ => None,
             })
             .fold(0.0, f64::max)
@@ -457,6 +540,12 @@ pub struct VerifiedBuilder {
     matrix: Csr,
     /// `‖A‖∞`, needed by the backward-error formula in refinement.
     anorm_inf: f64,
+    /// ABFT checksum vector `Aᵀ𝟙` (column sums), pinned at build time so
+    /// later factor corruption cannot retroactively blind the screen. The
+    /// identity `colsum·x = 𝟙ᵀAx = Σb` holds for every correct lane.
+    colsum: Vec<f64>,
+    /// `‖colsum‖₂`, for the relative trip threshold.
+    colsum_norm: f64,
     config: VerifyConfig,
     pb_rung: OnceLock<Option<SchurBlocks>>,
     gb_rung: OnceLock<Option<SchurBlocks>>,
@@ -478,11 +567,17 @@ impl SplineBuilder {
             }
             anorm_inf = anorm_inf.max(s);
         }
+        let colsum: Vec<f64> = (0..dense.ncols())
+            .map(|j| (0..dense.nrows()).map(|i| dense.get(i, j)).sum())
+            .collect();
+        let colsum_norm = norm2(&colsum);
         VerifiedBuilder {
             builder: self,
             dense,
             matrix,
             anorm_inf,
+            colsum,
+            colsum_norm,
             config,
             pb_rung: OnceLock::new(),
             gb_rung: OnceLock::new(),
@@ -574,9 +669,19 @@ impl VerifiedBuilder {
         let mut verdicts = Vec::with_capacity(b.ncols());
         let mut degrade = DegradeLog::default();
         let verify_span = Span::enter(PhaseId::Verify);
+        // ABFT screen before per-lane verification: O(n) per lane over the
+        // whole batch, so corruption is caught even in lanes the sampling
+        // stride would skip.
+        let sdc = if self.config.abft {
+            self.abft_screen(b, &rhs)
+        } else {
+            Vec::new()
+        };
         for lane in 0..b.ncols() {
+            let sdc_state = sdc.get(lane).copied().unwrap_or(SdcState::Clean);
             let probed = self.config.probe_lanes.contains(&lane);
-            let selected = probed || lane % stride == 0;
+            // A lane the checksum flagged is always fully verified.
+            let selected = probed || lane % stride == 0 || !matches!(sdc_state, SdcState::Clean);
             let out_of_time = budget.is_some_and(|bud| bud.exhausted());
             if selected && out_of_time && degrade.sampling_cut.is_none() {
                 degrade.sampling_cut = Some((lane, 0));
@@ -598,6 +703,31 @@ impl VerifiedBuilder {
                         });
                         continue;
                     }
+                    match sdc_state {
+                        SdcState::Tripped { discrepancy } => {
+                            // Budget exhaustion must not let a lane with a
+                            // tripped checksum through unverified.
+                            zero_lane(b, lane);
+                            sdc_metrics().uncorrected.inc();
+                            trace_instant_lane(InstantKind::LaneQuarantined, lane as u32);
+                            verdicts.push(LaneVerdict::Quarantined {
+                                reason: QuarantineReason::SdcDetected { discrepancy },
+                            });
+                            continue;
+                        }
+                        SdcState::Corrected { discrepancy } => {
+                            // The retry already happened in the screen; one
+                            // residual evaluation seals the verdict.
+                            sdc_metrics().corrected.inc();
+                            let residual = self.relative_residual(&b.col(lane).to_vec(), &b_lane);
+                            verdicts.push(LaneVerdict::SdcCorrected {
+                                discrepancy,
+                                residual,
+                            });
+                            continue;
+                        }
+                        SdcState::Clean => {}
+                    }
                 }
                 verdicts.push(LaneVerdict::Unsampled);
                 continue;
@@ -613,11 +743,40 @@ impl VerifiedBuilder {
                 continue;
             }
             let verdict = self.verify_lane(b, lane, &b_lane, probed, budget, &mut degrade);
+            // Fold the ABFT screen outcome into the verdict: a tripped
+            // lane the verifier could not heal is silent data corruption
+            // escaping containment — quarantine, never trust it.
+            let verdict = match (sdc_state, verdict) {
+                (SdcState::Clean, v) => v,
+                (SdcState::Corrected { discrepancy }, LaneVerdict::Verified { residual }) => {
+                    sdc_metrics().corrected.inc();
+                    LaneVerdict::SdcCorrected {
+                        discrepancy,
+                        residual,
+                    }
+                }
+                (SdcState::Corrected { .. }, v) | (SdcState::Tripped { .. }, v)
+                    if v.is_healthy() =>
+                {
+                    sdc_metrics().corrected.inc();
+                    v
+                }
+                (SdcState::Tripped { discrepancy }, _) => {
+                    sdc_metrics().uncorrected.inc();
+                    LaneVerdict::Quarantined {
+                        reason: QuarantineReason::SdcDetected { discrepancy },
+                    }
+                }
+                (SdcState::Corrected { .. }, v) => {
+                    sdc_metrics().uncorrected.inc();
+                    v
+                }
+            };
             match &verdict {
                 LaneVerdict::Refined { .. } => {
                     trace_instant_lane(InstantKind::LaneRefined, lane as u32);
                 }
-                LaneVerdict::Recovered { .. } => {
+                LaneVerdict::Recovered { .. } | LaneVerdict::SdcCorrected { .. } => {
                     trace_instant_lane(InstantKind::LaneRecovered, lane as u32);
                 }
                 LaneVerdict::Quarantined { .. } => {
@@ -630,6 +789,26 @@ impl VerifiedBuilder {
         drop(verify_span);
         let report = LaneReport { verdicts };
         publish_verify_metrics(&report);
+        if sdc.iter().any(|s| !matches!(s, SdcState::Clean)) {
+            // Corruption was observed in this batch: snapshot the flight
+            // recorder so the surrounding events survive for triage.
+            fault_dump("sdc_detected", || {
+                use std::fmt::Write as _;
+                let mut d = String::from("abft checksum trips:");
+                for (lane, state) in sdc.iter().enumerate() {
+                    match state {
+                        SdcState::Clean => {}
+                        SdcState::Corrected { discrepancy } => {
+                            let _ = write!(d, " lane {lane} corrected ({discrepancy:.3e});");
+                        }
+                        SdcState::Tripped { discrepancy } => {
+                            let _ = write!(d, " lane {lane} uncorrected ({discrepancy:.3e});");
+                        }
+                    }
+                }
+                d
+            });
+        }
         if !report.quarantined_lanes().is_empty() {
             // Quarantine means data was lost: snapshot the flight
             // recorder so the milliseconds leading up to it survive.
@@ -656,6 +835,62 @@ impl VerifiedBuilder {
             });
         }
         Ok((report, degradations))
+    }
+
+    /// Evaluate the ABFT identity `colsum·x = Σb` for one lane. Returns
+    /// `(tripped, relative discrepancy)`; a non-finite discrepancy always
+    /// trips (`NaN > tol` is false — the comparison must not be inverted).
+    fn abft_check(&self, x: &[f64], b_lane: &[f64]) -> (bool, f64) {
+        let vx: f64 = self.colsum.iter().zip(x).map(|(c, xi)| c * xi).sum();
+        let sum_b: f64 = b_lane.iter().sum();
+        let disc = (vx - sum_b).abs();
+        let scale = self.colsum_norm * norm2(x) + sum_b.abs();
+        let rel = if scale > 0.0 { disc / scale } else { disc };
+        (!rel.is_finite() || rel > DEFAULT_ABFT_TOL, rel)
+    }
+
+    /// Screen every lane of the just-solved batch against the build-time
+    /// checksum vector. A tripped lane is re-solved once from its pristine
+    /// right-hand side: a transient upset does not recur, so a clean retry
+    /// replaces the lane ([`SdcState::Corrected`]); a retry that trips
+    /// again is persistent corruption ([`SdcState::Tripped`]) and is left
+    /// for the verifier to heal or quarantine.
+    fn abft_screen(&self, b: &mut Matrix, rhs: &Matrix) -> Vec<SdcState> {
+        (0..b.ncols())
+            .map(|lane| {
+                let mut x = b.col(lane).to_vec();
+                if self.config.sdc_probe_lanes.contains(&lane) {
+                    strike(&mut x);
+                    b.col_mut(lane).copy_from_slice(&x);
+                }
+                let b_lane = rhs.col(lane).to_vec();
+                if b_lane.iter().any(|v| !v.is_finite()) {
+                    // Poisoned input is the quarantine scan's concern,
+                    // not a checksum trip.
+                    return SdcState::Clean;
+                }
+                let (tripped, disc) = self.abft_check(&x, &b_lane);
+                if !tripped {
+                    return SdcState::Clean;
+                }
+                sdc_metrics().detected.inc();
+                trace_instant_lane(InstantKind::SdcDetected, lane as u32);
+                let mut y = b_lane.clone();
+                self.primary_solve(&mut y);
+                if self.config.sdc_probe_persistent && self.config.sdc_probe_lanes.contains(&lane) {
+                    strike(&mut y);
+                }
+                let (retripped, retry_disc) = self.abft_check(&y, &b_lane);
+                if retripped {
+                    SdcState::Tripped {
+                        discrepancy: retry_disc,
+                    }
+                } else {
+                    b.col_mut(lane).copy_from_slice(&y);
+                    SdcState::Corrected { discrepancy: disc }
+                }
+            })
+            .collect()
     }
 
     /// Verify one lane whose input is already known finite.
@@ -886,6 +1121,28 @@ fn schur_solve_slice(blocks: &SchurBlocks, sparse: bool, lane: &mut [f64]) {
 fn zero_lane(b: &mut Matrix, lane: usize) {
     let n = b.nrows();
     b.col_mut(lane).copy_from_slice(&vec![0.0; n]);
+}
+
+/// Outcome of the ABFT checksum screen for one lane.
+#[derive(Debug, Clone, Copy)]
+enum SdcState {
+    /// Checksum held (or the lane's input is non-finite and belongs to
+    /// the quarantine scan).
+    Clean,
+    /// The checksum tripped and one retry from the pristine right-hand
+    /// side came back clean: a transient upset, healed.
+    Corrected { discrepancy: f64 },
+    /// The checksum tripped on the retry too: persistent corruption.
+    Tripped { discrepancy: f64 },
+}
+
+/// Deterministic SDC probe: flip the top mantissa bit of the lane's
+/// largest-magnitude coefficient — a 25–50% relative perturbation, so the
+/// injected corruption is always numerically live.
+fn strike(x: &mut [f64]) {
+    if let Some(i) = (0..x.len()).max_by(|&a, &b| x[a].abs().total_cmp(&x[b].abs())) {
+        x[i] = flip_bit(x[i], 51);
+    }
 }
 
 #[cfg(test)]
@@ -1205,5 +1462,170 @@ mod tests {
         assert!(s.contains("1 quarantined"), "{s}");
         let v = report.verdict(3).to_string();
         assert!(v.contains("non-finite solution"), "{v}");
+    }
+
+    #[test]
+    fn abft_clean_batch_stays_bit_identical_and_never_trips() {
+        let sp = space(32, 3, true);
+        let plain = SplineBuilder::new(sp.clone(), BuilderVersion::FusedSpmv).unwrap();
+        let verified = SplineBuilder::new(sp, BuilderVersion::FusedSpmv)
+            .unwrap()
+            .verified(VerifyConfig {
+                abft: true,
+                ..VerifyConfig::default()
+            });
+        let rhs = random_rhs(32, 8, 31);
+        let mut reference = rhs.clone();
+        plain.solve_in_place(&Parallel, &mut reference).unwrap();
+        let mut x = rhs.clone();
+        let report = verified.solve_in_place(&Parallel, &mut x).unwrap();
+        assert!(report.all_verified(), "{report}");
+        assert!(report.sdc_corrected_lanes().is_empty());
+        assert_eq!(x.max_abs_diff(&reference), 0.0);
+    }
+
+    #[test]
+    fn abft_transient_corruption_is_corrected_back_to_reference_bits() {
+        let sp = space(32, 3, true);
+        let plain = SplineBuilder::new(sp.clone(), BuilderVersion::FusedSpmv).unwrap();
+        let verified = SplineBuilder::new(sp, BuilderVersion::FusedSpmv)
+            .unwrap()
+            .verified(VerifyConfig {
+                abft: true,
+                sdc_probe_lanes: vec![2],
+                ..VerifyConfig::default()
+            });
+        let rhs = random_rhs(32, 5, 37);
+        let mut reference = rhs.clone();
+        plain.solve_in_place(&Parallel, &mut reference).unwrap();
+        let mut x = rhs.clone();
+        let report = verified.solve_in_place(&Parallel, &mut x).unwrap();
+        assert_eq!(report.sdc_corrected_lanes(), vec![2]);
+        match report.verdict(2) {
+            LaneVerdict::SdcCorrected {
+                discrepancy,
+                residual,
+            } => {
+                assert!(*discrepancy > DEFAULT_ABFT_TOL, "{discrepancy:.3e}");
+                assert!(*residual <= 1e-10, "{residual:.3e}");
+            }
+            other => panic!("expected SdcCorrected, got {other}"),
+        }
+        // The retry re-runs the primary factors on the pristine RHS, so
+        // the healed lane (and every clean lane) is bit-identical to the
+        // ordinary solve.
+        assert_eq!(x.max_abs_diff(&reference), 0.0);
+    }
+
+    #[test]
+    fn abft_screens_lanes_the_sampling_stride_skips() {
+        let sp = space(24, 3, true);
+        let verified = SplineBuilder::new(sp, BuilderVersion::FusedSpmv)
+            .unwrap()
+            .verified(VerifyConfig {
+                abft: true,
+                sample_stride: 1000,
+                sdc_probe_lanes: vec![3],
+                ..VerifyConfig::default()
+            });
+        let mut x = random_rhs(24, 6, 41);
+        let report = verified.solve_in_place(&Parallel, &mut x).unwrap();
+        // Lane 3 would be Unsampled under the stride alone; the checksum
+        // screen still caught and healed the corruption.
+        assert_eq!(report.sdc_corrected_lanes(), vec![3]);
+        for lane in [1usize, 2, 4, 5] {
+            assert_eq!(*report.verdict(lane), LaneVerdict::Unsampled);
+        }
+    }
+
+    #[test]
+    fn abft_persistent_corruption_is_healed_by_the_verifier() {
+        let sp = space(28, 3, true);
+        let plain = SplineBuilder::new(sp.clone(), BuilderVersion::FusedSpmv).unwrap();
+        let verified = SplineBuilder::new(sp, BuilderVersion::FusedSpmv)
+            .unwrap()
+            .verified(VerifyConfig {
+                abft: true,
+                sdc_probe_lanes: vec![1],
+                sdc_probe_persistent: true,
+                ..VerifyConfig::default()
+            });
+        let rhs = random_rhs(28, 4, 43);
+        let mut reference = rhs.clone();
+        plain.solve_in_place(&Parallel, &mut reference).unwrap();
+        let mut x = rhs.clone();
+        let report = verified.solve_in_place(&Parallel, &mut x).unwrap();
+        // The retry is struck too, so the screen alone cannot heal the
+        // lane — refinement (pristine factors) must.
+        assert!(
+            matches!(
+                report.verdict(1),
+                LaneVerdict::Refined { .. } | LaneVerdict::Recovered { .. }
+            ),
+            "{}",
+            report.verdict(1)
+        );
+        for i in 0..28 {
+            assert!((x.get(i, 1) - reference.get(i, 1)).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn abft_unrecoverable_corruption_is_quarantined_never_trusted() {
+        let sp = space(24, 3, true);
+        let verified = SplineBuilder::new(sp, BuilderVersion::FusedSpmv)
+            .unwrap()
+            .verified(VerifyConfig {
+                abft: true,
+                sdc_probe_lanes: vec![2],
+                sdc_probe_persistent: true,
+                use_ladder: false,
+                refine: RefineConfig {
+                    max_steps: 0,
+                    ..RefineConfig::default()
+                },
+                ..VerifyConfig::default()
+            });
+        let mut x = random_rhs(24, 4, 47);
+        let report = verified.solve_in_place(&Parallel, &mut x).unwrap();
+        assert!(matches!(
+            report.verdict(2),
+            LaneVerdict::Quarantined {
+                reason: QuarantineReason::SdcDetected { .. }
+            }
+        ));
+        // Zeroed, not left holding the corrupted coefficients.
+        for i in 0..24 {
+            assert_eq!(x.get(i, 2), 0.0);
+        }
+    }
+
+    #[test]
+    fn abft_tripped_lane_under_exhausted_budget_is_quarantined() {
+        let sp = space(24, 3, true);
+        let verified = SplineBuilder::new(sp, BuilderVersion::FusedSpmv)
+            .unwrap()
+            .verified(VerifyConfig {
+                abft: true,
+                sdc_probe_lanes: vec![1],
+                sdc_probe_persistent: true,
+                ..VerifyConfig::default()
+            });
+        let mut x = random_rhs(24, 4, 53);
+        let budget = Budget::unlimited();
+        budget.cancel();
+        let report = verified
+            .solve_in_place_budgeted(&Parallel, &mut x, &budget)
+            .unwrap();
+        // No time to verify, but a tripped checksum still must not pass.
+        assert!(matches!(
+            report.lanes.verdict(1),
+            LaneVerdict::Quarantined {
+                reason: QuarantineReason::SdcDetected { .. }
+            }
+        ));
+        for i in 0..24 {
+            assert_eq!(x.get(i, 1), 0.0);
+        }
     }
 }

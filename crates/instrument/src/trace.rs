@@ -59,11 +59,18 @@ pub enum InstantKind {
     /// `VerifiedBuilder` degraded its verification under budget
     /// pressure (skipped refinement, sampling, or ladder rungs).
     DegradedVerify,
+    /// An ABFT checksum mismatch flagged silent data corruption in a
+    /// lane's solve (factor data, right-hand side, or coefficients).
+    SdcDetected,
+    /// A crash-consistent checkpoint generation was committed to disk.
+    CheckpointWritten,
+    /// Simulation state was restored from a checkpoint generation.
+    CheckpointRestored,
 }
 
 impl InstantKind {
     /// Number of instant kinds (length of [`InstantKind::ALL`]).
-    pub const COUNT: usize = 19;
+    pub const COUNT: usize = 22;
 
     /// Every kind, in declaration order (= index order).
     pub const ALL: [InstantKind; Self::COUNT] = [
@@ -86,6 +93,9 @@ impl InstantKind {
         InstantKind::WatchdogTrip,
         InstantKind::BudgetExhausted,
         InstantKind::DegradedVerify,
+        InstantKind::SdcDetected,
+        InstantKind::CheckpointWritten,
+        InstantKind::CheckpointRestored,
     ];
 
     /// Dense index of this kind (its discriminant).
@@ -116,6 +126,9 @@ impl InstantKind {
             InstantKind::WatchdogTrip => "watchdog_trip",
             InstantKind::BudgetExhausted => "budget_exhausted",
             InstantKind::DegradedVerify => "degraded_verify",
+            InstantKind::SdcDetected => "sdc_detected",
+            InstantKind::CheckpointWritten => "checkpoint_written",
+            InstantKind::CheckpointRestored => "checkpoint_restored",
         }
     }
 }

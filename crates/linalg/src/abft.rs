@@ -1,0 +1,708 @@
+//! Algorithm-based fault tolerance (ABFT) for the batched lane solves.
+//!
+//! At exa-scale, the dominant *undetected* failure mode is not a crash but
+//! a bit flip that turns one lane's answer into a plausible-but-wrong
+//! vector. The classical ABFT defence (Huang & Abraham) is a checksum
+//! relation that the correct answer must satisfy and a corrupted one
+//! almost surely cannot.
+//!
+//! ## The checksum scheme
+//!
+//! At factor time we capture one extra vector per factored system,
+//!
+//! ```text
+//!     v = A⁻ᵀ 𝟙        (one transpose solve of the all-ones vector)
+//! ```
+//!
+//! via [`LaneSolver::solve_transposed_slice`]. For every lane solve
+//! `x = A⁻¹ b` the identity `vᵀb = 𝟙ᵀx = Σᵢ xᵢ` then holds exactly in
+//! real arithmetic, so after each solve we check, in O(n),
+//!
+//! ```text
+//!     |v·b − Σx|  ≤  tol · (‖v‖₂‖b‖₂ + |Σx|)
+//! ```
+//!
+//! where the right-hand side is the natural rounding-error scale of the
+//! two dot products. A non-finite discrepancy *trips* the check (NaN
+//! comparisons are false, so this is spelled explicitly). The factor-time
+//! vector is pinned **before** any corruption window opens: a bit flipped
+//! in factor memory between factorisation and solve changes `x` but not
+//! `v`, which is exactly what makes the relation a tripwire.
+//!
+//! ## Escalation
+//!
+//! On a tripped check the lane is retried **once** from its pristine
+//! right-hand side (detection costs O(n), a retry costs one O(n) solve —
+//! cheap insurance against transient flips). A retry that passes is
+//! *corrected*; one that trips again is *uncorrected* and must be
+//! escalated by the caller (the `VerifiedBuilder` quarantine/ladder path
+//! in `pp-splinesolver` does this). Counters `sdc.detected` /
+//! `sdc.corrected` / `sdc.uncorrected` and the `SdcDetected` trace
+//! instant record every event.
+//!
+//! ## Fault injection
+//!
+//! [`Sabotage`] is the deterministic in-band fault hook: it flips a
+//! chosen bit of a chosen solution element on a chosen lane, either once
+//! (a transient upset — the retry heals it) or on every solve (persistent
+//! corruption — the retry trips again). Factor-memory corruption is
+//! injected out of band through the `fault_data_mut` hooks on the four
+//! factor types.
+
+use crate::error::{Error, Result};
+use crate::solver::LaneSolver;
+use pp_portable::instrument::{counter, trace_instant_lane, Counter, InstantKind};
+use pp_portable::{ExecSpace, Matrix, StridedMut};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Default relative tolerance of the checksum test. The discrepancy of a
+/// correct solve is rounding error on two length-`n` dot products, i.e.
+/// O(n·ε) relative to the scale term; `1e-8` leaves ~7 decimal orders of
+/// headroom below the smallest single-bit mantissa upset that matters
+/// (bit ~25 of the significand) while never tripping on honest
+/// arithmetic at the matrix orders this workspace batches (n ≲ 10⁴).
+pub const DEFAULT_ABFT_TOL: f64 = 1e-8;
+
+/// Flip one bit of an `f64`'s IEEE-754 representation.
+///
+/// Bit 0 is the least-significant mantissa bit, bits 52–62 are the
+/// exponent, bit 63 the sign. Shared by [`Sabotage`] and the chaos
+/// harness's memory-corruption faults so every injector flips bits the
+/// same way.
+#[inline]
+pub fn flip_bit(x: f64, bit: u32) -> f64 {
+    f64::from_bits(x.to_bits() ^ (1u64 << (bit & 63)))
+}
+
+struct SdcMetrics {
+    detected: Counter,
+    corrected: Counter,
+    uncorrected: Counter,
+}
+
+fn sdc_metrics() -> &'static SdcMetrics {
+    static METRICS: OnceLock<SdcMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| SdcMetrics {
+        detected: counter("sdc.detected"),
+        corrected: counter("sdc.corrected"),
+        uncorrected: counter("sdc.uncorrected"),
+    })
+}
+
+/// Outcome of one checksummed lane solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LaneCheck {
+    /// Checksum held on the first solve.
+    Clean,
+    /// First solve tripped the checksum; the retry from pristine inputs
+    /// passed. `discrepancy` is the tripped (first) residual of the
+    /// checksum relation.
+    Corrected { discrepancy: f64 },
+    /// Both the solve and its retry tripped the checksum: the corruption
+    /// is persistent (factor memory, not a transient upset). The lane's
+    /// contents are **not trustworthy** and the caller must escalate
+    /// (quarantine or recovery ladder). `discrepancy` is the retry's
+    /// residual.
+    Uncorrected { discrepancy: f64 },
+}
+
+impl LaneCheck {
+    /// True when the lane's final contents are trustworthy.
+    pub fn is_trusted(&self) -> bool {
+        !matches!(self, LaneCheck::Uncorrected { .. })
+    }
+}
+
+/// Deterministic in-band fault: flips `bit` of solution element `index`
+/// on lane `lane`, immediately after the solve writes it.
+///
+/// A *transient* sabotage fires exactly once (the ABFT retry then sees a
+/// clean solve and corrects); a *persistent* one fires on every solve of
+/// that lane (the retry trips again and the lane is reported
+/// uncorrected). Purely a test/chaos hook — production code never
+/// constructs one.
+#[derive(Debug)]
+pub struct Sabotage {
+    lane: usize,
+    index: usize,
+    bit: u32,
+    persistent: bool,
+    fired: AtomicBool,
+}
+
+impl Sabotage {
+    /// One-shot upset on `lane`, flipping `bit` of element `index`.
+    pub fn transient(lane: usize, index: usize, bit: u32) -> Self {
+        Sabotage {
+            lane,
+            index,
+            bit,
+            persistent: false,
+            fired: AtomicBool::new(false),
+        }
+    }
+
+    /// Upset that recurs on every solve of `lane` (models corrupted
+    /// factor or input memory).
+    pub fn persistent(lane: usize, index: usize, bit: u32) -> Self {
+        Sabotage {
+            lane,
+            index,
+            bit,
+            persistent: true,
+            fired: AtomicBool::new(false),
+        }
+    }
+
+    /// Apply the fault to a freshly solved lane. Returns whether it fired.
+    fn strike(&self, lane: usize, x: &mut StridedMut<'_>) -> bool {
+        if lane != self.lane || x.is_empty() {
+            return false;
+        }
+        if !self.persistent && self.fired.swap(true, Ordering::Relaxed) {
+            return false;
+        }
+        let i = self.index.min(x.len() - 1);
+        x[i] = flip_bit(x[i], self.bit);
+        true
+    }
+}
+
+/// Factor-time checksum metadata for one factored system.
+///
+/// Deliberately decoupled from the solver it was captured from: the
+/// vector is pinned at capture time, so corrupting factor memory
+/// afterwards (via the `fault_data_mut` hooks) and re-solving exercises
+/// the genuine detection path. For the common case where the solver
+/// outlives the checksum, [`Checksummed`] bundles the two.
+#[derive(Debug, Clone)]
+pub struct LaneChecksum {
+    v: Vec<f64>,
+    vnorm: f64,
+    tol: f64,
+}
+
+impl LaneChecksum {
+    /// Capture the checksum vector `v = A⁻ᵀ𝟙` from freshly factored
+    /// (assumed pristine) factors, with the default tolerance.
+    pub fn capture(solver: &dyn LaneSolver) -> Result<Self> {
+        Self::capture_with_tol(solver, DEFAULT_ABFT_TOL)
+    }
+
+    /// [`LaneChecksum::capture`] with an explicit relative tolerance.
+    pub fn capture_with_tol(solver: &dyn LaneSolver, tol: f64) -> Result<Self> {
+        let n = solver.n();
+        let mut v = vec![1.0; n];
+        solver.solve_transposed_slice(&mut v);
+        if let Some(index) = v.iter().position(|x| !x.is_finite()) {
+            return Err(Error::NonFinite {
+                routine: "abft",
+                lane: 0,
+                index,
+            });
+        }
+        let vnorm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        Ok(LaneChecksum {
+            v,
+            vnorm,
+            tol: tol.abs(),
+        })
+    }
+
+    /// The checksum vector `v = A⁻ᵀ𝟙`.
+    pub fn vector(&self) -> &[f64] {
+        &self.v
+    }
+
+    /// Relative tolerance of the checksum test.
+    pub fn tol(&self) -> f64 {
+        self.tol
+    }
+
+    /// Evaluate the checksum relation for a solved lane: `vb` is `v·b`
+    /// of the pristine right-hand side, `bnorm` its 2-norm, `x` the
+    /// computed solution. Returns `(tripped, discrepancy)`.
+    fn evaluate(&self, vb: f64, bnorm: f64, x: &StridedMut<'_>) -> (bool, f64) {
+        let sx: f64 = x.as_ref().iter().sum();
+        let disc = (vb - sx).abs();
+        let scale = self.vnorm * bnorm + sx.abs();
+        // NaN/Inf anywhere in the pipeline must trip: `NaN > t` is false,
+        // so the non-finite case is spelled out.
+        let tripped = !disc.is_finite() || disc > self.tol * scale;
+        (tripped, disc)
+    }
+
+    /// Checksummed lane solve with retry-once-from-pristine escalation.
+    ///
+    /// Solves in place like [`LaneSolver::solve_lane`]. On a tripped
+    /// checksum the lane is restored from its saved right-hand side and
+    /// solved again; the verdict distinguishes clean, corrected and
+    /// uncorrected outcomes. Counters and the `SdcDetected` trace
+    /// instant fire on every detection.
+    pub fn solve_lane_checked(
+        &self,
+        solver: &dyn LaneSolver,
+        lane_idx: usize,
+        lane: &mut StridedMut<'_>,
+        sabotage: Option<&Sabotage>,
+    ) -> LaneCheck {
+        let pristine = lane.to_vec();
+        let vb: f64 = self
+            .v
+            .iter()
+            .zip(pristine.iter())
+            .map(|(vi, bi)| vi * bi)
+            .sum();
+        let bnorm = pristine.iter().map(|x| x * x).sum::<f64>().sqrt();
+
+        solver.solve_lane(lane);
+        if let Some(s) = sabotage {
+            s.strike(lane_idx, lane);
+        }
+        let (tripped, disc) = self.evaluate(vb, bnorm, &lane.reborrow());
+        if !tripped {
+            return LaneCheck::Clean;
+        }
+
+        let m = sdc_metrics();
+        m.detected.inc();
+        trace_instant_lane(InstantKind::SdcDetected, lane_idx as u32);
+
+        // Retry once from pristine inputs: a transient upset is gone, a
+        // persistent one (corrupted factor memory) trips again.
+        lane.copy_from_slice(&pristine);
+        solver.solve_lane(lane);
+        if let Some(s) = sabotage {
+            s.strike(lane_idx, lane);
+        }
+        let (tripped2, disc2) = self.evaluate(vb, bnorm, &lane.reborrow());
+        if tripped2 {
+            m.uncorrected.inc();
+            LaneCheck::Uncorrected { discrepancy: disc2 }
+        } else {
+            m.corrected.inc();
+            LaneCheck::Corrected { discrepancy: disc }
+        }
+    }
+}
+
+/// Batch-level summary of a checksummed solve ([`solve_all_checked`]).
+#[derive(Debug, Clone)]
+pub struct AbftReport {
+    /// Per-lane verdicts, indexed by batch lane.
+    pub verdicts: Vec<LaneCheck>,
+    /// Lanes whose first solve passed the checksum.
+    pub clean: usize,
+    /// Lanes corrected by the pristine retry.
+    pub corrected: usize,
+    /// Lanes still tripping after retry — caller must escalate these.
+    pub uncorrected: usize,
+    /// Largest checksum discrepancy observed across all trips.
+    pub max_discrepancy: f64,
+}
+
+impl AbftReport {
+    /// True when every lane's final contents are trustworthy (no lane
+    /// ended uncorrected) — the "no silent wrong answer" invariant.
+    pub fn all_trusted(&self) -> bool {
+        self.uncorrected == 0
+    }
+
+    /// Lanes that tripped the checksum at least once.
+    pub fn detected(&self) -> usize {
+        self.corrected + self.uncorrected
+    }
+}
+
+const VERDICT_CLEAN: u8 = 0;
+const VERDICT_CORRECTED: u8 = 1;
+const VERDICT_UNCORRECTED: u8 = 2;
+
+/// Checksummed batched solve: every column of `b` through
+/// [`LaneChecksum::solve_lane_checked`] on the given execution space.
+///
+/// The verdict bookkeeping is lock-free (one atomic slot per lane), so
+/// this parallelises exactly like the unchecked `batched::*` routines.
+pub fn solve_all_checked<E: ExecSpace>(
+    exec: &E,
+    solver: &dyn LaneSolver,
+    checksum: &LaneChecksum,
+    b: &mut Matrix,
+    sabotage: Option<&Sabotage>,
+) -> AbftReport {
+    let lanes = b.ncols();
+    let verdicts: Vec<AtomicU8> = (0..lanes).map(|_| AtomicU8::new(VERDICT_CLEAN)).collect();
+    let discs: Vec<AtomicU64> = (0..lanes).map(|_| AtomicU64::new(0)).collect();
+
+    exec.for_each_lane_mut(b, |lane_idx, mut lane| {
+        let verdict = checksum.solve_lane_checked(solver, lane_idx, &mut lane, sabotage);
+        let (code, disc) = match verdict {
+            LaneCheck::Clean => (VERDICT_CLEAN, 0.0),
+            LaneCheck::Corrected { discrepancy } => (VERDICT_CORRECTED, discrepancy),
+            LaneCheck::Uncorrected { discrepancy } => (VERDICT_UNCORRECTED, discrepancy),
+        };
+        verdicts[lane_idx].store(code, Ordering::Relaxed);
+        discs[lane_idx].store(disc.to_bits(), Ordering::Relaxed);
+    });
+
+    let mut report = AbftReport {
+        verdicts: Vec::with_capacity(lanes),
+        clean: 0,
+        corrected: 0,
+        uncorrected: 0,
+        max_discrepancy: 0.0,
+    };
+    for (slot, disc) in verdicts.iter().zip(&discs) {
+        let d = f64::from_bits(disc.load(Ordering::Relaxed));
+        if !d.is_finite() || d > report.max_discrepancy {
+            report.max_discrepancy = d;
+        }
+        let verdict = match slot.load(Ordering::Relaxed) {
+            VERDICT_CORRECTED => {
+                report.corrected += 1;
+                LaneCheck::Corrected { discrepancy: d }
+            }
+            VERDICT_UNCORRECTED => {
+                report.uncorrected += 1;
+                LaneCheck::Uncorrected { discrepancy: d }
+            }
+            _ => {
+                report.clean += 1;
+                LaneCheck::Clean
+            }
+        };
+        report.verdicts.push(verdict);
+    }
+    report
+}
+
+/// Convenience bundle of a lane solver and its factor-time checksum, for
+/// the common case where the factors stay pristine in the caller's hands
+/// and corruption is only ever *simulated* via [`Sabotage`].
+pub struct Checksummed<'a> {
+    solver: &'a dyn LaneSolver,
+    checksum: LaneChecksum,
+    sabotage: Option<Sabotage>,
+}
+
+impl<'a> Checksummed<'a> {
+    /// Wrap a freshly factored solver with a captured checksum and the
+    /// default tolerance.
+    pub fn new(solver: &'a dyn LaneSolver) -> Result<Self> {
+        Ok(Checksummed {
+            checksum: LaneChecksum::capture(solver)?,
+            solver,
+            sabotage: None,
+        })
+    }
+
+    /// Override the relative tolerance of the checksum test.
+    pub fn with_tol(solver: &'a dyn LaneSolver, tol: f64) -> Result<Self> {
+        Ok(Checksummed {
+            checksum: LaneChecksum::capture_with_tol(solver, tol)?,
+            solver,
+            sabotage: None,
+        })
+    }
+
+    /// Arm a deterministic fault (test/chaos hook).
+    pub fn with_sabotage(mut self, sabotage: Sabotage) -> Self {
+        self.sabotage = Some(sabotage);
+        self
+    }
+
+    /// The captured factor-time checksum.
+    pub fn checksum(&self) -> &LaneChecksum {
+        &self.checksum
+    }
+
+    /// Checksummed solve of one lane (see
+    /// [`LaneChecksum::solve_lane_checked`]).
+    pub fn solve_lane_checked(&self, lane_idx: usize, lane: &mut StridedMut<'_>) -> LaneCheck {
+        self.checksum
+            .solve_lane_checked(self.solver, lane_idx, lane, self.sabotage.as_ref())
+    }
+
+    /// Checksummed batched solve (see [`solve_all_checked`]).
+    pub fn solve_all<E: ExecSpace>(&self, exec: &E, b: &mut Matrix) -> AbftReport {
+        solve_all_checked(exec, self.solver, &self.checksum, b, self.sabotage.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::banded::{gbtrf, BandedMatrix};
+    use crate::batched;
+    use crate::lu::getrf;
+    use crate::pb::{pbtrf, SymBandedMatrix};
+    use crate::pt::pttrf;
+    use pp_portable::{Layout, Serial, TestRng};
+
+    fn random_rhs(n: usize, lanes: usize, seed: u64) -> Matrix {
+        let mut rng = TestRng::seed_from_u64(seed);
+        Matrix::from_fn(n, lanes, Layout::Left, |_, _| rng.gen_range(-2.0..2.0))
+    }
+
+    #[test]
+    fn clean_batch_is_bit_identical_to_unchecked_solve() {
+        let n = 12;
+        let f = pttrf(&vec![4.0; n], &vec![-1.0; n - 1]).unwrap();
+        let cs = Checksummed::new(&f).unwrap();
+
+        let mut checked = random_rhs(n, 9, 42);
+        let mut plain = checked.clone();
+        let report = cs.solve_all(&Serial, &mut checked);
+        batched::pttrs(&Serial, &f, &mut plain);
+
+        assert_eq!(report.clean, 9);
+        assert_eq!(report.corrected, 0);
+        assert_eq!(report.uncorrected, 0);
+        assert!(report.all_trusted());
+        assert_eq!(
+            checked.as_slice(),
+            plain.as_slice(),
+            "the checksum path must not perturb a clean solve"
+        );
+    }
+
+    #[test]
+    fn all_four_solvers_capture_and_pass_clean() {
+        let n = 10;
+        let diag = 4.0;
+        let off = -1.0;
+        let dense = Matrix::from_fn(n, n, Layout::Right, |i, j| {
+            if i == j {
+                diag
+            } else if i.abs_diff(j) == 1 {
+                off
+            } else {
+                0.0
+            }
+        });
+        let solvers: Vec<Box<dyn LaneSolver>> = vec![
+            Box::new(pttrf(&vec![diag; n], &vec![off; n - 1]).unwrap()),
+            Box::new(
+                pbtrf(
+                    &SymBandedMatrix::from_fn(n, 1, |i, j| if i == j { diag } else { off })
+                        .unwrap(),
+                )
+                .unwrap(),
+            ),
+            Box::new(
+                gbtrf(
+                    &BandedMatrix::from_fn(n, 1, 1, |i, j| if i == j { diag } else { off })
+                        .unwrap(),
+                )
+                .unwrap(),
+            ),
+            Box::new(getrf(&dense).unwrap()),
+        ];
+        for s in &solvers {
+            let cs = Checksummed::new(s.as_ref()).unwrap();
+            let mut b = random_rhs(n, 5, 7);
+            let report = cs.solve_all(&Serial, &mut b);
+            assert_eq!(report.clean, 5, "routine {}", s.routine());
+            assert!(report.all_trusted());
+        }
+    }
+
+    #[test]
+    fn transient_upset_is_detected_and_corrected() {
+        let n = 16;
+        let f = pttrf(&vec![5.0; n], &vec![1.0; n - 1]).unwrap();
+        // Flip a high mantissa bit of element 2 on lane 3, once.
+        let cs = Checksummed::new(&f)
+            .unwrap()
+            .with_sabotage(Sabotage::transient(3, 2, 51));
+
+        let mut b = random_rhs(n, 6, 11);
+        let mut reference = b.clone();
+        let report = cs.solve_all(&Serial, &mut b);
+        batched::pttrs(&Serial, &f, &mut reference);
+
+        assert_eq!(report.corrected, 1);
+        assert_eq!(report.uncorrected, 0);
+        assert_eq!(report.clean, 5);
+        assert!(matches!(report.verdicts[3], LaneCheck::Corrected { .. }));
+        assert!(report.all_trusted());
+        assert!(report.max_discrepancy > 0.0);
+        assert_eq!(
+            b.as_slice(),
+            reference.as_slice(),
+            "a corrected lane must match the pristine solve bit for bit"
+        );
+    }
+
+    #[test]
+    fn persistent_sabotage_is_reported_uncorrected() {
+        let n = 8;
+        let f = pttrf(&vec![4.0; n], &vec![-1.0; n - 1]).unwrap();
+        let cs = Checksummed::new(&f)
+            .unwrap()
+            .with_sabotage(Sabotage::persistent(1, 0, 52));
+        let mut b = random_rhs(n, 4, 3);
+        let report = cs.solve_all(&Serial, &mut b);
+        assert_eq!(report.uncorrected, 1);
+        assert!(!report.all_trusted());
+        assert!(matches!(report.verdicts[1], LaneCheck::Uncorrected { .. }));
+        assert!(!report.verdicts[1].is_trusted());
+    }
+
+    /// The genuine ABFT scenario: the checksum is captured from pristine
+    /// factors, then factor memory is corrupted out of band. Every lane
+    /// must trip — and keep tripping on retry (the corruption is in the
+    /// factors, not the lane).
+    #[test]
+    fn factor_memory_corruption_trips_every_lane() {
+        let n = 12;
+        let mut f = pttrf(&vec![4.0; n], &vec![-1.0; n - 1]).unwrap();
+        let checksum = LaneChecksum::capture(&f).unwrap();
+
+        // Exponent-bit flip in the D diagonal: a large, plausible-looking
+        // perturbation (no NaN, no Inf).
+        {
+            let (d, _e) = f.fault_data_mut();
+            d[n / 2] = flip_bit(d[n / 2], 54);
+        }
+
+        let mut b = random_rhs(n, 5, 23);
+        let report = solve_all_checked(&Serial, &f, &checksum, &mut b, None);
+        assert_eq!(report.clean, 0);
+        assert_eq!(report.corrected, 0);
+        assert_eq!(
+            report.uncorrected, 5,
+            "persistent corruption cannot be retried away"
+        );
+        assert!(!report.all_trusted());
+    }
+
+    /// Same scenario for the other three factor types' fault hooks.
+    #[test]
+    fn factor_corruption_detected_for_all_hooked_types() {
+        let n = 10;
+        let diag = 4.0;
+        let off = -1.0;
+        let dense = Matrix::from_fn(n, n, Layout::Right, |i, j| {
+            if i == j {
+                diag
+            } else if i.abs_diff(j) == 1 {
+                off
+            } else {
+                0.0
+            }
+        });
+
+        let mut pb =
+            pbtrf(&SymBandedMatrix::from_fn(n, 1, |i, j| if i == j { diag } else { off }).unwrap())
+                .unwrap();
+        let mut gb =
+            gbtrf(&BandedMatrix::from_fn(n, 1, 1, |i, j| if i == j { diag } else { off }).unwrap())
+                .unwrap();
+        let mut lu = getrf(&dense).unwrap();
+
+        let cks_pb = LaneChecksum::capture(&pb).unwrap();
+        let cks_gb = LaneChecksum::capture(&gb).unwrap();
+        let cks_lu = LaneChecksum::capture(&lu).unwrap();
+
+        pb.fault_data_mut()[0] = flip_bit(pb.fault_data_mut()[0], 54);
+        {
+            let ab = gb.fault_data_mut();
+            // The expanded band is mostly zero fill-in; corrupt the
+            // largest-magnitude factor entry so the flip actually lands
+            // on live data.
+            let (imax, _) = ab
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+                .unwrap();
+            ab[imax] = flip_bit(ab[imax], 54);
+        }
+        lu.fault_data_mut()[0] = flip_bit(lu.fault_data_mut()[0], 54);
+
+        for (name, solver, cks) in [
+            ("pbtrs", &pb as &dyn LaneSolver, &cks_pb),
+            ("gbtrs", &gb as &dyn LaneSolver, &cks_gb),
+            ("getrs", &lu as &dyn LaneSolver, &cks_lu),
+        ] {
+            let mut b = random_rhs(n, 3, 5);
+            let report = solve_all_checked(&Serial, solver, cks, &mut b, None);
+            assert!(
+                report.uncorrected > 0,
+                "{name}: corrupted factors must not produce a trusted answer"
+            );
+        }
+    }
+
+    #[test]
+    fn nan_discrepancy_trips_instead_of_passing() {
+        let n = 6;
+        let f = pttrf(&vec![4.0; n], &vec![-1.0; n - 1]).unwrap();
+        let cs = Checksummed::new(&f).unwrap();
+        // NaN in the RHS: v·b is NaN, Σx is NaN — the comparison must
+        // trip, not silently pass because `NaN > tol` is false.
+        let mut b = Matrix::zeros(n, 1, Layout::Left);
+        b.as_mut_slice()[2] = f64::NAN;
+        let report = cs.solve_all(&Serial, &mut b);
+        assert_eq!(report.uncorrected, 1);
+        assert!(!report.all_trusted());
+    }
+
+    #[test]
+    fn capture_rejects_garbage_factors() {
+        let n = 4;
+        let mut f = pttrf(&vec![4.0; n], &vec![-1.0; n - 1]).unwrap();
+        {
+            let (d, _) = f.fault_data_mut();
+            d[0] = f64::NAN;
+        }
+        assert!(matches!(
+            LaneChecksum::capture(&f),
+            Err(Error::NonFinite {
+                routine: "abft",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn flip_bit_is_an_involution() {
+        for bit in [0u32, 12, 33, 51, 52, 62, 63] {
+            let x = 3.25_f64;
+            assert_eq!(flip_bit(flip_bit(x, bit), bit), x);
+            assert_ne!(flip_bit(x, bit).to_bits(), x.to_bits());
+        }
+    }
+
+    /// Checksum math sanity: v·b equals Σx to rounding error for random
+    /// SPD systems across all lane counts, so the default tolerance has
+    /// huge margin on honest solves.
+    #[test]
+    fn prop_clean_solves_never_trip() {
+        let mut g = TestRng::seed_from_u64(0xABF7);
+        for _ in 0..32 {
+            let n = g.gen_range(1usize..40);
+            let mut rng = TestRng::seed_from_u64(g.gen_range(0u64..10_000));
+            let e: Vec<f64> = (0..n.saturating_sub(1))
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect();
+            let d: Vec<f64> = (0..n)
+                .map(|i| {
+                    let left = if i > 0 { e[i - 1].abs() } else { 0.0 };
+                    let right = if i < n.saturating_sub(1) {
+                        e[i].abs()
+                    } else {
+                        0.0
+                    };
+                    left + right + rng.gen_range(0.5..2.0)
+                })
+                .collect();
+            let f = pttrf(&d, &e).unwrap();
+            let cs = Checksummed::new(&f).unwrap();
+            let mut b = random_rhs(n, 7, rng.gen_range(0u64..1000));
+            let report = cs.solve_all(&Serial, &mut b);
+            assert_eq!(report.clean, 7, "n = {n}");
+        }
+    }
+}

@@ -44,6 +44,16 @@ impl PtFactors {
         &self.health
     }
 
+    /// Fault-injection hook: mutable view of the factored payload
+    /// (`D` diagonal then `L` multipliers, concatenated order). Exists so
+    /// robustness tests and the chaos harness can flip bits in factor
+    /// memory *between* factorization and solve — the silent-data-
+    /// corruption scenario the ABFT layer ([`crate::abft`]) detects.
+    /// Never call it from production code.
+    pub fn fault_data_mut(&mut self) -> (&mut [f64], &mut [f64]) {
+        (&mut self.d, &mut self.e)
+    }
+
     /// Solve `A x = b` in place for one lane (`pttrs`).
     ///
     /// The lane length must equal the matrix order `n`.

@@ -80,7 +80,9 @@ pub use par::{
     num_threads, parallel_for, parallel_for_budgeted, parallel_for_each_mut,
     parallel_for_each_mut_budgeted, parallel_sum, scoped_parallel_for, scoped_parallel_sum,
 };
-pub use pool::{pool_stats, publish_pool_metrics, watchdog_slack, PoolStats, WorkerTimes};
+pub use pool::{
+    inject_worker_death, pool_stats, publish_pool_metrics, watchdog_slack, PoolStats, WorkerTimes,
+};
 pub use strided::{Strided, StridedMut};
 pub use testrng::TestRng;
 pub use transpose::{transpose, transpose_into, transpose_into_with, transpose_reinterpret};

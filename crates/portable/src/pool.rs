@@ -272,6 +272,62 @@ static CANCELLED_DISPATCHES: AtomicU64 = AtomicU64::new(0);
 /// committed workers running past its deadline plus [`watchdog_slack`].
 static WATCHDOG_TRIPS: AtomicU64 = AtomicU64::new(0);
 
+/// Worker threads respawned after a propagated panic killed them
+/// ([`RespawnGuard`]); without self-healing a long soak's pool capacity
+/// would only ever decay.
+static WORKERS_RESPAWNED: AtomicU64 = AtomicU64::new(0);
+
+/// Outstanding injected-death tokens ([`inject_worker_death`]).
+static WORKER_DEATH_TOKENS: AtomicUsize = AtomicUsize::new(0);
+
+/// Fault-injection hook: arm `n` worker-death tokens. The next `n` pool
+/// workers to finish serving a dispatch panic *outside* the lane
+/// `catch_unwind` — after their completion check-out, so no dispatch can
+/// hang — killing the worker thread the way a real propagated panic
+/// (e.g. a panicking panic payload `Drop`) would. The internal
+/// respawn guard then heals the pool; `workers_respawned` in
+/// [`PoolStats`] counts the round trip. Test/chaos use only.
+pub fn inject_worker_death(n: usize) {
+    WORKER_DEATH_TOKENS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Consume one injected-death token, if armed.
+fn take_death_token() -> bool {
+    WORKER_DEATH_TOKENS
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+        .is_ok()
+}
+
+/// Self-healing: respawns this worker's slot if its thread dies by
+/// unwinding out of [`worker_loop`]. Lane panics are caught and
+/// propagated to the dispatcher, so in normal operation workers never
+/// die — but a panic from pool bookkeeping itself (or an injected death)
+/// would otherwise silently shrink the pool for the rest of the
+/// process. The guard only acts when the thread is actually panicking.
+struct RespawnGuard {
+    shared: &'static Shared,
+    id: usize,
+}
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return;
+        }
+        WORKERS_RESPAWNED.fetch_add(1, Ordering::Relaxed);
+        let shared = self.shared;
+        let id = self.id;
+        // Same worker id: the replacement inherits the dead worker's
+        // clock slot, so per-worker accounting stays contiguous. A spawn
+        // failure (resource exhaustion) leaves the pool one worker short
+        // rather than aborting the process; dispatches still complete
+        // because only *committed* workers gate them.
+        let _ = std::thread::Builder::new()
+            .name(format!("pp-pool-{id}"))
+            .spawn(move || worker_loop(shared, id));
+    }
+}
+
 static POOL: OnceLock<Pool> = OnceLock::new();
 
 /// The global pool, spawning its workers on first use.
@@ -368,6 +424,13 @@ fn run_chunks(desc: &JobDesc) -> Option<Box<dyn Any + Send>> {
 }
 
 fn worker_loop(shared: &'static Shared, id: usize) {
+    // Armed for the life of the thread: if anything unwinds out of this
+    // frame the guard respawns the slot. A fresh (or respawned) worker
+    // starts at `seen == 0` and resynchronises off the live generation
+    // counter on its first wake, which is always safe: committing to a
+    // still-live job is the normal path, and a revoked mailbox is just
+    // skipped.
+    let _respawn = RespawnGuard { shared, id };
     let mut seen = 0u64;
     loop {
         // Wait for the next generation: spin briefly on the fast-path
@@ -431,6 +494,13 @@ fn worker_loop(shared: &'static Shared, id: usize) {
         // dispatcher's wait.
         drop(lock_pool(&shared.done_lock));
         shared.done_cv.notify_all();
+
+        // Injected worker death, strictly *after* check-out so the
+        // dispatch this worker served can never hang on it. The panic
+        // unwinds out of the loop and the respawn guard heals the pool.
+        if take_death_token() {
+            panic!("pp-pool-{id}: injected worker death");
+        }
     }
 }
 
@@ -657,6 +727,9 @@ pub struct PoolStats {
     /// Watchdog trips: dispatches that still had committed workers
     /// running past their deadline plus [`watchdog_slack`].
     pub watchdog_trips: u64,
+    /// Worker threads respawned after dying to a propagated panic (pool
+    /// self-healing; see [`inject_worker_death`] for the test hook).
+    pub workers_respawned: u64,
     /// Cumulative busy/idle time per worker, indexed by worker id.
     pub per_worker: Vec<WorkerTimes>,
 }
@@ -681,12 +754,14 @@ pub fn pool_stats() -> PoolStats {
     let deadline_misses = DEADLINE_MISSES.load(Ordering::Relaxed);
     let cancelled = CANCELLED_DISPATCHES.load(Ordering::Relaxed);
     let watchdog_trips = WATCHDOG_TRIPS.load(Ordering::Relaxed);
+    let workers_respawned = WORKERS_RESPAWNED.load(Ordering::Relaxed);
     match POOL.get() {
         None => PoolStats {
             inline_dispatches: inline,
             deadline_misses,
             cancelled_dispatches: cancelled,
             watchdog_trips,
+            workers_respawned,
             ..PoolStats::default()
         },
         Some(pool) => PoolStats {
@@ -697,6 +772,7 @@ pub fn pool_stats() -> PoolStats {
             deadline_misses,
             cancelled_dispatches: cancelled,
             watchdog_trips,
+            workers_respawned,
             per_worker: pool
                 .shared
                 .clocks
@@ -713,8 +789,8 @@ pub fn pool_stats() -> PoolStats {
 /// Publish the pool counters as instrumentation gauges
 /// (`pool.workers`, `pool.dispatches`, `pool.lanes_dispatched`,
 /// `pool.inline_dispatches`, `pool.deadline_misses`,
-/// `pool.cancelled_dispatches`, `pool.watchdog_trips`, `pool.busy_ms`,
-/// `pool.idle_ms`), so a
+/// `pool.cancelled_dispatches`, `pool.watchdog_trips`,
+/// `pool.workers_respawned`, `pool.busy_ms`, `pool.idle_ms`), so a
 /// [`pp_instrument::Snapshot`] carries the busy/idle picture alongside
 /// the dispatch latency histogram. No-op when instrumentation is off.
 pub fn publish_pool_metrics() {
@@ -729,6 +805,7 @@ pub fn publish_pool_metrics() {
     instrument::gauge("pool.deadline_misses").set(stats.deadline_misses as f64);
     instrument::gauge("pool.cancelled_dispatches").set(stats.cancelled_dispatches as f64);
     instrument::gauge("pool.watchdog_trips").set(stats.watchdog_trips as f64);
+    instrument::gauge("pool.workers_respawned").set(stats.workers_respawned as f64);
     instrument::gauge("pool.busy_ms").set(stats.total_busy().as_secs_f64() * 1e3);
     instrument::gauge("pool.idle_ms").set(stats.total_idle().as_secs_f64() * 1e3);
 }
@@ -841,6 +918,79 @@ mod tests {
         let ran = ran.load(Ordering::Relaxed);
         assert!(ran >= 1, "the cancelling lane itself ran");
         assert!(ran < 100_000, "cancellation must stop the remaining lanes");
+    }
+
+    /// The guard itself, isolated from scheduling: a thread that unwinds
+    /// while holding a [`RespawnGuard`] must bump the respawn counter
+    /// and leave a replacement worker parked on the shared state. Runs
+    /// on single-core hosts too, where the pool proper has no workers.
+    #[test]
+    fn respawn_guard_fires_on_unwind() {
+        let shared: &'static Shared = Box::leak(Box::new(Shared {
+            sleep: Mutex::new(JobCell {
+                generation: 0,
+                job: None,
+            }),
+            wake: Condvar::new(),
+            generation: AtomicU64::new(0),
+            done_lock: Mutex::new(()),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+            dispatches: AtomicU64::new(0),
+            lanes: AtomicU64::new(0),
+            clocks: (0..1).map(|_| WorkerClock::default()).collect(),
+        }));
+        let before = WORKERS_RESPAWNED.load(Ordering::Relaxed);
+        let t = std::thread::Builder::new()
+            .name("pp-pool-doomed".into())
+            .spawn(move || {
+                let _guard = RespawnGuard { shared, id: 0 };
+                panic!("simulated propagated panic");
+            })
+            .unwrap();
+        assert!(t.join().is_err());
+        assert!(
+            WORKERS_RESPAWNED.load(Ordering::Relaxed) > before,
+            "unwinding out of a worker must count a respawn"
+        );
+        // The replacement thread parks on `shared` harmlessly (same
+        // lifecycle as real pool workers); nothing to join.
+    }
+
+    #[test]
+    fn injected_worker_death_respawns_and_pool_recovers() {
+        let pool = global();
+        if pool.workers == 0 {
+            // Single hardware thread: no workers to kill.
+            return;
+        }
+        let before = pool_stats().workers_respawned;
+        inject_worker_death(1);
+        // Drive dispatches until some worker consumes the token, dies,
+        // and is respawned. The token fires after check-out, so none of
+        // these dispatches can hang on the dying worker.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while pool_stats().workers_respawned == before {
+            global().dispatch(4096, 1, &|_i: usize| {
+                std::hint::spin_loop();
+            });
+            assert!(
+                Instant::now() < deadline,
+                "no worker consumed the injected-death token"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // The healed pool still serves complete dispatches.
+        let count = AtomicUsize::new(0);
+        global().dispatch(1024, 4, &|_i: usize| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1024);
+        assert_eq!(
+            pool_stats().workers,
+            pool.workers,
+            "capacity must not decay"
+        );
     }
 
     #[test]

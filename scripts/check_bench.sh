@@ -32,4 +32,17 @@ cargo run --release -q -p pp-bench --bin bench_gate -- \
     --baseline BENCH_phases.json \
     --candidate target/BENCH_phases_smoke.json
 
+# The chaos soak is deterministic (seeded), so unlike the timing gates
+# above this one is exact: any invariant violation or silent-wrong SDC
+# round fails the script outright.
+echo "==> chaos_soak --smoke (seeded fault campaign with SDC injection)"
+cargo run --release -q -p pp-bench --bin chaos_soak -- \
+    --smoke --out target/BENCH_chaos_smoke.json
+
+echo "==> bench_gate: fault containment vs committed BENCH_chaos.json"
+cargo run --release -q -p pp-bench --bin bench_gate -- \
+    --kind chaos \
+    --baseline BENCH_chaos.json \
+    --candidate target/BENCH_chaos_smoke.json
+
 echo "check_bench: all gates passed"

@@ -46,6 +46,19 @@ fn chaos_smoke_campaign_holds_all_invariants() {
             .filter(|res| res.breakdown == Some(pp_iterative::BreakdownKind::BudgetExhausted))
             .count();
         assert_eq!(logged, r.partial, "seed {seed}: silent budget cut");
+        // SDC containment: injected bit-flips never become silent wrong
+        // answers — transients are corrected, persistent corruption is
+        // detected, clean rounds never trip the checksum.
+        assert!(
+            r.sdc_contained(),
+            "seed {seed}: sdc escape — mode {:?}, {} detected / {} corrected / \
+             {} uncorrected / {} silent wrong",
+            r.sdc_mode,
+            r.sdc_detected,
+            r.sdc_corrected,
+            r.sdc_uncorrected,
+            r.sdc_silent_wrong
+        );
         if r.budget_kind != ChaosBudgetKind::Tight {
             let replay = FaultInjector::chaos_round(seed);
             assert_eq!(r.checksum, replay.checksum, "seed {seed}: not replayable");

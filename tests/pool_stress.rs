@@ -8,7 +8,7 @@
 //! later ones, and reductions must be bitwise reproducible run-to-run.
 
 use pp_bsplines::{Breaks, PeriodicSplineSpace};
-use pp_portable::{pool_stats, ExecSpace, Layout, Matrix, Parallel, Serial};
+use pp_portable::{inject_worker_death, pool_stats, ExecSpace, Layout, Matrix, Parallel, Serial};
 use pp_splinesolver::{BuilderVersion, SplineBuilder};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -92,6 +92,58 @@ fn reductions_are_bitwise_reproducible() {
     for _ in 0..8 {
         assert_eq!(Parallel.reduce_sum(50_000, f).to_bits(), first.to_bits());
     }
+}
+
+/// Pool self-healing: a worker killed by a propagated panic must be
+/// respawned (visible as `workers_respawned` in [`pool_stats`]) and the
+/// pool must keep serving complete, correct dispatches afterwards — over
+/// a long soak, capacity must not decay.
+#[test]
+fn killed_worker_is_respawned_and_solves_stay_correct() {
+    if pp_portable::num_threads() <= 1 {
+        // Single-threaded hosts have no pool workers to kill.
+        return;
+    }
+    // Force pool creation and grab the baseline.
+    Parallel.for_each(1024, |i| {
+        std::hint::black_box(i);
+    });
+    let before = pool_stats();
+    if before.workers == 0 {
+        return;
+    }
+
+    inject_worker_death(1);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while pool_stats().workers_respawned == before.workers_respawned {
+        Parallel.for_each(4096, |i| {
+            std::hint::black_box(i);
+        });
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no pool worker consumed the injected-death token within 30s"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    let after = pool_stats();
+    assert!(
+        after.workers_respawned > before.workers_respawned,
+        "worker death must be healed by a respawn"
+    );
+    assert_eq!(
+        after.workers, before.workers,
+        "pool capacity must not decay"
+    );
+
+    // The healed pool still solves bit-identically to Serial.
+    let space = PeriodicSplineSpace::new(Breaks::uniform(32, 0.0, 1.0).unwrap(), 3).unwrap();
+    let builder = SplineBuilder::new(space, BuilderVersion::FusedSpmv).unwrap();
+    let mut parallel = rhs(builder.space().num_basis(), 48, 9);
+    let mut serial = parallel.clone();
+    builder.solve_in_place(&Parallel, &mut parallel).unwrap();
+    builder.solve_in_place(&Serial, &mut serial).unwrap();
+    assert_eq!(parallel.max_abs_diff(&serial), 0.0);
 }
 
 #[test]
