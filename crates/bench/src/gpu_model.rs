@@ -26,10 +26,13 @@ pub fn sim_version(v: BuilderVersion) -> KernelVersion {
     match v {
         BuilderVersion::Baseline => KernelVersion::Baseline,
         BuilderVersion::Fused => KernelVersion::Fused,
-        // The lane-tiled variant moves the same bytes as fused+spmv (the
-        // arithmetic per lane is identical); only the loop order differs,
-        // which the per-phase traffic model does not distinguish.
-        BuilderVersion::FusedSpmv | BuilderVersion::Tiled => KernelVersion::FusedSpmv,
+        // The lane-tiled and lane-interleaved variants move the same
+        // bytes as fused+spmv (the arithmetic per lane is identical);
+        // only the loop order / storage interleaving differs, which the
+        // per-phase traffic model does not distinguish.
+        BuilderVersion::FusedSpmv | BuilderVersion::Tiled | BuilderVersion::Interleaved => {
+            KernelVersion::FusedSpmv
+        }
     }
 }
 

@@ -1013,11 +1013,16 @@ impl VerifiedBuilder {
     }
 
     /// Solve one contiguous lane with the primary Schur factors (the same
-    /// arithmetic as the fused kernel).
+    /// arithmetic as the fused kernel). The tiled and interleaved
+    /// versions both run the sparse-corner (spmv) arithmetic per lane, so
+    /// their re-solves use the sparse path too.
     fn primary_solve(&self, lane: &mut [f64]) {
         schur_solve_slice(
             self.builder.blocks(),
-            self.builder.version() == BuilderVersion::FusedSpmv,
+            matches!(
+                self.builder.version(),
+                BuilderVersion::FusedSpmv | BuilderVersion::Tiled | BuilderVersion::Interleaved
+            ),
             lane,
         );
     }
@@ -1211,6 +1216,44 @@ mod tests {
         for i in 0..32 {
             assert_eq!(x.get(i, 2), 0.0);
             assert_eq!(x.get(i, 7), 0.0);
+        }
+    }
+
+    #[test]
+    fn interleaved_version_is_residual_verified() {
+        // The lane-interleaved kernels must slot under the verification
+        // screen like every other version: healthy lanes match the plain
+        // interleaved solve bitwise, and non-finite lanes are quarantined
+        // before they can poison a packed chunk.
+        for &batch in &[5, 8, 13] {
+            let sp = space(32, 3, true);
+            let plain = SplineBuilder::new(sp.clone(), BuilderVersion::Interleaved).unwrap();
+            let verified = SplineBuilder::new(sp, BuilderVersion::Interleaved)
+                .unwrap()
+                .verified(VerifyConfig::default());
+
+            let mut rhs = random_rhs(32, batch, 11);
+            rhs.set(3, 1, f64::NAN);
+
+            let mut reference = rhs.clone();
+            plain.solve_in_place(&Parallel, &mut reference).unwrap();
+
+            let mut x = rhs.clone();
+            let report = verified.solve_in_place(&Parallel, &mut x).unwrap();
+
+            assert_eq!(report.quarantined_lanes(), vec![1]);
+            for lane in (0..batch).filter(|&l| l != 1) {
+                assert!(report.verdict(lane).is_healthy(), "lane {lane}");
+                for i in 0..32 {
+                    // No cross-lane arithmetic in a packed chunk, so the
+                    // screen must not perturb healthy lanes at all.
+                    assert_eq!(
+                        x.get(i, lane),
+                        reference.get(i, lane),
+                        "batch {batch} lane {lane} row {i}"
+                    );
+                }
+            }
         }
     }
 

@@ -64,6 +64,7 @@ pub mod batched;
 pub mod dense;
 pub mod error;
 pub mod health;
+pub mod interleaved;
 pub mod kernels;
 pub mod lu;
 pub mod naive;
@@ -81,6 +82,7 @@ pub use banded::{gbtrf, BandedLu, BandedMatrix};
 pub use dense::{gemm, gemv};
 pub use error::{Error, Result};
 pub use health::{estimate_inverse_onenorm, rcond_estimate, FactorHealth};
+pub use interleaved::{gbtrs_interleaved, getrs_interleaved, pbtrs_interleaved, pttrs_interleaved};
 pub use lu::{getrf, LuFactors};
 pub use pb::{pbtrf, CholeskyBanded, SymBandedMatrix};
 pub use pt::{pttrf, PtFactors};

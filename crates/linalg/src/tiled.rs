@@ -32,11 +32,15 @@ pub const DEFAULT_TILE: usize = 64;
 /// Produces exactly the same results as [`crate::batched::pttrs`] (same
 /// arithmetic per lane, different loop order).
 ///
+/// `tile == 0` is clamped to "no tiling" (the whole batch as one block);
+/// a tile that does not divide the batch width leaves one final narrower
+/// block, solved exactly once (see
+/// [`for_each_lane_block_mut`]).
+///
 /// # Panics
-/// Panics if `b.nrows() != factors.n()` or `tile == 0`.
+/// Panics if `b.nrows() != factors.n()`.
 pub fn pttrs_tiled<E: ExecSpace>(exec: &E, factors: &PtFactors, b: &mut Matrix, tile: usize) {
     assert_eq!(b.nrows(), factors.n(), "pttrs_tiled: rhs rows != order");
-    assert!(tile > 0, "pttrs_tiled: tile must be positive");
     let n = factors.n();
     if n == 0 {
         return;
@@ -80,11 +84,13 @@ pub fn pttrs_block(factors: &PtFactors, blk: &mut BlockMut<'_>, row0: usize) {
 /// Batched `pbtrs` with lane tiling: the SPD-banded solve (uniform
 /// degree 4/5 splines) with row-major inner loops over a tile of lanes.
 ///
+/// `tile == 0` is clamped to "no tiling"; remainder lanes are solved
+/// exactly once (see [`pttrs_tiled`]).
+///
 /// # Panics
-/// Panics if `b.nrows() != factors.n()` or `tile == 0`.
+/// Panics if `b.nrows() != factors.n()`.
 pub fn pbtrs_tiled<E: ExecSpace>(exec: &E, factors: &CholeskyBanded, b: &mut Matrix, tile: usize) {
     assert_eq!(b.nrows(), factors.n(), "pbtrs_tiled: rhs rows != order");
-    assert!(tile > 0, "pbtrs_tiled: tile must be positive");
     let n = factors.n();
     if n == 0 {
         return;
@@ -134,11 +140,13 @@ pub fn pbtrs_block(factors: &CholeskyBanded, blk: &mut BlockMut<'_>, row0: usize
 /// (non-uniform splines) with row-major inner loops — the configuration
 /// where lane-at-a-time sweeps on batch-contiguous data hurt most.
 ///
+/// `tile == 0` is clamped to "no tiling"; remainder lanes are solved
+/// exactly once (see [`pttrs_tiled`]).
+///
 /// # Panics
-/// Panics if `b.nrows() != factors.n()` or `tile == 0`.
+/// Panics if `b.nrows() != factors.n()`.
 pub fn gbtrs_tiled<E: ExecSpace>(exec: &E, factors: &BandedLu, b: &mut Matrix, tile: usize) {
     assert_eq!(b.nrows(), factors.n(), "gbtrs_tiled: rhs rows != order");
-    assert!(tile > 0, "gbtrs_tiled: tile must be positive");
     let n = factors.n();
     if n == 0 {
         return;
@@ -361,11 +369,95 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "tile must be positive")]
-    fn zero_tile_rejected() {
-        let f = factors(4);
-        let mut b = Matrix::zeros(4, 2, Layout::Left);
-        pttrs_tiled(&Serial, &f, &mut b, 0);
+    fn tile_edge_cases_sweep() {
+        // tile ∈ {0, 1, 7, batch, batch+1}: zero is clamped (no division
+        // by zero, no infinite loop), non-dividing tiles leave a
+        // remainder block that is solved exactly once — results must
+        // match the lane-at-a-time reference in every case.
+        use crate::banded::{gbtrf, BandedMatrix};
+        use crate::pb::{pbtrf, SymBandedMatrix};
+        let n = 13;
+        let batch = 10;
+        let pt = factors(n);
+        let pb =
+            pbtrf(&SymBandedMatrix::from_fn(n, 2, |i, j| if i == j { 6.0 } else { -1.0 }).unwrap())
+                .unwrap();
+        let gb =
+            gbtrf(&BandedMatrix::from_fn(n, 2, 1, |i, j| if i == j { 5.0 } else { 1.0 }).unwrap())
+                .unwrap();
+        let mut rng = TestRng::seed_from_u64(29);
+        for layout in [Layout::Left, Layout::Right] {
+            let b0 = Matrix::from_fn(n, batch, layout, |_, _| rng.gen_range(-2.0..2.0));
+            let mut pt_ref = b0.clone();
+            batched::pttrs(&Serial, &pt, &mut pt_ref);
+            let mut pb_ref = b0.clone();
+            batched::pbtrs(&Serial, &pb, &mut pb_ref);
+            let mut gb_ref = b0.clone();
+            batched::gbtrs(&Serial, &gb, &mut gb_ref);
+            for tile in [0usize, 1, 7, batch, batch + 1] {
+                let mut x = b0.clone();
+                pttrs_tiled(&Parallel, &pt, &mut x, tile);
+                assert!(
+                    x.max_abs_diff(&pt_ref) < 1e-13,
+                    "pttrs {layout:?} tile {tile}"
+                );
+                let mut x = b0.clone();
+                pbtrs_tiled(&Parallel, &pb, &mut x, tile);
+                assert!(
+                    x.max_abs_diff(&pb_ref) < 1e-12,
+                    "pbtrs {layout:?} tile {tile}"
+                );
+                let mut x = b0.clone();
+                gbtrs_tiled(&Parallel, &gb, &mut x, tile);
+                assert!(
+                    x.max_abs_diff(&gb_ref) < 1e-11,
+                    "gbtrs {layout:?} tile {tile}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_single_row_systems() {
+        // n == 1: no off-diagonal exists; nothing may touch e[0] (there is
+        // no e[0]) and every routine must still scale by the diagonal.
+        use crate::banded::{gbtrf, BandedMatrix};
+        use crate::lu::getrf;
+        use crate::pb::{pbtrf, SymBandedMatrix};
+        let pt = pttrf(&[4.0], &[]).unwrap();
+        let pb = pbtrf(&SymBandedMatrix::from_fn(1, 0, |_, _| 9.0).unwrap()).unwrap();
+        let gb = gbtrf(&BandedMatrix::from_fn(1, 0, 0, |_, _| 2.0).unwrap()).unwrap();
+        let lu = getrf(&Matrix::from_rows(&[&[8.0]])).unwrap();
+        for tile in [0usize, 1, 3] {
+            let mut b = Matrix::from_fn(1, 5, Layout::Right, |_, j| (j + 1) as f64);
+            pttrs_tiled(&Serial, &pt, &mut b, tile);
+            for j in 0..5 {
+                assert_eq!(b.get(0, j), (j + 1) as f64 / 4.0, "pttrs tile {tile}");
+            }
+            let mut b = Matrix::from_fn(1, 5, Layout::Left, |_, j| (j + 1) as f64);
+            pbtrs_tiled(&Serial, &pb, &mut b, tile);
+            for j in 0..5 {
+                // Cholesky divides by sqrt(9) twice, not by 9 once, so
+                // compare to machine precision, not bit-for-bit.
+                let want = (j + 1) as f64 / 9.0;
+                assert!(
+                    (b.get(0, j) - want).abs() < 1e-14,
+                    "pbtrs tile {tile} lane {j}"
+                );
+            }
+            let mut b = Matrix::from_fn(1, 5, Layout::Right, |_, j| (j + 1) as f64);
+            gbtrs_tiled(&Serial, &gb, &mut b, tile);
+            for j in 0..5 {
+                assert_eq!(b.get(0, j), (j + 1) as f64 / 2.0, "gbtrs tile {tile}");
+            }
+        }
+        let mut b = Matrix::from_fn(1, 3, Layout::Right, |_, j| (j + 1) as f64);
+        for_each_lane_block_mut(&Serial, &mut b, 2, |_, mut blk| {
+            getrs_block(&lu, &mut blk, 0);
+        });
+        for j in 0..3 {
+            assert_eq!(b.get(0, j), (j + 1) as f64 / 8.0, "getrs n==1");
+        }
     }
 
     #[test]

@@ -93,18 +93,25 @@ impl<'a> BlockMut<'a> {
 /// `block_cols` lanes, possibly concurrently. `f(col0, block)` receives
 /// the starting lane index and a mutable view of the block.
 ///
-/// # Panics
-/// Panics if `block_cols == 0`.
+/// `block_cols` is clamped to `1..=ncols`: zero (which would otherwise
+/// divide-by-zero the block count) behaves like "no tiling" — the whole
+/// batch is one block — and oversized tiles likewise collapse to a single
+/// block. Remainder columns (when the tile does not divide the batch
+/// width) form one final narrower block, visited exactly once.
 pub fn for_each_lane_block_mut<E, F>(exec: &E, m: &mut Matrix, block_cols: usize, f: F)
 where
     E: ExecSpace,
     F: Fn(usize, BlockMut<'_>) + Sync + Send,
 {
-    assert!(block_cols > 0, "block_cols must be positive");
+    let block_cols = if block_cols == 0 {
+        m.ncols().max(1)
+    } else {
+        block_cols
+    };
     let nrows = m.nrows();
     let ncols = m.ncols();
     let (rs, cs) = m.strides();
-    let blocks = ncols.div_ceil(block_cols.min(ncols.max(1)));
+    let blocks = ncols.div_ceil(block_cols);
     let ptr = SharedMutPtr(m.as_mut_ptr());
     exec.for_each(blocks, |b| {
         let col0 = b * block_cols;
@@ -181,9 +188,44 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "block_cols must be positive")]
-    fn zero_block_rejected() {
-        let mut m = Matrix::zeros(2, 3, Layout::Left);
-        for_each_lane_block_mut(&Serial, &mut m, 0, |_, _| {});
+    fn zero_block_clamped_to_single_block() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let mut m = Matrix::from_fn(2, 3, Layout::Left, |i, j| (i * 10 + j) as f64);
+        let seen = AtomicUsize::new(0);
+        for_each_lane_block_mut(&Serial, &mut m, 0, |col0, mut blk| {
+            assert_eq!(col0, 0);
+            assert_eq!(blk.ncols(), 3);
+            for i in 0..blk.nrows() {
+                for j in 0..blk.ncols() {
+                    let v = blk.get(i, j);
+                    blk.set(i, j, v + 1.0);
+                }
+            }
+            seen.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 1);
+        assert_eq!(m.get(1, 2), 13.0);
+    }
+
+    #[test]
+    fn remainder_columns_visited_exactly_once() {
+        // tile ∈ {0, 1, 7, batch, batch+1}: every column incremented once
+        // regardless of how the tile divides the batch width.
+        for tile in [0usize, 1, 7, 10, 11] {
+            let mut m = Matrix::zeros(3, 10, Layout::Right);
+            for_each_lane_block_mut(&Parallel, &mut m, tile, |_, mut blk| {
+                for i in 0..blk.nrows() {
+                    for j in 0..blk.ncols() {
+                        let v = blk.get(i, j);
+                        blk.set(i, j, v + 1.0);
+                    }
+                }
+            });
+            for i in 0..3 {
+                for j in 0..10 {
+                    assert_eq!(m.get(i, j), 1.0, "tile {tile} ({i},{j})");
+                }
+            }
+        }
     }
 }

@@ -89,6 +89,41 @@ mod tests {
         assert_eq!(Layout::Left.flipped(), Layout::Right);
     }
 
+    /// Property: for randomized non-square shapes, `offset` is a bijection
+    /// onto `0..m*n`, `strides` agrees with `offset`, and flipping the
+    /// layout transposes the map (offset of `(i, j)` under one layout and
+    /// shape `(m, n)` equals offset of `(j, i)` under the flipped layout
+    /// and shape `(n, m)`). This is the contract the interleaved variant's
+    /// own offset test mirrors.
+    #[test]
+    fn prop_offset_strides_flipped_contract_non_square() {
+        let mut rng = crate::testrng::TestRng::seed_from_u64(0x1A_0FF5E7);
+        for _ in 0..64 {
+            let m = rng.gen_range(1usize..12);
+            let n = rng.gen_range(1usize..12);
+            for layout in [Layout::Left, Layout::Right] {
+                let (rs, cs) = layout.strides(m, n);
+                let mut seen = vec![false; m * n];
+                for i in 0..m {
+                    for j in 0..n {
+                        let off = layout.offset(i, j, m, n);
+                        assert_eq!(off, i * rs + j * cs, "{layout:?} {m}x{n}");
+                        assert!(off < m * n, "{layout:?} {m}x{n}: offset out of bounds");
+                        assert!(!seen[off], "{layout:?} {m}x{n}: duplicate offset {off}");
+                        seen[off] = true;
+                        assert_eq!(
+                            off,
+                            layout.flipped().offset(j, i, n, m),
+                            "{layout:?} {m}x{n}: flip is not a transpose"
+                        );
+                    }
+                }
+                assert!(seen.into_iter().all(|s| s), "{layout:?} {m}x{n}: gaps");
+                assert_eq!(layout.flipped().flipped(), layout);
+            }
+        }
+    }
+
     #[test]
     fn names() {
         assert_eq!(Layout::Left.name(), "LayoutLeft");

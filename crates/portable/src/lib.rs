@@ -61,6 +61,7 @@ pub mod block;
 pub mod budget;
 pub mod error;
 pub mod exec;
+pub mod interleaved;
 pub mod layout;
 pub mod matrix;
 pub mod par;
@@ -74,6 +75,7 @@ pub use block::{for_each_lane_block_mut, BlockMut};
 pub use budget::{Budget, CancelToken, DispatchOutcome};
 pub use error::{Error, Result};
 pub use exec::{ExecSpace, Parallel, ScopedParallel, Serial};
+pub use interleaved::{InterleavedMatrix, LANE_WIDTH};
 pub use layout::Layout;
 pub use matrix::Matrix;
 pub use par::{

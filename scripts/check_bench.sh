@@ -26,6 +26,12 @@ cargo run --release -q -p pp-bench --bin bench_gate -- \
     --baseline BENCH_dispatch.json \
     --candidate target/BENCH_dispatch_smoke.json
 
+# The gate enforces version-set equality with the baseline, but assert
+# the lane-interleaved version explicitly on both sides so a stale
+# four-version baseline cannot mask its disappearance.
+grep -q '"version": "Lane interleave"' target/BENCH_phases_smoke.json
+grep -q '"version": "Lane interleave"' BENCH_phases.json
+
 echo "==> bench_gate: phase attribution vs committed BENCH_phases.json"
 cargo run --release -q -p pp-bench --bin bench_gate -- \
     --kind phases \

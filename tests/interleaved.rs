@@ -1,0 +1,209 @@
+//! Interleaved-SoA lane kernels against the scalar per-lane reference.
+//!
+//! The contract under test is the tentpole acceptance criterion: for
+//! every routine class (`pttrs`, `pbtrs`, `gbtrs`, `getrs`) and for the
+//! full builder pipeline, `pack → interleaved solve → unpack` must equal
+//! the scalar per-lane solve to within 2 ulp, for randomized batch
+//! widths including batches narrower than one lane chunk. The same test
+//! source runs in both instrumentation modes: plain `cargo test`
+//! (feature off, spans compiled out) and
+//! `cargo test --features instrument` via `scripts/verify.sh` (feature
+//! on, spans live) — the numerics must not care.
+
+use batched_splines::prelude::*;
+use pp_linalg::{
+    batched, gbtrf, gbtrs_interleaved, getrf, getrs_interleaved, pbtrf, pbtrs_interleaved, pttrf,
+    pttrs_interleaved, BandedMatrix, SymBandedMatrix,
+};
+use pp_portable::{InterleavedMatrix, TestRng, LANE_WIDTH};
+
+/// Distance in units-in-the-last-place between two finite doubles,
+/// via the standard monotone mapping of IEEE-754 bit patterns onto the
+/// integer line.
+fn ulp_diff(a: f64, b: f64) -> u64 {
+    fn ordered(x: f64) -> i64 {
+        let bits = x.to_bits() as i64;
+        if bits < 0 {
+            i64::MIN.wrapping_sub(bits)
+        } else {
+            bits
+        }
+    }
+    ordered(a).wrapping_sub(ordered(b)).unsigned_abs()
+}
+
+fn assert_within_2_ulp(iv: &InterleavedMatrix, reference: &Matrix, what: &str) {
+    assert_eq!(iv.nrows(), reference.nrows());
+    assert_eq!(iv.ncols(), reference.ncols());
+    for i in 0..reference.nrows() {
+        for j in 0..reference.ncols() {
+            let d = ulp_diff(iv.get(i, j), reference.get(i, j));
+            assert!(
+                d <= 2,
+                "{what}: ({i},{j}) interleaved {} vs scalar {} differs by {d} ulp",
+                iv.get(i, j),
+                reference.get(i, j)
+            );
+        }
+    }
+}
+
+fn random_rhs(n: usize, batch: usize, layout: Layout, rng: &mut TestRng) -> Matrix {
+    Matrix::from_fn(n, batch, layout, |_, _| rng.gen_range(-2.0..2.0))
+}
+
+/// Batch widths to sweep for each size: fixed widths straddling the
+/// lane chunk boundary plus a couple of randomized draws, so partial
+/// trailing chunks (batch % 8 != 0) and sub-chunk batches (batch < 8)
+/// are always exercised.
+fn batch_widths(rng: &mut TestRng) -> Vec<usize> {
+    let mut widths = vec![
+        1,
+        LANE_WIDTH - 1,
+        LANE_WIDTH,
+        LANE_WIDTH + 1,
+        3 * LANE_WIDTH,
+    ];
+    widths.push(rng.gen_range(1..LANE_WIDTH)); // strictly sub-chunk
+    widths.push(rng.gen_range(LANE_WIDTH + 1..6 * LANE_WIDTH));
+    widths
+}
+
+#[test]
+fn pttrs_pack_solve_unpack_matches_scalar_within_2_ulp() {
+    let mut rng = TestRng::seed_from_u64(0x9a11);
+    for n in [1usize, 5, 16, 33] {
+        let d: Vec<f64> = (0..n).map(|_| rng.gen_range(3.0..5.0)).collect();
+        let e: Vec<f64> = (0..n.saturating_sub(1))
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let f = pttrf(&d, &e).unwrap();
+        for batch in batch_widths(&mut rng) {
+            for layout in [Layout::Left, Layout::Right] {
+                let rhs = random_rhs(n, batch, layout, &mut rng);
+                let mut reference = rhs.clone();
+                batched::pttrs(&Serial, &f, &mut reference);
+                let mut iv = InterleavedMatrix::pack(&rhs);
+                pttrs_interleaved(&Parallel, &f, &mut iv);
+                assert_within_2_ulp(&iv, &reference, &format!("pttrs n={n} batch={batch}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn pbtrs_pack_solve_unpack_matches_scalar_within_2_ulp() {
+    let mut rng = TestRng::seed_from_u64(0x9a22);
+    for n in [1usize, 6, 17, 32] {
+        let kd = 2.min(n - 1);
+        let a = SymBandedMatrix::from_fn(n, kd, |i, j| {
+            if i == j {
+                6.0
+            } else {
+                0.3 + 0.1 * ((i + j) % 3) as f64
+            }
+        })
+        .unwrap();
+        let f = pbtrf(&a).unwrap();
+        for batch in batch_widths(&mut rng) {
+            let rhs = random_rhs(n, batch, Layout::Left, &mut rng);
+            let mut reference = rhs.clone();
+            batched::pbtrs(&Serial, &f, &mut reference);
+            let mut iv = InterleavedMatrix::pack(&rhs);
+            pbtrs_interleaved(&Parallel, &f, &mut iv);
+            assert_within_2_ulp(&iv, &reference, &format!("pbtrs n={n} batch={batch}"));
+        }
+    }
+}
+
+#[test]
+fn gbtrs_pack_solve_unpack_matches_scalar_within_2_ulp() {
+    let mut rng = TestRng::seed_from_u64(0x9a33);
+    for n in [1usize, 7, 19, 30] {
+        let kl = 2.min(n - 1);
+        let ku = 1.min(n - 1);
+        // Tiny diagonals on every fifth row force partial pivoting, so
+        // the row-swap path of the wide kernel is covered too.
+        let a = BandedMatrix::from_fn(n, kl, ku, |i, j| {
+            if i == j {
+                if i % 5 == 4 {
+                    1e-8
+                } else {
+                    4.0
+                }
+            } else {
+                1.0 + 0.2 * ((i * 7 + j) % 5) as f64
+            }
+        })
+        .unwrap();
+        let f = gbtrf(&a).unwrap();
+        for batch in batch_widths(&mut rng) {
+            let rhs = random_rhs(n, batch, Layout::Left, &mut rng);
+            let mut reference = rhs.clone();
+            batched::gbtrs(&Serial, &f, &mut reference);
+            let mut iv = InterleavedMatrix::pack(&rhs);
+            gbtrs_interleaved(&Parallel, &f, &mut iv);
+            assert_within_2_ulp(&iv, &reference, &format!("gbtrs n={n} batch={batch}"));
+        }
+    }
+}
+
+#[test]
+fn getrs_pack_solve_unpack_matches_scalar_within_2_ulp() {
+    let mut rng = TestRng::seed_from_u64(0x9a44);
+    for n in [1usize, 4, 9, 13] {
+        let a = Matrix::from_fn(n, n, Layout::Right, |i, j| {
+            if i == j {
+                (n as f64) + 2.0
+            } else {
+                ((i * 13 + j * 5) % 7) as f64 * 0.25 - 0.75
+            }
+        });
+        let f = getrf(&a).unwrap();
+        for batch in batch_widths(&mut rng) {
+            let rhs = random_rhs(n, batch, Layout::Left, &mut rng);
+            let mut reference = rhs.clone();
+            batched::getrs(&Serial, &f, &mut reference);
+            let mut iv = InterleavedMatrix::pack(&rhs);
+            getrs_interleaved(&Parallel, &f, &mut iv);
+            assert_within_2_ulp(&iv, &reference, &format!("getrs n={n} batch={batch}"));
+        }
+    }
+}
+
+/// Full pipeline: `BuilderVersion::Interleaved` must match the scalar
+/// per-lane production version (`FusedSpmv`) to within 2 ulp on every
+/// coefficient — full chunks through the wide kernels and remainder
+/// lanes through the scalar fallback alike.
+#[test]
+fn builder_interleaved_matches_scalar_per_lane_within_2_ulp() {
+    let mut rng = TestRng::seed_from_u64(0x9a55);
+    for degree in [3usize, 4, 5] {
+        for uniform in [true, false] {
+            let breaks = if uniform {
+                Breaks::uniform(32, 0.0, 1.0).unwrap()
+            } else {
+                Breaks::graded(32, 0.0, 1.0, 0.6).unwrap()
+            };
+            let space = PeriodicSplineSpace::new(breaks, degree).unwrap();
+            let scalar = SplineBuilder::new(space.clone(), BuilderVersion::FusedSpmv).unwrap();
+            let wide = SplineBuilder::new(space, BuilderVersion::Interleaved).unwrap();
+            for batch in batch_widths(&mut rng) {
+                let rhs = random_rhs(32, batch, Layout::Left, &mut rng);
+                let mut reference = rhs.clone();
+                scalar.solve_in_place(&Serial, &mut reference).unwrap();
+                let mut x = rhs.clone();
+                wide.solve_in_place(&Parallel, &mut x).unwrap();
+                for i in 0..32 {
+                    for j in 0..batch {
+                        let d = ulp_diff(x.get(i, j), reference.get(i, j));
+                        assert!(
+                            d <= 2,
+                            "deg {degree} uniform {uniform} batch {batch} ({i},{j}): {d} ulp"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
