@@ -3,7 +3,7 @@
 use crate::error::{Error, Result};
 use pp_bsplines::PeriodicSplineSpace;
 use pp_portable::instrument::{self, PhaseId, Span};
-use pp_portable::{transpose_into_with, ExecSpace, Layout, Matrix};
+use pp_portable::{transpose_into_with, ExecSpace, Layout, Matrix, ResidentBatch};
 use pp_splinesolver::{
     BuilderVersion, IterativeConfig, IterativeSplineSolver, LaneReport, SplineBuilder,
     SplineEvaluator, VerifiedBuilder, VerifyConfig,
@@ -209,6 +209,9 @@ pub struct Advection1D {
     eta: Matrix,
     /// Scratch: previous coefficients (iterative warm start).
     eta_prev: Option<Matrix>,
+    /// Scratch: resident coefficient panels (resident stepping only;
+    /// allocated on the first [`Advection1D::step_resident`] call).
+    eta_r: Option<ResidentBatch>,
     /// Scratch: characteristic feet `(Nx, Nv)`, fixed for fixed `Δt`.
     feet: Matrix,
     /// Scratch: interpolated result `(Nx, Nv)`.
@@ -252,6 +255,7 @@ impl Advection1D {
             x_points,
             eta: Matrix::zeros(nx, nv, Layout::Left),
             eta_prev: None,
+            eta_r: None,
             feet: Matrix::zeros(nx, nv, Layout::Left),
             interp: Matrix::zeros(nx, nv, Layout::Left),
             dt,
@@ -423,6 +427,149 @@ impl Advection1D {
             }
         }
         Ok(t)
+    }
+
+    /// Advance a lane-contiguous resident slab `f` (shape `(Nx, Nv)`:
+    /// rows = x, lanes = v) by one time step with **zero pack/unpack
+    /// transposes**: the coefficient scratch is a straight panel copy of
+    /// the slab, the spline solve runs panel-native, and the interpolated
+    /// result is written straight back into the slab's panels.
+    /// `StepTimings::transpose_in`/`transpose_out` are therefore zero by
+    /// construction — Algorithm 2's lines 3 and 5 disappear.
+    ///
+    /// With the direct backend on
+    /// [`BuilderVersion::Interleaved`], the slab
+    /// after this call is bit-identical to the `(Nv, Nx)` host matrix
+    /// after [`Advection1D::step`] (residency *is* the interleaved
+    /// kernel, so the `Direct`/`DirectTiled` version tag is ignored
+    /// here). The `Iterative` backend has no panel-native solver and is
+    /// rejected with [`Error::ShapeMismatch`].
+    pub fn step_resident<E: ExecSpace>(
+        &mut self,
+        exec: &E,
+        f: &mut ResidentBatch,
+    ) -> Result<StepTimings> {
+        let (nv, nx) = (self.nv(), self.nx());
+        if f.nrows() != nx || f.ncols() != nv {
+            return Err(Error::ShapeMismatch {
+                detail: format!(
+                    "resident slab is ({}, {}), expected ({nx}, {nv})",
+                    f.nrows(),
+                    f.ncols()
+                ),
+            });
+        }
+        if matches!(self.backend, SplineBackend::Iterative(_)) {
+            return Err(Error::ShapeMismatch {
+                detail: "iterative backend has no resident (panel-native) solve path".into(),
+            });
+        }
+        let _step_span = Span::enter(PhaseId::AdvectionStep);
+        let mut t = StepTimings::default();
+
+        // Same input sanitization as the host step: non-finite feet would
+        // poison the interpolation stage behind the verifier's back.
+        if matches!(self.backend, SplineBackend::DirectVerified(_)) {
+            for j in 0..nv {
+                for i in 0..nx {
+                    if !self.feet.get(i, j).is_finite() {
+                        instrument::trace_instant_lane(
+                            instrument::InstantKind::NonFiniteInput,
+                            j as u32,
+                        );
+                        return Err(Error::NonFiniteInput { lane: j, index: i });
+                    }
+                }
+            }
+        }
+
+        let mut eta = self
+            .eta_r
+            .take()
+            .unwrap_or_else(|| ResidentBatch::zeros(nx, nv));
+        let refill = eta.copy_from(f).map_err(|e| Error::ShapeMismatch {
+            detail: e.to_string(),
+        });
+        if let Err(e) = refill {
+            self.eta_r = Some(eta);
+            return Err(e);
+        }
+
+        let t0 = Instant::now();
+        let mut report = None;
+        let solved = match &self.backend {
+            SplineBackend::Direct(builder) | SplineBackend::DirectTiled(builder, _) => {
+                builder.solve_resident(exec, &mut eta).map_err(Error::from)
+            }
+            SplineBackend::DirectVerified(builder) => builder
+                .solve_resident(exec, &mut eta)
+                .map(|r| report = Some(r))
+                .map_err(Error::from),
+            SplineBackend::Iterative(_) => unreachable!("rejected above"),
+        };
+        if let Err(e) = solved {
+            self.eta_r = Some(eta);
+            return Err(e);
+        }
+        t.splines_solve = t0.elapsed();
+
+        if let Some(report) = report {
+            let mut max_disp = 0.0_f64;
+            for j in 0..nv {
+                for i in 0..nx {
+                    max_disp = max_disp.max((self.x_points[i] - self.feet.get(i, j)).abs());
+                }
+            }
+            let diagnostics = AdvectionDiagnostics::from_report(&report, max_disp);
+            diagnostics.publish_metrics();
+            self.last_diagnostics = Some(diagnostics);
+        }
+
+        let t0 = Instant::now();
+        let evaled = {
+            let _span = Span::enter(PhaseId::Interpolate);
+            self.evaluator
+                .eval_resident(exec, &eta, &self.feet, f)
+                .map_err(Error::from)
+        };
+        t.interpolate = t0.elapsed();
+        self.eta_r = Some(eta);
+        evaled?;
+        Ok(t)
+    }
+
+    /// Resident counterpart of
+    /// [`Advection1D::step_with_displacements`]: per-lane feet, resident
+    /// slab, zero transposes.
+    pub fn step_resident_with_displacements<E: ExecSpace>(
+        &mut self,
+        exec: &E,
+        f: &mut ResidentBatch,
+        displacements: &[f64],
+    ) -> Result<StepTimings> {
+        if displacements.len() != self.nv() {
+            return Err(Error::ShapeMismatch {
+                detail: format!(
+                    "{} displacements for {} lanes",
+                    displacements.len(),
+                    self.nv()
+                ),
+            });
+        }
+        if let Some(j) = displacements.iter().position(|d| !d.is_finite()) {
+            instrument::trace_instant_lane(instrument::InstantKind::NonFiniteInput, j as u32);
+            return Err(Error::NonFiniteInput { lane: j, index: 0 });
+        }
+        for j in 0..self.nv() {
+            let d = displacements[j];
+            for i in 0..self.nx() {
+                self.feet.set(i, j, self.x_points[i] - d);
+            }
+        }
+        let timings = self.step_resident(exec, f);
+        // Restore the standing feet for subsequent plain steps.
+        self.compute_feet();
+        timings
     }
 
     /// Advance `f` by one step with *per-lane displacements* instead of
@@ -794,5 +941,77 @@ mod tests {
             .map(|_| ())
             .unwrap_err();
         assert_eq!(err, Error::NonFiniteInput { lane: 1, index: 0 });
+    }
+
+    #[test]
+    fn resident_step_bit_identical_to_interleaved_host_step() {
+        // Residency *is* the interleaved kernel, so the reference host
+        // driver must run `BuilderVersion::Interleaved` for a bitwise
+        // comparison. 13 lanes exercises a remainder chunk.
+        let mut adv_h = make(64, 13, 3, BuilderVersion::Interleaved);
+        let mut adv_r = make(64, 13, 3, BuilderVersion::Interleaved);
+        let mut f = adv_h.init_distribution(gaussian);
+        // Resident slab is the (Nx, Nv) transpose of the (Nv, Nx) field.
+        let mut slab = ResidentBatch::pack_transposed(&f);
+        for step in 0..5 {
+            adv_h.step(&Parallel, &mut f).unwrap();
+            let t = adv_r.step_resident(&Parallel, &mut slab).unwrap();
+            // The resident step has no pack/unpack phases at all.
+            assert_eq!(t.transpose_in, Duration::ZERO, "step {step}");
+            assert_eq!(t.transpose_out, Duration::ZERO, "step {step}");
+        }
+        let mirror = slab.host_transposed();
+        assert_eq!(mirror.shape(), f.shape());
+        for j in 0..13 {
+            for i in 0..64 {
+                assert_eq!(
+                    f.get(j, i).to_bits(),
+                    mirror.get(j, i).to_bits(),
+                    "lane {j}, x {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resident_step_verified_backend_reports_diagnostics() {
+        let space = PeriodicSplineSpace::new(Breaks::uniform(48, 0.0, 1.0).unwrap(), 3).unwrap();
+        let mut adv = Advection1D::new(
+            SplineBackend::direct_verified(
+                space,
+                BuilderVersion::Interleaved,
+                pp_splinesolver::VerifyConfig::default(),
+            )
+            .unwrap(),
+            vec![0.3, -0.2, 0.7],
+            0.02,
+        )
+        .unwrap();
+        let f = adv.init_distribution(gaussian);
+        let mut slab = ResidentBatch::pack_transposed(&f);
+        adv.step_resident(&Parallel, &mut slab).unwrap();
+        let diag = adv.last_diagnostics().unwrap();
+        assert!(diag.all_clean(), "{diag}");
+        assert!((diag.max_foot_displacement - 0.014).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resident_step_rejects_iterative_backend_and_bad_shapes() {
+        let space = PeriodicSplineSpace::new(Breaks::uniform(32, 0.0, 1.0).unwrap(), 3).unwrap();
+        let mut adv_i = Advection1D::new(
+            SplineBackend::iterative(space, IterativeConfig::gpu()).unwrap(),
+            vec![0.3, -0.2],
+            0.02,
+        )
+        .unwrap();
+        let mut slab = ResidentBatch::zeros(32, 2);
+        assert!(adv_i.step_resident(&Parallel, &mut slab).is_err());
+
+        let mut adv = make(32, 2, 3, BuilderVersion::Interleaved);
+        let mut bad = ResidentBatch::zeros(2, 32); // transposed by mistake
+        assert!(adv.step_resident(&Serial, &mut bad).is_err());
+        // The driver stays usable after a rejected slab.
+        let mut ok = ResidentBatch::zeros(32, 2);
+        adv.step_resident(&Serial, &mut ok).unwrap();
     }
 }

@@ -18,8 +18,18 @@ use std::path::PathBuf;
 use crate::error::{Error, Result};
 use crate::semilagrangian::{Advection1D, AdvectionDiagnostics, SplineBackend};
 use pp_bsplines::{Breaks, PeriodicSplineSpace};
-use pp_portable::{transpose_into_with, ExecSpace, Layout, Matrix};
+use pp_portable::{transpose_into_with, ExecSpace, Layout, Matrix, ResidentBatch};
 use pp_splinesolver::{BuilderVersion, CheckpointStore, Snapshot, VerifyConfig};
+
+/// The distribution function held resident in interleaved panels, in
+/// both batch orientations the Strang step needs. The slabs stay packed
+/// across steps; only checkpoint/diagnostic boundaries unpack.
+struct ResidentSlabs {
+    /// `(Nx, Nv)` — rows x, lanes v: the x-advection orientation.
+    f_xv: ResidentBatch,
+    /// `(Nv, Nx)` — rows v, lanes x: the v-advection orientation.
+    f_vx: ResidentBatch,
+}
 
 /// Self-consistent 1D1V Vlasov–Poisson solver on a doubly periodic
 /// `(x, v)` grid.
@@ -44,6 +54,9 @@ pub struct VlasovPoisson1D1V {
     seed: u64,
     /// Periodic checkpointing: `(store, every-n-steps)`.
     checkpoint: Option<(CheckpointStore, u64)>,
+    /// Interleaved-resident distribution slabs; allocated on the first
+    /// [`VlasovPoisson1D1V::step_resident`] call and dropped on restore.
+    resident: Option<ResidentSlabs>,
 }
 
 impl VlasovPoisson1D1V {
@@ -58,7 +71,35 @@ impl VlasovPoisson1D1V {
         dt: f64,
         f0: impl Fn(f64, f64) -> f64,
     ) -> Result<Self> {
-        Self::build(nx, nv, lx, v_max, degree, dt, None, f0)
+        Self::build(
+            nx,
+            nv,
+            lx,
+            v_max,
+            degree,
+            dt,
+            BuilderVersion::FusedSpmv,
+            None,
+            f0,
+        )
+    }
+
+    /// Like [`VlasovPoisson1D1V::new`], but selecting the direct
+    /// builder's kernel version (e.g. [`BuilderVersion::Interleaved`] for
+    /// the lane-interleaved kernel, which the resident stepping path is
+    /// bit-identical to).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_with_version(
+        nx: usize,
+        nv: usize,
+        lx: f64,
+        v_max: f64,
+        degree: usize,
+        dt: f64,
+        version: BuilderVersion,
+        f0: impl Fn(f64, f64) -> f64,
+    ) -> Result<Self> {
+        Self::build(nx, nv, lx, v_max, degree, dt, version, None, f0)
     }
 
     /// Like [`VlasovPoisson1D1V::new`], but both advections run the
@@ -77,7 +118,17 @@ impl VlasovPoisson1D1V {
         config: VerifyConfig,
         f0: impl Fn(f64, f64) -> f64,
     ) -> Result<Self> {
-        Self::build(nx, nv, lx, v_max, degree, dt, Some(config), f0)
+        Self::build(
+            nx,
+            nv,
+            lx,
+            v_max,
+            degree,
+            dt,
+            BuilderVersion::FusedSpmv,
+            Some(config),
+            f0,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -88,6 +139,7 @@ impl VlasovPoisson1D1V {
         v_max: f64,
         degree: usize,
         dt: f64,
+        version: BuilderVersion,
         verify: Option<VerifyConfig>,
         f0: impl Fn(f64, f64) -> f64,
     ) -> Result<Self> {
@@ -105,10 +157,8 @@ impl VlasovPoisson1D1V {
 
         let backend = |space: PeriodicSplineSpace| -> Result<SplineBackend> {
             match &verify {
-                Some(config) => {
-                    SplineBackend::direct_verified(space, BuilderVersion::FusedSpmv, config.clone())
-                }
-                None => SplineBackend::direct(space, BuilderVersion::FusedSpmv),
+                Some(config) => SplineBackend::direct_verified(space, version, config.clone()),
+                None => SplineBackend::direct(space, version),
             }
         };
         let adv_x = Advection1D::new(
@@ -137,6 +187,7 @@ impl VlasovPoisson1D1V {
             step_index: 0,
             seed: 0,
             checkpoint: None,
+            resident: None,
         })
     }
 
@@ -177,11 +228,27 @@ impl VlasovPoisson1D1V {
             .collect()
     }
 
+    /// [`VlasovPoisson1D1V::density`] read panel-natively off the
+    /// resident `(Nx, Nv)` slab. Per-`x` summation runs over lanes in
+    /// ascending order — the same order as the host accumulation, so the
+    /// densities (and hence the field) are bit-identical.
+    fn density_resident(&self, slab: &ResidentBatch) -> Vec<f64> {
+        let (nx, nv) = (slab.nrows(), slab.ncols());
+        (0..nx)
+            .map(|i| (0..nv).map(|j| slab.get(i, j)).sum::<f64>() * self.dv)
+            .collect()
+    }
+
     /// Solve the 1D periodic Poisson problem `∂E/∂x = ⟨ρ⟩ − ρ` (electron
     /// density `ρ` against a neutralising ion background) for the
     /// zero-mean electric field, by cumulative integration.
     pub fn solve_poisson(&mut self) {
         let rho = self.density();
+        self.poisson_from_density(&rho);
+    }
+
+    /// The field integration shared by the host and resident paths.
+    fn poisson_from_density(&mut self, rho: &[f64]) {
         let nx = rho.len();
         let mean: f64 = rho.iter().sum::<f64>() / nx as f64;
         // Cumulative trapezoid of (⟨ρ⟩ − ρ).
@@ -278,6 +345,9 @@ impl VlasovPoisson1D1V {
         self.seed = snapshot.get_u64("seed").map_err(Error::from)?;
         self.f = f;
         self.e_field = e_field;
+        // The host matrix is authoritative again; stale resident slabs
+        // must not survive a restore.
+        self.resident = None;
         Ok(())
     }
 
@@ -326,6 +396,88 @@ impl VlasovPoisson1D1V {
             }
         }
         Ok(())
+    }
+
+    /// One Strang-split time step with the distribution **resident in
+    /// interleaved panels**: both advections solve and interpolate
+    /// panel-native, the density reads the slab directly, and the only
+    /// layout motion per step is the pair of panel-to-panel orientation
+    /// flips between the `x` and `v` advections (which the host path pays
+    /// as full transposes too). The slab is unpacked to the host matrix
+    /// only at checkpoint boundaries and on
+    /// [`VlasovPoisson1D1V::sync_host`].
+    ///
+    /// Bit-identical to [`VlasovPoisson1D1V::step`] when the backends run
+    /// the interleaved kernel. After resident steps,
+    /// [`VlasovPoisson1D1V::distribution`] / [`VlasovPoisson1D1V::mass`]
+    /// read a stale host matrix until [`VlasovPoisson1D1V::sync_host`]
+    /// runs; field quantities (`e_field`, `field_energy`) are always
+    /// current.
+    pub fn step_resident<E: ExecSpace>(&mut self, exec: &E) -> Result<()> {
+        if self.resident.is_none() {
+            self.resident = Some(ResidentSlabs {
+                // f is (Nv, Nx); the x-advection slab is its transpose.
+                f_xv: ResidentBatch::pack_transposed(&self.f),
+                f_vx: ResidentBatch::zeros(self.v_grid.len(), self.x_grid.len()),
+            });
+        }
+        let mut rs = self.resident.take().expect("just ensured");
+        let stepped = self.step_resident_inner(exec, &mut rs);
+        self.resident = Some(rs);
+        stepped?;
+        self.step_index += 1;
+        let due = self
+            .checkpoint
+            .as_ref()
+            .is_some_and(|(_, every)| self.step_index % *every == 0);
+        if due {
+            // Checkpoint boundary: the one place the slab leaves panel
+            // form, so snapshots stay byte-compatible with host-path runs.
+            self.sync_host();
+            let snapshot = self.snapshot();
+            if let Some((store, _)) = &self.checkpoint {
+                store.write(self.step_index, &snapshot)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn step_resident_inner<E: ExecSpace>(
+        &mut self,
+        exec: &E,
+        rs: &mut ResidentSlabs,
+    ) -> Result<()> {
+        // Half x-advection, panel-native.
+        self.adv_x.step_resident(exec, &mut rs.f_xv)?;
+        // Field solve straight off the slab.
+        let rho = self.density_resident(&rs.f_xv);
+        self.poisson_from_density(&rho);
+        // Full v-advection in the flipped orientation.
+        let disp: Vec<f64> = self.e_field.iter().map(|&e| -e * self.dt).collect();
+        rs.f_xv.transpose_into(&mut rs.f_vx).map_err(flip_err)?;
+        self.adv_v
+            .step_resident_with_displacements(exec, &mut rs.f_vx, &disp)?;
+        rs.f_vx.transpose_into(&mut rs.f_xv).map_err(flip_err)?;
+        // Half x-advection.
+        self.adv_x.step_resident(exec, &mut rs.f_xv)?;
+        Ok(())
+    }
+
+    /// Unpack the resident slab back into the host distribution matrix
+    /// (generation-keyed: free when the slab has not moved since the last
+    /// sync). No-op when no resident step has run.
+    pub fn sync_host(&mut self) {
+        if let Some(rs) = &mut self.resident {
+            // The (Nv, Nx) row-major mirror matches `f`'s shape exactly.
+            let mirror = rs.f_xv.host_transposed();
+            self.f.deep_copy_from(mirror).expect("grid fixed at build");
+        }
+    }
+}
+
+fn flip_err(e: pp_portable::Error) -> Error {
+    Error::ShapeMismatch {
+        detail: e.to_string(),
     }
 }
 
@@ -455,6 +607,93 @@ mod tests {
         let (dx, dv) = verified.advection_diagnostics();
         assert!(dx.unwrap().all_clean());
         assert!(dv.unwrap().all_clean());
+    }
+
+    #[test]
+    fn resident_steps_match_interleaved_host_steps_bitwise() {
+        // Resident stepping runs the interleaved kernel, so the host
+        // reference must too for a bitwise comparison.
+        let init = two_stream(1.4, 0.01, 0.5);
+        let lx = 2.0 * std::f64::consts::PI / 0.5;
+        let mut host = VlasovPoisson1D1V::new_with_version(
+            32,
+            24,
+            lx,
+            5.0,
+            3,
+            0.05,
+            BuilderVersion::Interleaved,
+            &init,
+        )
+        .unwrap();
+        let mut res = VlasovPoisson1D1V::new_with_version(
+            32,
+            24,
+            lx,
+            5.0,
+            3,
+            0.05,
+            BuilderVersion::Interleaved,
+            &init,
+        )
+        .unwrap();
+        for _ in 0..4 {
+            host.step(&Parallel).unwrap();
+            res.step_resident(&Parallel).unwrap();
+        }
+        // Field quantities are always current on the resident path.
+        for (a, b) in host.e_field().iter().zip(res.e_field()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        res.sync_host();
+        assert_eq!(host.distribution().max_abs_diff(res.distribution()), 0.0);
+        assert_eq!(host.step_index(), res.step_index());
+    }
+
+    #[test]
+    fn resident_steps_track_default_backend_host_steps() {
+        // The default host backend is FusedSpmv, which agrees with the
+        // interleaved resident kernel to ~2 ulp per solve; over a few
+        // Strang steps the paths stay far inside 1e-11.
+        let init = two_stream(1.4, 0.01, 0.5);
+        let mut host = VlasovPoisson1D1V::new(32, 32, 4.0, 5.0, 3, 0.05, &init).unwrap();
+        let mut res = VlasovPoisson1D1V::new(32, 32, 4.0, 5.0, 3, 0.05, &init).unwrap();
+        for _ in 0..3 {
+            host.step(&Parallel).unwrap();
+            res.step_resident(&Parallel).unwrap();
+        }
+        res.sync_host();
+        let diff = host.distribution().max_abs_diff(res.distribution());
+        assert!(diff < 1e-11, "{diff}");
+    }
+
+    #[test]
+    fn sync_host_refreshes_distribution_and_restore_drops_slab() {
+        let mut s = small_solver();
+        let before = s.distribution().clone();
+        s.step_resident(&Parallel).unwrap();
+        // The host matrix is stale until an explicit sync.
+        assert_eq!(before.max_abs_diff(s.distribution()), 0.0);
+        s.sync_host();
+        assert!(before.max_abs_diff(s.distribution()) > 0.0);
+        let snap = s.snapshot();
+
+        // A restore makes the host matrix authoritative again: resident
+        // stepping afterwards must start from the restored state, not
+        // from a stale slab left behind by earlier resident steps.
+        let mut t = small_solver();
+        t.step_resident(&Parallel).unwrap();
+        t.step_resident(&Parallel).unwrap();
+        t.restore(&snap).unwrap();
+        t.step_resident(&Parallel).unwrap();
+        t.sync_host();
+
+        let mut u = small_solver();
+        u.restore(&snap).unwrap();
+        u.step_resident(&Parallel).unwrap();
+        u.sync_host();
+        assert_eq!(t.distribution().max_abs_diff(u.distribution()), 0.0);
+        assert_eq!(t.step_index(), u.step_index());
     }
 
     #[test]

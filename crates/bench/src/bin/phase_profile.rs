@@ -12,22 +12,40 @@
 //! `Parallel` to populate the dispatch-latency histogram and the pool
 //! busy/idle gauges.
 //!
+//! With `--resident` an extra entry profiles the resident-batch
+//! pipeline: pack once, a chain of panel-native solves, unpack once —
+//! the amortization the per-solve interleaved version cannot express.
+//! Its `transpose` phase holds exactly the two ingress/egress passes.
+//!
 //! Build with `--features instrument` or the phase arrays come back
 //! empty (the layer compiles to a no-op without it).
 //!
-//! Usage: `phase_profile [--smoke] [--out PATH]`
+//! Usage: `phase_profile [--smoke] [--resident] [--out PATH]`
 
 use pp_bench::SplineConfig;
 use pp_perfmodel::Device;
 use pp_portable::instrument::{self, RooflineAnnotation, Snapshot};
-use pp_portable::{publish_pool_metrics, ExecSpace, Layout, Matrix, Parallel, Serial};
+use pp_portable::{
+    publish_pool_metrics, ExecSpace, Layout, Matrix, Parallel, ResidentBatch, Serial,
+};
 use pp_splinesolver::{BuilderVersion, SplineBuilder};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
+/// JSON label of the resident pipeline entry (the pack-per-solve
+/// interleaved version is `"Lane interleave"`).
+const RESIDENT_LABEL: &str = "Lane interleave resident";
+
+/// Chain length of the resident profile in *both* modes: the measured
+/// quantity is the amortization of one pack + one unpack across the
+/// chain, and the phase-share gate compares smoke against the committed
+/// baseline — shrinking the chain in smoke mode would shift the
+/// transpose share structurally, not just noisily.
+const RESIDENT_CHAIN: usize = 30;
+
 /// One version's measured profile.
 struct VersionProfile {
-    version: BuilderVersion,
+    label: &'static str,
     wall: Duration,
     iters: usize,
     snapshot: Snapshot,
@@ -55,15 +73,31 @@ fn other_ns(snapshot: &Snapshot, wall: Duration) -> u64 {
     (wall.as_nanos() as u64).saturating_sub(phase_sum_ns(snapshot))
 }
 
+/// Wall-clock share of the `transpose` phase — the pack/unpack traffic
+/// residency exists to amortize.
+fn transpose_share(snapshot: &Snapshot, wall: Duration) -> f64 {
+    let transpose_ns: u64 = snapshot
+        .phases
+        .iter()
+        .filter(|s| s.phase.name() == "transpose")
+        .map(|s| s.total_ns)
+        .sum();
+    transpose_ns as f64 / wall.as_nanos().max(1) as f64
+}
+
 fn main() {
     let mut smoke = false;
+    let mut resident = false;
     let mut out = String::from("BENCH_phases.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
+            "--resident" => resident = true,
             "--out" => out = args.next().expect("--out needs a path"),
-            other => panic!("unknown argument {other:?} (expected --smoke / --out PATH)"),
+            other => {
+                panic!("unknown argument {other:?} (expected --smoke / --resident / --out PATH)")
+            }
         }
     }
 
@@ -139,9 +173,67 @@ fn main() {
             other_ns(&snapshot, wall) as f64 / 1e6
         );
         profiles.push(VersionProfile {
-            version,
+            label: version.label(),
             wall,
             iters,
+            snapshot,
+            roofline,
+        });
+    }
+
+    if resident {
+        // Resident pipeline: pack once, RESIDENT_CHAIN panel-native
+        // solves, unpack once. The only transpose traffic in the
+        // measured window is the ingress/egress pair.
+        let builder =
+            SplineBuilder::new(space.clone(), BuilderVersion::Interleaved).expect("builder setup");
+        let mut warm = rhs.clone();
+        builder
+            .solve_in_place(&Serial, &mut warm)
+            .expect("warm-up solve");
+
+        instrument::reset();
+        let start = Instant::now();
+        let mut rb = ResidentBatch::pack(&rhs);
+        for _ in 0..RESIDENT_CHAIN {
+            builder
+                .solve_resident(&Serial, &mut rb)
+                .expect("resident solve");
+        }
+        std::hint::black_box(rb.host());
+        let wall = start.elapsed();
+        let snapshot = Snapshot::capture();
+        let per_solve = wall / RESIDENT_CHAIN as u32;
+        let roofline = RooflineAnnotation::measured(&device, nx, nv, per_solve);
+
+        let cover = phase_sum_ns(&snapshot) as f64 / wall.as_nanos().max(1) as f64;
+        println!(
+            "{:<14} wall {:>9.3} ms/solve  cover {:>5.1}%  {:.4} GLUPS  {:>6.2} GB/s  \
+             transpose share {:>5.1}%",
+            RESIDENT_LABEL,
+            per_solve.as_secs_f64() * 1e3,
+            cover * 100.0,
+            roofline.glups,
+            roofline.achieved_bw_gbs,
+            transpose_share(&snapshot, wall) * 100.0,
+        );
+        for s in &snapshot.phases {
+            println!(
+                "    {:<14} {:>9.3} ms  ({} call(s))",
+                s.phase.name(),
+                s.total_ns as f64 / 1e6,
+                s.calls
+            );
+        }
+        println!(
+            "    {:<14} {:>9.3} ms  (unattributed remainder)",
+            "other",
+            other_ns(&snapshot, wall) as f64 / 1e6
+        );
+        profiles.push(VersionProfile {
+            label: RESIDENT_LABEL,
+            wall,
+            iters: RESIDENT_CHAIN,
             snapshot,
             roofline,
         });
@@ -189,7 +281,7 @@ fn main() {
         let wall_ms = p.wall.as_secs_f64() * 1e3;
         let cover = phase_sum_ns(&p.snapshot) as f64 / p.wall.as_nanos().max(1) as f64;
         let _ = writeln!(j, "    {{");
-        let _ = writeln!(j, "      \"version\": \"{}\",", p.version.label());
+        let _ = writeln!(j, "      \"version\": \"{}\",", p.label);
         let _ = writeln!(j, "      \"wall_ms\": {},", json_f64(wall_ms));
         let _ = writeln!(
             j,
@@ -197,6 +289,11 @@ fn main() {
             json_f64(wall_ms / p.iters as f64)
         );
         let _ = writeln!(j, "      \"phase_cover\": {},", json_f64(cover));
+        let _ = writeln!(
+            j,
+            "      \"transpose_share\": {},",
+            json_f64(transpose_share(&p.snapshot, p.wall))
+        );
         j.push_str("      \"phases\": [\n");
         for s in &p.snapshot.phases {
             let _ = writeln!(

@@ -8,7 +8,7 @@ use pp_linalg::kernels::gemv_lane;
 use pp_linalg::tiled::{gbtrs_block, getrs_block, pbtrs_block, pttrs_block, DEFAULT_TILE};
 use pp_portable::block::for_each_lane_block_mut;
 use pp_portable::instrument::{PhaseId, Span};
-use pp_portable::{ExecSpace, InterleavedMatrix, Matrix, StridedMut, LANE_WIDTH};
+use pp_portable::{ExecSpace, InterleavedMatrix, Matrix, ResidentBatch, StridedMut, LANE_WIDTH};
 
 /// Which implementation of the build kernel to run — the paper's
 /// `DDC_SPLINES_VERSION` 0 / 1 / 2.
@@ -239,9 +239,42 @@ impl SplineBuilder {
                 actual_rows: b.nrows(),
             });
         }
+        let mut ib = InterleavedMatrix::pack(b);
+        self.solve_interleaved_panels(exec, &mut ib);
+        ib.unpack_into(b).map_err(Error::from)
+    }
+
+    /// **Resident entry point**: run the interleaved Schur pipeline on a
+    /// batch that is already packed, reading and writing the panels
+    /// natively — zero pack/unpack transposes per call. A pipeline packs
+    /// once at ingress ([`ResidentBatch::pack`]), calls this any number
+    /// of times, and unpacks once at egress; each call bumps the batch's
+    /// generation tag. Results are bit-identical to
+    /// [`SplineBuilder::solve_in_place_interleaved`] on the equivalent
+    /// host matrix (pack/unpack are pure copies and the per-panel
+    /// arithmetic is shared).
+    ///
+    /// The configured [`BuilderVersion`] is ignored: residency *is* the
+    /// interleaved kernel.
+    pub fn solve_resident<E: ExecSpace>(&self, exec: &E, b: &mut ResidentBatch) -> Result<()> {
+        let n = self.space.num_basis();
+        if b.nrows() != n {
+            return Err(Error::ShapeMismatch {
+                expected_rows: n,
+                actual_rows: b.nrows(),
+            });
+        }
+        self.solve_interleaved_panels(exec, b.panels_mut());
+        Ok(())
+    }
+
+    /// The shared per-panel Schur pipeline of the interleaved and
+    /// resident paths: full chunks take the wide bit-identical kernels,
+    /// the remainder chunk falls back to the scalar lane kernel.
+    fn solve_interleaved_panels<E: ExecSpace>(&self, exec: &E, ib: &mut InterleavedMatrix) {
+        let n = self.space.num_basis();
         let blocks = &self.blocks;
         let q = blocks.q_size();
-        let mut ib = InterleavedMatrix::pack(b);
         ib.for_each_chunk_mut(exec, |_, lanes, panel| {
             if lanes == LANE_WIDTH {
                 // Step 1: Q x0' = b0 on rows 0..q, eight lanes wide.
@@ -276,7 +309,6 @@ impl SplineBuilder {
                 }
             }
         });
-        ib.unpack_into(b).map_err(Error::from)
     }
 }
 

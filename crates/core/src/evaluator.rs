@@ -7,7 +7,7 @@
 
 use crate::error::{Error, Result};
 use pp_bsplines::{PeriodicSplineSpace, MAX_DEGREE};
-use pp_portable::{ExecSpace, Matrix};
+use pp_portable::{ExecSpace, Matrix, ResidentBatch, LANE_WIDTH};
 
 /// Evaluates batched splines over a shared [`PeriodicSplineSpace`].
 #[derive(Debug, Clone)]
@@ -64,6 +64,60 @@ impl SplineEvaluator {
                     s += v * coefs.get(space.coef_index(cell, mm), j);
                 }
                 out_lane[i] = s;
+            }
+        });
+        Ok(())
+    }
+
+    /// Resident variant of [`SplineEvaluator::eval_batched`]: coefficients
+    /// are read straight out of the packed panels and results are written
+    /// straight into the output batch's panels — no pack/unpack transpose
+    /// on either side. Per-lane arithmetic is identical to the host path,
+    /// so results are bit-identical lane for lane.
+    ///
+    /// Shapes: `coefs (n, batch)`, `positions (m, batch)`,
+    /// `out (m, batch)`. Bumps `out`'s generation.
+    pub fn eval_resident<E: ExecSpace>(
+        &self,
+        exec: &E,
+        coefs: &ResidentBatch,
+        positions: &Matrix,
+        out: &mut ResidentBatch,
+    ) -> Result<()> {
+        let n = self.space.num_basis();
+        if coefs.nrows() != n {
+            return Err(Error::ShapeMismatch {
+                expected_rows: n,
+                actual_rows: coefs.nrows(),
+            });
+        }
+        if positions.nrows() != out.nrows()
+            || positions.ncols() != out.ncols()
+            || positions.ncols() != coefs.ncols()
+        {
+            return Err(Error::ShapeMismatch {
+                expected_rows: positions.nrows(),
+                actual_rows: out.nrows(),
+            });
+        }
+        let space = &self.space;
+        let degree = space.degree();
+        let m = positions.nrows();
+        let cpanels = coefs.panels();
+        out.for_each_chunk_mut(exec, |c, lanes, chunk| {
+            let cc = cpanels.chunk(c);
+            let mut vals = [0.0; MAX_DEGREE + 1];
+            for l in 0..lanes {
+                let j = c * LANE_WIDTH + l;
+                for i in 0..m {
+                    let x = positions.get(i, j);
+                    let cell = space.eval_basis(x, &mut vals);
+                    let mut s = 0.0;
+                    for (mm, &v) in vals.iter().enumerate().take(degree + 1) {
+                        s += v * cc[space.coef_index(cell, mm) * LANE_WIDTH + l];
+                    }
+                    chunk[i * LANE_WIDTH + l] = s;
+                }
             }
         });
         Ok(())
@@ -131,6 +185,58 @@ mod tests {
         ev.eval_batched(&Parallel, &coefs, &positions, &mut o2)
             .unwrap();
         assert_eq!(o1.max_abs_diff(&o2), 0.0);
+    }
+
+    #[test]
+    fn resident_eval_bit_identical_to_batched() {
+        let (sp, builder) = setup(32, 3);
+        let pts = sp.interpolation_points();
+        for batch in [3usize, 8, 11, 16] {
+            let mut coefs = Matrix::from_fn(32, batch, Layout::Left, |i, j| {
+                ((j + 1) as f64 * std::f64::consts::TAU * pts[i]).cos()
+            });
+            builder.solve_in_place(&Parallel, &mut coefs).unwrap();
+            let positions = Matrix::from_fn(40, batch, Layout::Left, |i, j| {
+                (i as f64 + 0.3 * j as f64) / 40.0
+            });
+            let ev = SplineEvaluator::new(sp.clone());
+
+            let mut host = Matrix::zeros(40, batch, Layout::Left);
+            ev.eval_batched(&Parallel, &coefs, &positions, &mut host)
+                .unwrap();
+
+            let rcoefs = ResidentBatch::pack(&coefs);
+            let mut rout = ResidentBatch::zeros(40, batch);
+            let g0 = rout.generation();
+            ev.eval_resident(&Parallel, &rcoefs, &positions, &mut rout)
+                .unwrap();
+            assert!(rout.generation() > g0);
+            for i in 0..40 {
+                for j in 0..batch {
+                    assert_eq!(
+                        host.get(i, j).to_bits(),
+                        rout.get(i, j).to_bits(),
+                        "batch {batch} ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resident_eval_shape_checks() {
+        let (sp, _) = setup(16, 3);
+        let ev = SplineEvaluator::new(sp);
+        let positions = Matrix::zeros(10, 4, Layout::Left);
+        let mut out = ResidentBatch::zeros(10, 4);
+        let coefs = ResidentBatch::zeros(15, 4); // wrong rows
+        assert!(ev
+            .eval_resident(&Serial, &coefs, &positions, &mut out)
+            .is_err());
+        let coefs = ResidentBatch::zeros(16, 3); // batch mismatch
+        assert!(ev
+            .eval_resident(&Serial, &coefs, &positions, &mut out)
+            .is_err());
     }
 
     #[test]

@@ -37,7 +37,9 @@ use pp_linalg::{flip_bit, getrf, refine_lane, LuFactors, RefineConfig, DEFAULT_A
 use pp_portable::instrument::{
     counter, fault_dump, trace_instant, trace_instant_lane, Counter, InstantKind, PhaseId, Span,
 };
-use pp_portable::{Budget, ExecSpace, Matrix, StridedMut};
+use pp_portable::{
+    Budget, ExecSpace, InterleavedMatrix, Layout, Matrix, ResidentBatch, StridedMut, LANE_WIDTH,
+};
 use pp_sparse::Csr;
 
 /// Tuning knobs for [`VerifiedBuilder`].
@@ -743,35 +745,7 @@ impl VerifiedBuilder {
                 continue;
             }
             let verdict = self.verify_lane(b, lane, &b_lane, probed, budget, &mut degrade);
-            // Fold the ABFT screen outcome into the verdict: a tripped
-            // lane the verifier could not heal is silent data corruption
-            // escaping containment — quarantine, never trust it.
-            let verdict = match (sdc_state, verdict) {
-                (SdcState::Clean, v) => v,
-                (SdcState::Corrected { discrepancy }, LaneVerdict::Verified { residual }) => {
-                    sdc_metrics().corrected.inc();
-                    LaneVerdict::SdcCorrected {
-                        discrepancy,
-                        residual,
-                    }
-                }
-                (SdcState::Corrected { .. }, v) | (SdcState::Tripped { .. }, v)
-                    if v.is_healthy() =>
-                {
-                    sdc_metrics().corrected.inc();
-                    v
-                }
-                (SdcState::Tripped { discrepancy }, _) => {
-                    sdc_metrics().uncorrected.inc();
-                    LaneVerdict::Quarantined {
-                        reason: QuarantineReason::SdcDetected { discrepancy },
-                    }
-                }
-                (SdcState::Corrected { .. }, v) => {
-                    sdc_metrics().uncorrected.inc();
-                    v
-                }
-            };
+            let verdict = fold_sdc_verdict(sdc_state, verdict);
             match &verdict {
                 LaneVerdict::Refined { .. } => {
                     trace_instant_lane(InstantKind::LaneRefined, lane as u32);
@@ -789,38 +763,7 @@ impl VerifiedBuilder {
         drop(verify_span);
         let report = LaneReport { verdicts };
         publish_verify_metrics(&report);
-        if sdc.iter().any(|s| !matches!(s, SdcState::Clean)) {
-            // Corruption was observed in this batch: snapshot the flight
-            // recorder so the surrounding events survive for triage.
-            fault_dump("sdc_detected", || {
-                use std::fmt::Write as _;
-                let mut d = String::from("abft checksum trips:");
-                for (lane, state) in sdc.iter().enumerate() {
-                    match state {
-                        SdcState::Clean => {}
-                        SdcState::Corrected { discrepancy } => {
-                            let _ = write!(d, " lane {lane} corrected ({discrepancy:.3e});");
-                        }
-                        SdcState::Tripped { discrepancy } => {
-                            let _ = write!(d, " lane {lane} uncorrected ({discrepancy:.3e});");
-                        }
-                    }
-                }
-                d
-            });
-        }
-        if !report.quarantined_lanes().is_empty() {
-            // Quarantine means data was lost: snapshot the flight
-            // recorder so the milliseconds leading up to it survive.
-            fault_dump("verified_quarantine", || {
-                let mut d = report.to_string();
-                for lane in report.quarantined_lanes() {
-                    use std::fmt::Write as _;
-                    let _ = write!(d, "; lane {lane}: {}", report.verdict(lane));
-                }
-                d
-            });
-        }
+        emit_batch_faults(&sdc, &report);
         let degradations = degrade.into_degradations();
         if !degradations.is_empty() {
             counter("verify.degraded_batches").inc();
@@ -835,6 +778,228 @@ impl VerifiedBuilder {
             });
         }
         Ok((report, degradations))
+    }
+
+    /// Resident variant of [`VerifiedBuilder::solve_in_place`]: the batch
+    /// stays packed in its interleaved panels across the solve, the ABFT
+    /// screen, and residual sampling — all three read the panels natively,
+    /// with scalar lane extraction only for lanes that need repair
+    /// (probed, tripped, or above tolerance) and for quarantine zeroing.
+    /// Zero pack/unpack transposes on the healthy path.
+    ///
+    /// Every mutation (primary solve, ABFT retry write-back, refinement,
+    /// quarantine zeroing) bumps the batch's generation tag, so a cached
+    /// host mirror taken before the solve can never resurrect stale data.
+    ///
+    /// With the wrapped builder on [`BuilderVersion::Interleaved`],
+    /// results — healthy lanes *and* verdict residuals — are
+    /// bit-identical to [`VerifiedBuilder::solve_in_place`] on the
+    /// equivalent host matrix: the per-lane arithmetic of the wide
+    /// residual and checksum accumulators is the same expressions in the
+    /// same order as the scalar ones.
+    pub fn solve_resident<E: ExecSpace>(
+        &self,
+        exec: &E,
+        b: &mut ResidentBatch,
+    ) -> Result<LaneReport> {
+        let n = self.builder.space().num_basis();
+        if b.nrows() != n {
+            return Err(Error::ShapeMismatch {
+                expected_rows: n,
+                actual_rows: b.nrows(),
+            });
+        }
+        // Pristine right-hand sides, kept in panel form: a straight copy
+        // of the packed storage, not a transpose.
+        let rhs = b.panels().clone();
+        self.builder.solve_resident(exec, b)?;
+
+        let stride = self.config.sample_stride.max(1);
+        let mut verdicts = Vec::with_capacity(b.ncols());
+        let mut degrade = DegradeLog::default();
+        let verify_span = Span::enter(PhaseId::Verify);
+        let sdc = if self.config.abft {
+            self.abft_screen_resident(b, &rhs)
+        } else {
+            Vec::new()
+        };
+        // Residual sampling, panel-native: one pass per chunk evaluates
+        // every live lane's relative residual (after the screen, so
+        // corrected lanes are measured on their healed values).
+        let residuals = self.panel_residuals(b.panels(), &rhs);
+        for lane in 0..b.ncols() {
+            let sdc_state = sdc.get(lane).copied().unwrap_or(SdcState::Clean);
+            let probed = self.config.probe_lanes.contains(&lane);
+            let selected = probed || lane % stride == 0 || !matches!(sdc_state, SdcState::Clean);
+            if !selected {
+                verdicts.push(LaneVerdict::Unsampled);
+                continue;
+            }
+            if let Some(index) = (0..n).position(|i| !rhs.get(i, lane).is_finite()) {
+                b.zero_lane(lane);
+                trace_instant_lane(InstantKind::NonFiniteInput, lane as u32);
+                trace_instant_lane(InstantKind::LaneQuarantined, lane as u32);
+                verdicts.push(LaneVerdict::Quarantined {
+                    reason: QuarantineReason::NonFiniteInput { index },
+                });
+                continue;
+            }
+            let rr = residuals[lane];
+            let verdict = if !probed && rr.is_finite() && rr <= self.config.residual_tol {
+                // Healthy fast path: the wide residual seals the verdict
+                // without extracting the lane — its bits stay untouched.
+                LaneVerdict::Verified { residual: rr }
+            } else {
+                // Repair path: scalar lane extraction, then the shared
+                // refine/ladder/quarantine machinery on a one-lane view.
+                let b_lane = lane_from_panels(&rhs, lane);
+                let mut tmp = Matrix::from_vec(n, 1, Layout::Left, b.lane_to_vec(lane))
+                    .expect("lane view shape");
+                let verdict = self.verify_lane(&mut tmp, 0, &b_lane, probed, None, &mut degrade);
+                if !matches!(
+                    verdict,
+                    LaneVerdict::Verified { .. } | LaneVerdict::Unsampled
+                ) {
+                    // The lane view was rewritten (refined, recovered, or
+                    // zeroed): scatter it back, bumping the generation.
+                    b.write_lane(lane, tmp.as_slice());
+                }
+                verdict
+            };
+            let verdict = fold_sdc_verdict(sdc_state, verdict);
+            match &verdict {
+                LaneVerdict::Refined { .. } => {
+                    trace_instant_lane(InstantKind::LaneRefined, lane as u32);
+                }
+                LaneVerdict::Recovered { .. } | LaneVerdict::SdcCorrected { .. } => {
+                    trace_instant_lane(InstantKind::LaneRecovered, lane as u32);
+                }
+                LaneVerdict::Quarantined { .. } => {
+                    trace_instant_lane(InstantKind::LaneQuarantined, lane as u32);
+                }
+                LaneVerdict::Verified { .. } | LaneVerdict::Unsampled => {}
+            }
+            verdicts.push(verdict);
+        }
+        drop(verify_span);
+        let report = LaneReport { verdicts };
+        publish_verify_metrics(&report);
+        emit_batch_faults(&sdc, &report);
+        Ok(report)
+    }
+
+    /// Per-lane relative residuals `‖b − Ax‖₂/‖b‖₂` of the whole batch,
+    /// read panel-natively: for each chunk, one pass over the CSR matrix
+    /// accumulates all live lanes at once. Each lane's accumulation is
+    /// the same expressions in the same order as
+    /// [`VerifiedBuilder::relative_residual`], so the values are
+    /// bit-identical to the scalar path.
+    fn panel_residuals(&self, x: &InterleavedMatrix, rhs: &InterleavedMatrix) -> Vec<f64> {
+        let n = x.nrows();
+        let mut out = vec![0.0; x.ncols()];
+        for c in 0..x.num_chunks() {
+            let lanes = x.chunk_lanes(c);
+            let xc = x.chunk(c);
+            let bc = rhs.chunk(c);
+            let mut acc_r = [0.0f64; LANE_WIDTH];
+            let mut acc_b = [0.0f64; LANE_WIDTH];
+            for i in 0..n {
+                let mut s = [0.0f64; LANE_WIDTH];
+                for (col, v) in self.matrix.row(i) {
+                    let xr = &xc[col * LANE_WIDTH..col * LANE_WIDTH + LANE_WIDTH];
+                    for l in 0..LANE_WIDTH {
+                        s[l] += v * xr[l];
+                    }
+                }
+                let br = &bc[i * LANE_WIDTH..i * LANE_WIDTH + LANE_WIDTH];
+                for l in 0..LANE_WIDTH {
+                    let r = br[l] - s[l];
+                    acc_r[l] += r * r;
+                    acc_b[l] += br[l] * br[l];
+                }
+            }
+            for l in 0..lanes {
+                let nr = acc_r[l].sqrt();
+                let nb = acc_b[l].sqrt();
+                out[c * LANE_WIDTH + l] = if nb > 0.0 { nr / nb } else { nr };
+            }
+        }
+        out
+    }
+
+    /// Panel-native ABFT screen: evaluates the checksum identity for all
+    /// live lanes of each chunk in one pass (per-lane arithmetic
+    /// identical to [`VerifiedBuilder::abft_check`]), then handles probe
+    /// strikes and tripped-lane retries through scalar lane extraction.
+    fn abft_screen_resident(
+        &self,
+        b: &mut ResidentBatch,
+        rhs: &InterleavedMatrix,
+    ) -> Vec<SdcState> {
+        let n = b.nrows();
+        // Deterministic fault injection first, as the host screen does.
+        for &lane in &self.config.sdc_probe_lanes {
+            if lane < b.ncols() {
+                let mut x = b.lane_to_vec(lane);
+                strike(&mut x);
+                b.write_lane(lane, &x);
+            }
+        }
+        let panels = b.panels();
+        let mut states = vec![SdcState::Clean; b.ncols()];
+        let mut trips: Vec<(usize, f64)> = Vec::new();
+        for c in 0..panels.num_chunks() {
+            let lanes = panels.chunk_lanes(c);
+            let xc = panels.chunk(c);
+            let bc = rhs.chunk(c);
+            let mut vx = [0.0f64; LANE_WIDTH];
+            let mut sum_b = [0.0f64; LANE_WIDTH];
+            let mut nx2 = [0.0f64; LANE_WIDTH];
+            let mut finite = [true; LANE_WIDTH];
+            for i in 0..n {
+                let ci = self.colsum[i];
+                let xr = &xc[i * LANE_WIDTH..i * LANE_WIDTH + LANE_WIDTH];
+                let br = &bc[i * LANE_WIDTH..i * LANE_WIDTH + LANE_WIDTH];
+                for l in 0..LANE_WIDTH {
+                    vx[l] += ci * xr[l];
+                    sum_b[l] += br[l];
+                    nx2[l] += xr[l] * xr[l];
+                    finite[l] &= br[l].is_finite();
+                }
+            }
+            for l in 0..lanes {
+                if !finite[l] {
+                    // Poisoned input belongs to the quarantine scan.
+                    continue;
+                }
+                let disc = (vx[l] - sum_b[l]).abs();
+                let scale = self.colsum_norm * nx2[l].sqrt() + sum_b[l].abs();
+                let rel = if scale > 0.0 { disc / scale } else { disc };
+                if !rel.is_finite() || rel > DEFAULT_ABFT_TOL {
+                    trips.push((c * LANE_WIDTH + l, rel));
+                }
+            }
+        }
+        for (lane, disc) in trips {
+            sdc_metrics().detected.inc();
+            trace_instant_lane(InstantKind::SdcDetected, lane as u32);
+            let b_lane = lane_from_panels(rhs, lane);
+            let mut y = b_lane.clone();
+            self.primary_solve(&mut y);
+            if self.config.sdc_probe_persistent && self.config.sdc_probe_lanes.contains(&lane) {
+                strike(&mut y);
+            }
+            let (retripped, retry_disc) = self.abft_check(&y, &b_lane);
+            states[lane] = if retripped {
+                SdcState::Tripped {
+                    discrepancy: retry_disc,
+                }
+            } else {
+                b.write_lane(lane, &y);
+                SdcState::Corrected { discrepancy: disc }
+            };
+        }
+        states
     }
 
     /// Evaluate the ABFT identity `colsum·x = Σb` for one lane. Returns
@@ -1126,6 +1291,74 @@ fn schur_solve_slice(blocks: &SchurBlocks, sparse: bool, lane: &mut [f64]) {
 fn zero_lane(b: &mut Matrix, lane: usize) {
     let n = b.nrows();
     b.col_mut(lane).copy_from_slice(&vec![0.0; n]);
+}
+
+/// Extract one lane of a packed panel set into a contiguous vector.
+fn lane_from_panels(panels: &InterleavedMatrix, lane: usize) -> Vec<f64> {
+    (0..panels.nrows()).map(|i| panels.get(i, lane)).collect()
+}
+
+/// Fold the ABFT screen outcome into a lane's verification verdict: a
+/// tripped lane the verifier could not heal is silent data corruption
+/// escaping containment — quarantine, never trust it.
+fn fold_sdc_verdict(sdc_state: SdcState, verdict: LaneVerdict) -> LaneVerdict {
+    match (sdc_state, verdict) {
+        (SdcState::Clean, v) => v,
+        (SdcState::Corrected { discrepancy }, LaneVerdict::Verified { residual }) => {
+            sdc_metrics().corrected.inc();
+            LaneVerdict::SdcCorrected {
+                discrepancy,
+                residual,
+            }
+        }
+        (SdcState::Corrected { .. }, v) | (SdcState::Tripped { .. }, v) if v.is_healthy() => {
+            sdc_metrics().corrected.inc();
+            v
+        }
+        (SdcState::Tripped { discrepancy }, _) => {
+            sdc_metrics().uncorrected.inc();
+            LaneVerdict::Quarantined {
+                reason: QuarantineReason::SdcDetected { discrepancy },
+            }
+        }
+        (SdcState::Corrected { .. }, v) => {
+            sdc_metrics().uncorrected.inc();
+            v
+        }
+    }
+}
+
+/// Emit the flight-recorder fault dumps for one batch's screen states and
+/// lane report (shared by the host and resident solve paths).
+fn emit_batch_faults(sdc: &[SdcState], report: &LaneReport) {
+    if sdc.iter().any(|s| !matches!(s, SdcState::Clean)) {
+        fault_dump("sdc_detected", || {
+            use std::fmt::Write as _;
+            let mut d = String::from("abft checksum trips:");
+            for (lane, state) in sdc.iter().enumerate() {
+                match state {
+                    SdcState::Clean => {}
+                    SdcState::Corrected { discrepancy } => {
+                        let _ = write!(d, " lane {lane} corrected ({discrepancy:.3e});");
+                    }
+                    SdcState::Tripped { discrepancy } => {
+                        let _ = write!(d, " lane {lane} uncorrected ({discrepancy:.3e});");
+                    }
+                }
+            }
+            d
+        });
+    }
+    if !report.quarantined_lanes().is_empty() {
+        fault_dump("verified_quarantine", || {
+            let mut d = report.to_string();
+            for lane in report.quarantined_lanes() {
+                use std::fmt::Write as _;
+                let _ = write!(d, "; lane {lane}: {}", report.verdict(lane));
+            }
+            d
+        });
+    }
 }
 
 /// Outcome of the ABFT checksum screen for one lane.
@@ -1641,6 +1874,81 @@ mod tests {
         for i in 0..24 {
             assert_eq!(x.get(i, 2), 0.0);
         }
+    }
+
+    #[test]
+    fn resident_verified_matches_host_path_bitwise() {
+        // Chained resident solves (pack once, N solves, unpack once) must
+        // reproduce the host path (solve per call) bit-for-bit: verdicts,
+        // residuals, quarantine zeroing, and ABFT probe healing included.
+        let config = || VerifyConfig {
+            abft: true,
+            sdc_probe_lanes: vec![2],
+            ..VerifyConfig::default()
+        };
+        for &batch in &[5usize, 8, 13] {
+            let sp = space(32, 3, true);
+            let host = SplineBuilder::new(sp.clone(), BuilderVersion::Interleaved)
+                .unwrap()
+                .verified(config());
+            let resident = SplineBuilder::new(sp, BuilderVersion::Interleaved)
+                .unwrap()
+                .verified(config());
+
+            let mut rhs = random_rhs(32, batch, 61);
+            rhs.set(4, 1, f64::NAN);
+
+            let mut x = rhs.clone();
+            let mut rb = ResidentBatch::pack(&rhs);
+            for iter in 0..3 {
+                let host_report = host.solve_in_place(&Parallel, &mut x).unwrap();
+                let res_report = resident.solve_resident(&Parallel, &mut rb).unwrap();
+                assert_eq!(res_report, host_report, "batch {batch} iter {iter}");
+            }
+            let unpacked = rb.host();
+            for i in 0..32 {
+                for j in 0..batch {
+                    assert_eq!(
+                        x.get(i, j).to_bits(),
+                        unpacked.get(i, j).to_bits(),
+                        "batch {batch} ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resident_quarantine_invalidates_host_mirror() {
+        // A host mirror cached before the solve must not resurrect stale
+        // packed data after verification zeroes a quarantined lane.
+        let sp = space(24, 3, true);
+        let verified = SplineBuilder::new(sp, BuilderVersion::Interleaved)
+            .unwrap()
+            .verified(VerifyConfig::default());
+        let mut rhs = random_rhs(24, 5, 67);
+        rhs.set(2, 3, f64::NAN);
+        let mut rb = ResidentBatch::pack(&rhs);
+        // Populate the mirror cache before the solve runs.
+        assert!(rb.host().get(2, 3).is_nan());
+        let g0 = rb.generation();
+        let report = verified.solve_resident(&Parallel, &mut rb).unwrap();
+        assert_eq!(report.quarantined_lanes(), vec![3]);
+        assert!(rb.generation() > g0, "mutating solve must bump generation");
+        let after = rb.host();
+        for i in 0..24 {
+            assert_eq!(after.get(i, 3), 0.0, "row {i} must read the zeroed lane");
+        }
+    }
+
+    #[test]
+    fn resident_shape_mismatch_rejected() {
+        let sp = space(16, 3, true);
+        let verified = SplineBuilder::new(sp, BuilderVersion::Interleaved)
+            .unwrap()
+            .verified(VerifyConfig::default());
+        let mut bad = ResidentBatch::zeros(17, 2);
+        assert!(verified.solve_resident(&Parallel, &mut bad).is_err());
     }
 
     #[test]

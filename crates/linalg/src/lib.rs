@@ -71,6 +71,7 @@ pub mod naive;
 pub mod pb;
 pub mod pt;
 pub mod refine;
+pub mod resident;
 pub mod solver;
 pub mod tiled;
 
@@ -87,5 +88,6 @@ pub use lu::{getrf, LuFactors};
 pub use pb::{pbtrf, CholeskyBanded, SymBandedMatrix};
 pub use pt::{pttrf, PtFactors};
 pub use refine::{refine_lane, RefineConfig, RefineOutcome};
+pub use resident::{gbtrs_resident, getrs_resident, pbtrs_resident, pttrs_resident};
 pub use solver::LaneSolver;
 pub use tiled::{gbtrs_tiled, pbtrs_tiled, pttrs_tiled};

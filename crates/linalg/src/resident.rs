@@ -1,0 +1,139 @@
+//! Batched solve drivers over [`ResidentBatch`] panels.
+//!
+//! The interleaved drivers ([`crate::interleaved`]) take an
+//! [`pp_portable::InterleavedMatrix`] the caller packed for this one
+//! call; these variants take a [`ResidentBatch`] that stays packed
+//! across a whole pipeline, so repeated solves pay zero pack/unpack
+//! transposes. Each driver reads the panels directly (no intermediate
+//! pack) and bumps the batch's generation tag, keeping any cached host
+//! mirror honest.
+//!
+//! Numerics are inherited unchanged from the chunk kernels: full chunks
+//! run the wide bit-identical sweeps, remainder chunks fall back to the
+//! scalar lane kernels.
+
+use crate::banded::BandedLu;
+use crate::lu::LuFactors;
+use crate::pb::CholeskyBanded;
+use crate::pt::PtFactors;
+use pp_portable::{ExecSpace, ResidentBatch};
+
+/// Batched `pttrs` on resident panels, chunk-parallel through `exec`.
+///
+/// # Panics
+/// Panics if `b.nrows() != factors.n()`.
+pub fn pttrs_resident<E: ExecSpace>(exec: &E, factors: &PtFactors, b: &mut ResidentBatch) {
+    crate::interleaved::pttrs_interleaved(exec, factors, b.panels_mut());
+}
+
+/// Batched `pbtrs` on resident panels, chunk-parallel through `exec`.
+///
+/// # Panics
+/// Panics if `b.nrows() != factors.n()`.
+pub fn pbtrs_resident<E: ExecSpace>(exec: &E, factors: &CholeskyBanded, b: &mut ResidentBatch) {
+    crate::interleaved::pbtrs_interleaved(exec, factors, b.panels_mut());
+}
+
+/// Batched `gbtrs` on resident panels, chunk-parallel through `exec`.
+///
+/// # Panics
+/// Panics if `b.nrows() != factors.n()`.
+pub fn gbtrs_resident<E: ExecSpace>(exec: &E, factors: &BandedLu, b: &mut ResidentBatch) {
+    crate::interleaved::gbtrs_interleaved(exec, factors, b.panels_mut());
+}
+
+/// Batched dense `getrs` on resident panels, chunk-parallel through
+/// `exec`.
+///
+/// # Panics
+/// Panics if `b.nrows() != factors.n()`.
+pub fn getrs_resident<E: ExecSpace>(exec: &E, factors: &LuFactors, b: &mut ResidentBatch) {
+    crate::interleaved::getrs_interleaved(exec, factors, b.panels_mut());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::banded::{gbtrf, BandedMatrix};
+    use crate::lu::getrf;
+    use crate::pb::{pbtrf, SymBandedMatrix};
+    use crate::pt::pttrf;
+    use pp_portable::{Layout, Matrix, Parallel, Serial, TestRng};
+
+    fn random_rhs(n: usize, batch: usize, seed: u64) -> Matrix {
+        let mut rng = TestRng::seed_from_u64(seed);
+        Matrix::from_fn(n, batch, Layout::Left, |_, _| rng.gen_range(-3.0..3.0))
+    }
+
+    fn assert_bits(expected: &Matrix, got: &Matrix) {
+        assert_eq!(expected.shape(), got.shape());
+        for i in 0..expected.nrows() {
+            for j in 0..expected.ncols() {
+                assert_eq!(
+                    expected.get(i, j).to_bits(),
+                    got.get(i, j).to_bits(),
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    /// Three resident solves in sequence must be bit-identical to three
+    /// pack/solve/unpack round trips (pack and unpack are pure copies).
+    #[test]
+    fn resident_multi_solve_matches_pack_per_solve_all_routines() {
+        let n = 24;
+        let pt = pttrf(&vec![4.0; n], &vec![-1.0; n - 1]).unwrap();
+        let pb =
+            pbtrf(&SymBandedMatrix::from_fn(n, 2, |i, j| if i == j { 6.0 } else { -1.0 }).unwrap())
+                .unwrap();
+        let gb = gbtrf(
+            &BandedMatrix::from_fn(n, 1, 2, |i, j| {
+                if i == j {
+                    4.0
+                } else {
+                    1.0 + (i + j) as f64 * 0.01
+                }
+            })
+            .unwrap(),
+        )
+        .unwrap();
+        let mut rng = TestRng::seed_from_u64(5);
+        let dense = Matrix::from_fn(n, n, Layout::Right, |i, j| {
+            if i == j {
+                8.0
+            } else {
+                rng.gen_range(-1.0..1.0)
+            }
+        });
+        let lu = getrf(&dense).unwrap();
+
+        type Apply<'a> = Box<dyn Fn(&mut ResidentBatch) + 'a>;
+        let drivers: Vec<(&str, Apply<'_>)> = vec![
+            ("pttrs", Box::new(|b| pttrs_resident(&Parallel, &pt, b))),
+            ("pbtrs", Box::new(|b| pbtrs_resident(&Parallel, &pb, b))),
+            ("gbtrs", Box::new(|b| gbtrs_resident(&Parallel, &gb, b))),
+            ("getrs", Box::new(|b| getrs_resident(&Serial, &lu, b))),
+        ];
+        for batch in [3usize, 8, 13, 16] {
+            let rhs = random_rhs(n, batch, 21);
+            for (name, solve) in &drivers {
+                // Reference: pack/solve/unpack on every call.
+                let mut reference = rhs.clone();
+                for _ in 0..3 {
+                    let mut r = ResidentBatch::pack(&reference);
+                    solve(&mut r);
+                    r.unpack_into(&mut reference).unwrap();
+                }
+                // Resident: pack once, solve three times, unpack once.
+                let mut r = ResidentBatch::pack(&rhs);
+                let g0 = r.generation();
+                for _ in 0..3 {
+                    solve(&mut r);
+                }
+                assert!(r.generation() > g0, "{name}: solves must bump generation");
+                assert_bits(&reference, r.host());
+            }
+        }
+    }
+}

@@ -61,22 +61,58 @@ impl InterleavedMatrix {
     /// Pack a [`Matrix`] (either layout) into interleaved storage — the
     /// explicit transpose-in pass, recorded under [`PhaseId::Transpose`].
     pub fn pack(src: &Matrix) -> Self {
-        let _span = Span::enter(PhaseId::Transpose);
         let mut out = Self::zeros(src.nrows(), src.ncols());
+        out.copy_from_matrix(src, false)
+            .expect("shapes match by construction");
+        out
+    }
+
+    /// Pack the *logical transpose* of a [`Matrix`]: element `(i, j)` of
+    /// the interleaved block is `src(j, i)`. This fuses the explicit
+    /// reorientation transpose and the interleave pack into one pass —
+    /// the resident ingress of a pipeline whose host mirror is stored in
+    /// the flipped orientation (e.g. the advection distribution slab).
+    pub fn pack_transposed(src: &Matrix) -> Self {
+        let mut out = Self::zeros(src.ncols(), src.nrows());
+        out.copy_from_matrix(src, true)
+            .expect("shapes match by construction");
+        out
+    }
+
+    /// Refill this block from a [`Matrix`] without reallocating. With
+    /// `transposed`, reads `src(j, i)` into logical `(i, j)` (the
+    /// [`InterleavedMatrix::pack_transposed`] orientation). Recorded
+    /// under [`PhaseId::Transpose`].
+    pub fn copy_from_matrix(&mut self, src: &Matrix, transposed: bool) -> Result<()> {
+        let logical = if transposed {
+            (src.ncols(), src.nrows())
+        } else {
+            src.shape()
+        };
+        if logical != (self.nrows, self.ncols) {
+            return Err(Error::ShapeMismatch {
+                op: "InterleavedMatrix::copy_from_matrix",
+                left: (self.nrows, self.ncols),
+                right: logical,
+            });
+        }
+        let _span = Span::enter(PhaseId::Transpose);
         let (rs, cs) = src.strides();
+        // Source strides for logical (row, col) indexing.
+        let (lrs, lcs) = if transposed { (cs, rs) } else { (rs, cs) };
         let s = src.as_slice();
-        let nrows = out.nrows;
-        for c in 0..out.num_chunks() {
-            let lanes = out.chunk_lanes(c);
+        let nrows = self.nrows;
+        for c in 0..self.num_chunks() {
+            let lanes = self.chunk_lanes(c);
             let base = c * nrows * LANE_WIDTH;
             for i in 0..nrows {
                 let row = base + i * LANE_WIDTH;
                 for l in 0..lanes {
-                    out.data[row + l] = s[i * rs + (c * LANE_WIDTH + l) * cs];
+                    self.data[row + l] = s[i * lrs + (c * LANE_WIDTH + l) * lcs];
                 }
             }
         }
-        out
+        Ok(())
     }
 
     /// Unpack into a [`Matrix`] of the same shape (either layout) — the
@@ -103,6 +139,69 @@ impl InterleavedMatrix {
             }
         }
         Ok(())
+    }
+
+    /// Unpack the *logical transpose* into a `(ncols, nrows)` [`Matrix`]:
+    /// `dst(j, i) = self(i, j)`. The egress twin of
+    /// [`InterleavedMatrix::pack_transposed`], fusing unpack and
+    /// reorientation into one pass under [`PhaseId::Transpose`].
+    pub fn unpack_transposed_into(&self, dst: &mut Matrix) -> Result<()> {
+        if dst.shape() != (self.ncols, self.nrows) {
+            return Err(Error::ShapeMismatch {
+                op: "InterleavedMatrix::unpack_transposed_into",
+                left: (self.ncols, self.nrows),
+                right: dst.shape(),
+            });
+        }
+        let _span = Span::enter(PhaseId::Transpose);
+        let (rs, cs) = dst.strides();
+        let d = dst.as_mut_slice();
+        for c in 0..self.num_chunks() {
+            let lanes = self.chunk_lanes(c);
+            let base = c * self.nrows * LANE_WIDTH;
+            for i in 0..self.nrows {
+                let row = base + i * LANE_WIDTH;
+                for l in 0..lanes {
+                    d[(c * LANE_WIDTH + l) * rs + i * cs] = self.data[row + l];
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Logical transpose into another interleaved block (`dst(j, i) =
+    /// self(i, j)`, `dst` shaped `(ncols, nrows)`): the one reorientation
+    /// pass a resident pipeline still needs when the batch dimension
+    /// itself flips (e.g. x- vs. v-advection of a phase-space slab).
+    /// One pass, panel to panel, never touching a host [`Matrix`];
+    /// recorded under [`PhaseId::Transpose`].
+    pub fn transpose_into(&self, dst: &mut InterleavedMatrix) -> Result<()> {
+        if dst.shape() != (self.ncols, self.nrows) {
+            return Err(Error::ShapeMismatch {
+                op: "InterleavedMatrix::transpose_into",
+                left: (self.ncols, self.nrows),
+                right: dst.shape(),
+            });
+        }
+        let _span = Span::enter(PhaseId::Transpose);
+        for c in 0..self.num_chunks() {
+            let lanes = self.chunk_lanes(c);
+            let base = c * self.nrows * LANE_WIDTH;
+            for i in 0..self.nrows {
+                let row = base + i * LANE_WIDTH;
+                for l in 0..lanes {
+                    let off = dst.offset(c * LANE_WIDTH + l, i);
+                    dst.data[off] = self.data[row + l];
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Logical shape `(nrows, ncols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
     }
 
     /// Logical rows (the per-lane system size).

@@ -67,6 +67,7 @@ pub mod matrix;
 pub mod par;
 pub mod pool;
 pub mod ptr;
+pub mod resident;
 pub mod strided;
 pub mod testrng;
 pub mod transpose;
@@ -85,6 +86,7 @@ pub use par::{
 pub use pool::{
     inject_worker_death, pool_stats, publish_pool_metrics, watchdog_slack, PoolStats, WorkerTimes,
 };
+pub use resident::ResidentBatch;
 pub use strided::{Strided, StridedMut};
 pub use testrng::TestRng;
 pub use transpose::{transpose, transpose_into, transpose_into_with, transpose_reinterpret};

@@ -16,9 +16,9 @@ echo "==> dispatch_overhead --smoke (feature-off build: the hot path must not ca
 PP_NUM_THREADS=4 cargo run --release -q -p pp-bench --bin dispatch_overhead -- \
     --smoke --out target/BENCH_dispatch_smoke.json
 
-echo "==> phase_profile --smoke (--features instrument)"
+echo "==> phase_profile --smoke --resident (--features instrument)"
 PP_NUM_THREADS=4 cargo run --release -q -p pp-bench --features instrument --bin phase_profile -- \
-    --smoke --out target/BENCH_phases_smoke.json
+    --smoke --resident --out target/BENCH_phases_smoke.json
 
 echo "==> bench_gate: dispatch latency vs committed BENCH_dispatch.json"
 cargo run --release -q -p pp-bench --bin bench_gate -- \
@@ -27,10 +27,31 @@ cargo run --release -q -p pp-bench --bin bench_gate -- \
     --candidate target/BENCH_dispatch_smoke.json
 
 # The gate enforces version-set equality with the baseline, but assert
-# the lane-interleaved version explicitly on both sides so a stale
-# four-version baseline cannot mask its disappearance.
+# the lane-interleaved version and the resident pipeline explicitly on
+# both sides so a stale baseline cannot mask either disappearing.
 grep -q '"version": "Lane interleave"' target/BENCH_phases_smoke.json
 grep -q '"version": "Lane interleave"' BENCH_phases.json
+grep -q '"version": "Lane interleave resident"' target/BENCH_phases_smoke.json
+grep -q '"version": "Lane interleave resident"' BENCH_phases.json
+
+# Residency's acceptance criterion: the pack/unpack pair amortized
+# across the resident chain must stay a sliver of the wall clock. Gate
+# the emitted transpose_share on both sides of the comparison — a
+# committed baseline over the ceiling is as much a regression as a
+# fresh run over it.
+TRANSPOSE_SHARE_CEILING=0.15
+for f in BENCH_phases.json target/BENCH_phases_smoke.json; do
+    share=$(awk '
+        index($0, "\"version\": \"Lane interleave resident\"") { found = 1 }
+        found && /"transpose_share":/ {
+            s = $0; sub(/.*"transpose_share": /, "", s); sub(/,.*/, "", s)
+            print s; exit
+        }
+    ' "$f")
+    test -n "$share"
+    echo "==> resident transpose share in $f: $share (ceiling $TRANSPOSE_SHARE_CEILING)"
+    awk -v s="$share" -v c="$TRANSPOSE_SHARE_CEILING" 'BEGIN { exit !(s < c) }'
+done
 
 echo "==> bench_gate: phase attribution vs committed BENCH_phases.json"
 cargo run --release -q -p pp-bench --bin bench_gate -- \

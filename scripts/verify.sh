@@ -46,15 +46,17 @@ test -s target/trace_advection.json
 ls target/trace_advection_dumps/fault_dump_*.json > /dev/null
 
 # Smoke-run the phase profiler: every builder version — including the
-# lane-interleaved kernels — must run under the instrumentation layer
-# and attribute its solve phases. The grep pins the Interleaved version
-# into the emitted document so a version silently dropping out of
-# BuilderVersion::ALL fails tier-1, not just the bench gate.
-echo "==> phase_profile bench smoke (per-phase attribution incl. Interleaved)"
+# lane-interleaved kernels and the resident pipeline — must run under
+# the instrumentation layer and attribute its solve phases. The greps
+# pin the Interleaved version and the resident entry into the emitted
+# document so either silently dropping out fails tier-1, not just the
+# bench gate.
+echo "==> phase_profile bench smoke (per-phase attribution incl. Interleaved + resident)"
 PP_NUM_THREADS=4 cargo run --release -q -p pp-bench --features instrument \
-    --bin phase_profile -- --smoke --out target/BENCH_phases_smoke.json
+    --bin phase_profile -- --smoke --resident --out target/BENCH_phases_smoke.json
 test -s target/BENCH_phases_smoke.json
 grep -q '"version": "Lane interleave"' target/BENCH_phases_smoke.json
+grep -q '"version": "Lane interleave resident"' target/BENCH_phases_smoke.json
 
 # Smoke-run the chaos-soak campaign: seeded fault scenarios (NaN lanes,
 # near-singular systems, slow lanes) under wall-clock budgets. The binary

@@ -67,7 +67,8 @@ pub mod prelude {
     pub use pp_linalg::FactorHealth;
     pub use pp_perfmodel::{glups, Device};
     pub use pp_portable::{
-        Budget, CancelToken, DispatchOutcome, ExecSpace, Layout, Matrix, Parallel, Serial,
+        Budget, CancelToken, DispatchOutcome, ExecSpace, InterleavedMatrix, Layout, Matrix,
+        Parallel, ResidentBatch, Serial, LANE_WIDTH,
     };
     pub use pp_splinesolver::{
         BuilderVersion, Degradation, DegradedReport, FallbackRung, IterativeConfig,

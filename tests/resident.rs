@@ -1,0 +1,320 @@
+//! Resident-batch pipelines against the pack-per-solve reference.
+//!
+//! The contract under test is the residency acceptance criterion: for
+//! every routine class (`pttrs`, `pbtrs`, `gbtrs`, `getrs`) and for the
+//! full builder pipeline, `pack once → N solves → unpack once` must be
+//! **bit-identical** to N independent `pack → solve → unpack` round
+//! trips — pack and unpack are pure copies, so residency may not change
+//! a single bit. Batch widths sweep through sub-chunk batches
+//! (batch < 8) and partial trailing chunks. The same source runs in both
+//! instrumentation modes: plain `cargo test` (spans compiled out) and
+//! `cargo test --features instrument` via `scripts/verify.sh` (spans
+//! live) — the numerics must not care.
+
+use batched_splines::prelude::*;
+use pp_linalg::{
+    gbtrf, gbtrs_resident, getrf, getrs_resident, pbtrf, pbtrs_resident, pttrf, pttrs_resident,
+    BandedMatrix, SymBandedMatrix,
+};
+use pp_portable::TestRng;
+
+fn random_rhs(n: usize, batch: usize, layout: Layout, rng: &mut TestRng) -> Matrix {
+    Matrix::from_fn(n, batch, layout, |_, _| rng.gen_range(-2.0..2.0))
+}
+
+/// Batch widths straddling the lane chunk boundary plus randomized
+/// draws, so sub-chunk batches (batch < 8) and partial trailing chunks
+/// (batch % 8 != 0) are always exercised.
+fn batch_widths(rng: &mut TestRng) -> Vec<usize> {
+    let mut widths = vec![
+        1,
+        LANE_WIDTH - 1,
+        LANE_WIDTH,
+        LANE_WIDTH + 1,
+        3 * LANE_WIDTH,
+    ];
+    widths.push(rng.gen_range(1..LANE_WIDTH)); // strictly sub-chunk
+    widths.push(rng.gen_range(LANE_WIDTH + 1..6 * LANE_WIDTH));
+    widths
+}
+
+fn assert_bits(expected: &Matrix, got: &Matrix, what: &str) {
+    assert_eq!(expected.shape(), got.shape(), "{what}");
+    for i in 0..expected.nrows() {
+        for j in 0..expected.ncols() {
+            assert_eq!(
+                expected.get(i, j).to_bits(),
+                got.get(i, j).to_bits(),
+                "{what}: ({i},{j}) resident {} vs pack-per-solve {}",
+                got.get(i, j),
+                expected.get(i, j)
+            );
+        }
+    }
+}
+
+/// Run `solves` through both disciplines and compare bitwise:
+/// pack-per-solve re-packs around every call, resident packs once and
+/// unpacks once at the end.
+fn residency_vs_pack_per_solve(
+    rhs: &Matrix,
+    solves: usize,
+    solve: &dyn Fn(&mut ResidentBatch),
+    what: &str,
+) {
+    let mut reference = rhs.clone();
+    for _ in 0..solves {
+        let mut r = ResidentBatch::pack(&reference);
+        solve(&mut r);
+        r.unpack_into(&mut reference).unwrap();
+    }
+    let mut r = ResidentBatch::pack(rhs);
+    let g0 = r.generation();
+    for _ in 0..solves {
+        solve(&mut r);
+    }
+    assert!(r.generation() > g0, "{what}: solves must bump generation");
+    assert_bits(&reference, r.host(), what);
+}
+
+#[test]
+fn pttrs_resident_chain_matches_pack_per_solve() {
+    let mut rng = TestRng::seed_from_u64(0xe1);
+    for n in [1usize, 5, 16, 33] {
+        let d: Vec<f64> = (0..n).map(|_| rng.gen_range(3.0..5.0)).collect();
+        let e: Vec<f64> = (0..n.saturating_sub(1))
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let f = pttrf(&d, &e).unwrap();
+        for batch in batch_widths(&mut rng) {
+            for layout in [Layout::Left, Layout::Right] {
+                let rhs = random_rhs(n, batch, layout, &mut rng);
+                residency_vs_pack_per_solve(
+                    &rhs,
+                    3,
+                    &|b| pttrs_resident(&Parallel, &f, b),
+                    &format!("pttrs n={n} batch={batch}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pbtrs_resident_chain_matches_pack_per_solve() {
+    let mut rng = TestRng::seed_from_u64(0xe2);
+    for n in [1usize, 6, 17, 32] {
+        let kd = 2.min(n - 1);
+        let a = SymBandedMatrix::from_fn(n, kd, |i, j| {
+            if i == j {
+                6.0
+            } else {
+                0.3 + 0.1 * ((i + j) % 3) as f64
+            }
+        })
+        .unwrap();
+        let f = pbtrf(&a).unwrap();
+        for batch in batch_widths(&mut rng) {
+            let rhs = random_rhs(n, batch, Layout::Left, &mut rng);
+            residency_vs_pack_per_solve(
+                &rhs,
+                3,
+                &|b| pbtrs_resident(&Parallel, &f, b),
+                &format!("pbtrs n={n} batch={batch}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn gbtrs_resident_chain_matches_pack_per_solve() {
+    let mut rng = TestRng::seed_from_u64(0xe3);
+    for n in [1usize, 7, 19, 30] {
+        let kl = 2.min(n - 1);
+        let ku = 1.min(n - 1);
+        // Tiny diagonals force partial pivoting so the row-swap path of
+        // the wide kernel is covered too.
+        let a = BandedMatrix::from_fn(n, kl, ku, |i, j| {
+            if i == j {
+                if i % 5 == 4 {
+                    1e-8
+                } else {
+                    4.0
+                }
+            } else {
+                1.0 + 0.2 * ((i * 7 + j) % 5) as f64
+            }
+        })
+        .unwrap();
+        let f = gbtrf(&a).unwrap();
+        for batch in batch_widths(&mut rng) {
+            let rhs = random_rhs(n, batch, Layout::Left, &mut rng);
+            residency_vs_pack_per_solve(
+                &rhs,
+                3,
+                &|b| gbtrs_resident(&Parallel, &f, b),
+                &format!("gbtrs n={n} batch={batch}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn getrs_resident_chain_matches_pack_per_solve() {
+    let mut rng = TestRng::seed_from_u64(0xe4);
+    for n in [1usize, 4, 9, 13] {
+        let a = Matrix::from_fn(n, n, Layout::Right, |i, j| {
+            if i == j {
+                (n as f64) + 2.0
+            } else {
+                ((i * 13 + j * 5) % 7) as f64 * 0.25 - 0.75
+            }
+        });
+        let f = getrf(&a).unwrap();
+        for batch in batch_widths(&mut rng) {
+            let rhs = random_rhs(n, batch, Layout::Left, &mut rng);
+            residency_vs_pack_per_solve(
+                &rhs,
+                3,
+                &|b| getrs_resident(&Serial, &f, b),
+                &format!("getrs n={n} batch={batch}"),
+            );
+        }
+    }
+}
+
+/// Full builder pipeline: `solve_resident` chained N times must be
+/// bit-identical to the pack-per-solve interleaved builder
+/// (`BuilderVersion::Interleaved` + `solve_in_place`) run N times.
+#[test]
+fn builder_resident_chain_matches_interleaved_pack_per_solve() {
+    let mut rng = TestRng::seed_from_u64(0xe5);
+    for degree in [3usize, 5] {
+        let space =
+            PeriodicSplineSpace::new(Breaks::uniform(32, 0.0, 1.0).unwrap(), degree).unwrap();
+        let builder = SplineBuilder::new(space, BuilderVersion::Interleaved).unwrap();
+        for batch in batch_widths(&mut rng) {
+            let rhs = random_rhs(32, batch, Layout::Left, &mut rng);
+            let mut reference = rhs.clone();
+            for _ in 0..3 {
+                builder.solve_in_place(&Parallel, &mut reference).unwrap();
+            }
+            let mut r = ResidentBatch::pack(&rhs);
+            for _ in 0..3 {
+                builder.solve_resident(&Parallel, &mut r).unwrap();
+            }
+            assert_bits(
+                &reference,
+                r.host(),
+                &format!("builder deg={degree} batch={batch}"),
+            );
+        }
+    }
+}
+
+/// Verified pipeline: the resident entry point must produce the same
+/// verdicts and the same bits as the host verified path running the
+/// interleaved kernel, including with a quarantined lane in the batch.
+#[test]
+fn verified_resident_chain_matches_host_verified_path() {
+    let mut rng = TestRng::seed_from_u64(0xe6);
+    let space = PeriodicSplineSpace::new(Breaks::uniform(32, 0.0, 1.0).unwrap(), 3).unwrap();
+    let verified = SplineBuilder::new(space, BuilderVersion::Interleaved)
+        .unwrap()
+        .verified(VerifyConfig::default());
+    for batch in [3usize, LANE_WIDTH + 3] {
+        let mut rhs = random_rhs(32, batch, Layout::Left, &mut rng);
+        rhs.set(7, 1, f64::NAN); // poison one lane
+        let mut host = rhs.clone();
+        let mut resident = ResidentBatch::pack(&rhs);
+        for _ in 0..2 {
+            let hr = verified.solve_in_place(&Parallel, &mut host).unwrap();
+            let rr = verified.solve_resident(&Parallel, &mut resident).unwrap();
+            assert_eq!(hr.verdicts().len(), rr.verdicts().len(), "batch={batch}");
+            for (lane, (h, r)) in hr.verdicts().iter().zip(rr.verdicts().iter()).enumerate() {
+                assert_eq!(h, r, "batch={batch} lane={lane}");
+            }
+        }
+        assert_bits(&host, resident.host(), &format!("verified batch={batch}"));
+    }
+}
+
+/// Dirty-tag property test: against a randomized sequence of mutating
+/// and read-only operations, the generation tag must move exactly when
+/// the contents may have moved, and the cached host mirror must always
+/// agree with a shadow host matrix maintained alongside.
+#[test]
+fn generation_tag_tracks_every_mutation_property() {
+    let n = 12;
+    let batch = 13; // crosses one chunk boundary
+    let mut rng = TestRng::seed_from_u64(0xe7);
+    let space = PeriodicSplineSpace::new(Breaks::uniform(n, 0.0, 1.0).unwrap(), 3).unwrap();
+    let builder = SplineBuilder::new(space, BuilderVersion::Interleaved).unwrap();
+
+    let mut shadow = random_rhs(n, batch, Layout::Left, &mut rng);
+    let mut r = ResidentBatch::pack(&shadow);
+    for op in 0..200 {
+        let g_before = r.generation();
+        let mutated = match rng.gen_range(0..6usize) {
+            0 => {
+                // Point write.
+                let i = rng.gen_range(0..n);
+                let j = rng.gen_range(0..batch);
+                let v = rng.gen_range(-1.0..1.0);
+                r.set(i, j, v);
+                shadow.set(i, j, v);
+                true
+            }
+            1 => {
+                // Lane scatter.
+                let j = rng.gen_range(0..batch);
+                let lane: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                r.write_lane(j, &lane);
+                for (i, &v) in lane.iter().enumerate() {
+                    shadow.set(i, j, v);
+                }
+                true
+            }
+            2 => {
+                // Quarantine zeroing.
+                let j = rng.gen_range(0..batch);
+                r.zero_lane(j);
+                for i in 0..n {
+                    shadow.set(i, j, 0.0);
+                }
+                true
+            }
+            3 => {
+                // A full solver dispatch.
+                builder.solve_resident(&Parallel, &mut r).unwrap();
+                builder.solve_in_place(&Parallel, &mut shadow).unwrap();
+                true
+            }
+            4 => {
+                // Read-only stretch: gets and lane gathers must not bump.
+                let j = rng.gen_range(0..batch);
+                let i = rng.gen_range(0..n);
+                assert_eq!(r.get(i, j).to_bits(), shadow.get(i, j).to_bits());
+                assert_eq!(r.lane_to_vec(j)[i].to_bits(), shadow.get(i, j).to_bits());
+                let _ = r.panels();
+                false
+            }
+            _ => {
+                // Re-ingress from the shadow (a no-op refill, but still a
+                // mutating access — the tag is conservative by design).
+                r.pack_from(&shadow).unwrap();
+                true
+            }
+        };
+        if mutated {
+            assert!(
+                r.generation() > g_before,
+                "op {op}: mutation left the generation at {g_before}"
+            );
+        } else {
+            assert_eq!(r.generation(), g_before, "op {op}: read bumped the tag");
+        }
+        // The mirror may never disagree with the shadow, fresh or not.
+        assert_bits(&shadow, r.host(), &format!("op {op}"));
+    }
+}
