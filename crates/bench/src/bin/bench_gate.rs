@@ -24,13 +24,25 @@
 //! must report zero invariant violations and zero silent-wrong SDC
 //! rounds, and the committed baseline must prove the fault campaign
 //! actually exercised corruption (detections > 0).
+//!
+//! Every kind first checks that *both* documents carry the telemetry
+//! `schema_version` this binary was built against: comparing fields
+//! across a schema skew is meaningless, so a missing or mismatched
+//! version fails by name before any numeric check runs.
 
 use pp_bench::json::Json;
+use pp_portable::instrument::SCHEMA_VERSION;
 use std::process::ExitCode;
 
 /// Absolute slack added on top of the ratio tolerance for nanosecond
 /// latency comparisons (absorbs scheduler noise on loaded CI runners).
 const LATENCY_SLACK_NS: f64 = 25_000.0;
+
+/// Ratio bound for the adaptive-vs-static pool policy comparison inside
+/// one document: both sides of that A/B ran in the same process on the
+/// same host, so it gets a much tighter tolerance than the cross-run
+/// gates (the absolute slack still absorbs microsecond scheduler noise).
+const ADAPTIVE_TOL: f64 = 1.5;
 
 /// Minimum fraction of wall clock the phase spans must attribute.
 const MIN_PHASE_COVER: f64 = 0.5;
@@ -79,6 +91,10 @@ enum Mismatch {
     /// `tol * baseline + slack` degenerates to the absolute slack
     /// alone — which would wave through any regression.
     DegenerateBaseline { what: String, value: f64 },
+    /// The document's `schema_version` is absent or differs from the
+    /// [`SCHEMA_VERSION`] this gate was built against. Field meanings
+    /// may have shifted, so no comparison against it is trustworthy.
+    SchemaSkew { side: Side, found: Option<f64> },
 }
 
 impl std::fmt::Display for Mismatch {
@@ -103,6 +119,18 @@ impl std::fmt::Display for Mismatch {
                 f,
                 "baseline {what} is {value} — ratio undefined, regenerate the baseline"
             ),
+            Mismatch::SchemaSkew { side, found } => match found {
+                Some(v) => write!(
+                    f,
+                    "{}: schema_version {v} != expected {SCHEMA_VERSION} — regenerate the document",
+                    side.name()
+                ),
+                None => write!(
+                    f,
+                    "{}: schema_version missing (expected {SCHEMA_VERSION}) — regenerate the document",
+                    side.name()
+                ),
+            },
         }
     }
 }
@@ -164,6 +192,21 @@ fn f64_at(v: &Json, path: &[&str]) -> Option<f64> {
     v.at(path).and_then(Json::as_f64)
 }
 
+/// Both sides must be stamped with the telemetry schema this gate was
+/// built against; any skew (or an unstamped pre-telemetry document)
+/// fails by name before field-by-field comparison starts.
+fn gate_schema(gate: &mut Gate, baseline: &Json, candidate: &Json) {
+    for (side, doc) in [(Side::Baseline, baseline), (Side::Candidate, candidate)] {
+        match doc.get("schema_version").and_then(Json::as_f64) {
+            Some(v) if v == f64::from(SCHEMA_VERSION) => gate.check(
+                true,
+                format!("{}: schema_version {SCHEMA_VERSION}", side.name()),
+            ),
+            found => gate.mismatch(Mismatch::SchemaSkew { side, found }),
+        }
+    }
+}
+
 /// Gate the dispatch_overhead bench: per-batch pool latency must stay
 /// within `tol`x of the committed baseline for every batch count the
 /// smoke run shares with it.
@@ -202,6 +245,40 @@ fn gate_dispatch(gate: &mut Gate, baseline: &Json, candidate: &Json, tol: f64) {
             base_pool,
             tol,
         );
+    }
+    // Trace-driven adaptation must not cost latency: within each
+    // document, the adaptive pool policy has to keep up with the static
+    // one at every batch size (same process, same host, so the tight
+    // ADAPTIVE_TOL applies). A row without the static A/B column is a
+    // pre-adaptation document and fails by name.
+    for (side, rows) in [(Side::Baseline, base_rows), (Side::Candidate, cand_rows)] {
+        for row in rows {
+            let batch = f64_at(row, &["batch"]).unwrap_or(f64::NAN);
+            let Some(pool_static) = f64_at(row, &["pool_static"]) else {
+                gate.mismatch(Mismatch::MissingField {
+                    side,
+                    path: format!("per_dispatch_latency_ns[batch={batch}].pool_static"),
+                });
+                continue;
+            };
+            let pool = f64_at(row, &["pool"]).unwrap_or(f64::NAN);
+            if !(pool_static > 0.0 && pool_static.is_finite()) {
+                gate.mismatch(Mismatch::DegenerateBaseline {
+                    what: format!("{} pool_static @ batch {batch}", side.name()),
+                    value: pool_static,
+                });
+                continue;
+            }
+            let bound = ADAPTIVE_TOL * pool_static + LATENCY_SLACK_NS;
+            gate.check(
+                pool <= bound,
+                format!(
+                    "{} adaptive vs static @ batch {batch}: {pool:.0} ns <= \
+                     {ADAPTIVE_TOL}x{pool_static:.0}+slack = {bound:.0} ns",
+                    side.name()
+                ),
+            );
+        }
     }
     gate.check(
         compared > 0,
@@ -485,6 +562,7 @@ fn main() -> ExitCode {
     let cand = load(&candidate);
     println!("=== bench_gate: {kind} ({candidate} vs {baseline}, tol {tol}x) ===");
     let mut gate = Gate::new();
+    gate_schema(&mut gate, &base, &cand);
     match kind.as_str() {
         "dispatch" => gate_dispatch(&mut gate, &base, &cand, tol),
         "phases" => gate_phases(&mut gate, &base, &cand, tol),
@@ -608,6 +686,102 @@ mod tests {
         gate.check_latency("mean dispatch", 10_000.0, 0.0, 4.0);
         assert_eq!(gate.failures.len(), 1, "{:?}", gate.failures);
         assert!(gate.failures[0].contains("ratio undefined"));
+    }
+
+    /// Hand-built dispatch_overhead document with one latency row.
+    fn dispatch_doc(pool: f64, pool_static: &str) -> Json {
+        let text = format!(
+            r#"{{
+              "bench": "dispatch_overhead",
+              "schema_version": {SCHEMA_VERSION},
+              "per_dispatch_latency_ns": [
+                {{"batch": 256, "pool": {pool}, "pool_static": {pool_static},
+                  "scoped": 90000.0, "serial": 500000.0}}
+              ],
+              "pool_stats": {{"dispatches": 100}}
+            }}"#
+        );
+        Json::parse(&text).expect("test doc parses")
+    }
+
+    fn run_dispatch(baseline: &Json, candidate: &Json) -> Vec<String> {
+        let mut gate = Gate::new();
+        gate_dispatch(&mut gate, baseline, candidate, 4.0);
+        gate.failures
+    }
+
+    #[test]
+    fn matching_dispatch_docs_pass_adaptive_gate() {
+        let base = dispatch_doc(10_000.0, "11000.0");
+        let cand = dispatch_doc(12_000.0, "11000.0");
+        assert_eq!(run_dispatch(&base, &cand), Vec::<String>::new());
+    }
+
+    #[test]
+    fn adaptive_policy_slower_than_static_fails() {
+        // Candidate adaptive pool at 4 ms vs static 1 ms: far past
+        // 1.5x + 25 µs slack. The baseline row stays healthy.
+        let base = dispatch_doc(10_000.0, "11000.0");
+        let cand = dispatch_doc(4_000_000.0, "1000000.0");
+        let failures = run_dispatch(&base, &cand);
+        // The cross-run pool comparison also trips (4 ms vs 10 µs);
+        // the adaptive-vs-static check must be among the failures.
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("candidate adaptive vs static @ batch 256")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn missing_pool_static_column_is_typed_failure() {
+        // A pre-adaptation document (no A/B column) must fail by name,
+        // not silently skip the policy gate.
+        let base = dispatch_doc(10_000.0, "11000.0");
+        let cand = dispatch_doc(10_000.0, "null");
+        let failures = run_dispatch(&base, &cand);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(
+            failures[0].contains("candidate") && failures[0].contains("pool_static"),
+            "{failures:?}"
+        );
+    }
+
+    fn run_schema(baseline: &Json, candidate: &Json) -> Vec<String> {
+        let mut gate = Gate::new();
+        gate_schema(&mut gate, baseline, candidate);
+        gate.failures
+    }
+
+    #[test]
+    fn matching_schema_versions_pass() {
+        let doc = dispatch_doc(10_000.0, "11000.0");
+        assert_eq!(run_schema(&doc, &doc), Vec::<String>::new());
+    }
+
+    #[test]
+    fn missing_schema_version_fails_by_name() {
+        let stamped = dispatch_doc(10_000.0, "11000.0");
+        let unstamped = Json::parse(r#"{"bench": "dispatch_overhead"}"#).unwrap();
+        let failures = run_schema(&stamped, &unstamped);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(
+            failures[0].contains("candidate") && failures[0].contains("schema_version missing"),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn skewed_schema_version_fails_by_name() {
+        let stamped = dispatch_doc(10_000.0, "11000.0");
+        let skewed = Json::parse(r#"{"schema_version": 999}"#).unwrap();
+        let failures = run_schema(&skewed, &stamped);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(
+            failures[0].contains("baseline") && failures[0].contains("999"),
+            "{failures:?}"
+        );
     }
 
     #[test]

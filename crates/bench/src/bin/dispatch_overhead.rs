@@ -18,16 +18,21 @@ use pp_advection::{Advection1D, SplineBackend};
 use pp_bench::fmt_ms;
 use pp_perfmodel::glups;
 use pp_portable::{
-    num_threads, pool_stats, ExecSpace, Layout, Matrix, Parallel, ScopedParallel, Serial,
+    num_threads, pool_stats, set_adaptive_override, ExecSpace, Layout, Matrix, Parallel,
+    ScopedParallel, Serial,
 };
 use pp_splinesolver::BuilderVersion;
 use std::fmt::Write as _;
 use std::time::Instant;
 
 /// One latency row: mean ns per dispatch for each executor at one batch.
+/// `pool_ns` is the adaptive (default) policy, `pool_static_ns` the same
+/// pool with `PP_ADAPTIVE` pinned off — the A/B that gates trace-driven
+/// adaptation.
 struct LatencyRow {
     batch: usize,
     pool_ns: f64,
+    pool_static_ns: f64,
     scoped_ns: f64,
     serial_ns: f64,
 }
@@ -113,21 +118,31 @@ fn main() {
         num_threads(),
         if smoke { " [smoke]" } else { "" }
     );
-    println!("\nbatch,pool_ns,scoped_ns,serial_ns,pool_speedup_vs_scoped");
+    println!("\nbatch,pool_ns,pool_static_ns,scoped_ns,serial_ns,pool_speedup_vs_scoped");
 
     let mut latency = Vec::new();
     for &batch in batches {
         let mut m = Matrix::zeros(lane_rows, batch, Layout::Left);
+        // A/B the pool's scheduling policy within one process: static
+        // first (the pre-adaptive baseline), then adaptive, whose
+        // estimators re-seed from this workload during its own warm-up
+        // and reps. The override is cleared afterwards so the rest of
+        // the bench runs the default (adaptive) policy.
+        set_adaptive_override(Some(false));
+        let pool_static_ns = time_dispatch(&Parallel, &mut m, reps);
+        set_adaptive_override(Some(true));
         let pool_ns = time_dispatch(&Parallel, &mut m, reps);
+        set_adaptive_override(None);
         let scoped_ns = time_dispatch(&ScopedParallel, &mut m, reps);
         let serial_ns = time_dispatch(&Serial, &mut m, reps);
         println!(
-            "{batch},{pool_ns:.0},{scoped_ns:.0},{serial_ns:.0},{:.1}",
+            "{batch},{pool_ns:.0},{pool_static_ns:.0},{scoped_ns:.0},{serial_ns:.0},{:.1}",
             scoped_ns / pool_ns
         );
         latency.push(LatencyRow {
             batch,
             pool_ns,
+            pool_static_ns,
             scoped_ns,
             serial_ns,
         });
@@ -170,6 +185,11 @@ fn main() {
     // Hand-rolled JSON (the workspace is hermetic: no serde).
     let mut j = String::new();
     j.push_str("{\n  \"bench\": \"dispatch_overhead\",\n");
+    let _ = writeln!(
+        j,
+        "  \"schema_version\": {},",
+        pp_portable::instrument::SCHEMA_VERSION
+    );
     let _ = writeln!(j, "  \"smoke\": {smoke},");
     let _ = writeln!(j, "  \"num_threads\": {},", num_threads());
     let _ = writeln!(j, "  \"reps_per_point\": {reps},");
@@ -177,10 +197,11 @@ fn main() {
     for (k, r) in latency.iter().enumerate() {
         let _ = write!(
             j,
-            "    {{\"batch\": {}, \"pool\": {}, \"scoped\": {}, \"serial\": {}, \
-             \"pool_speedup_vs_scoped\": {}}}",
+            "    {{\"batch\": {}, \"pool\": {}, \"pool_static\": {}, \"scoped\": {}, \
+             \"serial\": {}, \"pool_speedup_vs_scoped\": {}}}",
             r.batch,
             json_f64(r.pool_ns),
+            json_f64(r.pool_static_ns),
             json_f64(r.scoped_ns),
             json_f64(r.serial_ns),
             json_f64(r.scoped_ns / r.pool_ns)

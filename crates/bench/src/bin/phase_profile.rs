@@ -270,6 +270,11 @@ fn main() {
     // Hand-rolled JSON (the workspace is hermetic: no serde).
     let mut j = String::new();
     j.push_str("{\n  \"bench\": \"phase_profile\",\n");
+    let _ = writeln!(
+        j,
+        "  \"schema_version\": {},",
+        pp_portable::instrument::SCHEMA_VERSION
+    );
     let _ = writeln!(j, "  \"smoke\": {smoke},");
     let _ = writeln!(j, "  \"instrumented\": {},", instrument::enabled());
     let _ = writeln!(j, "  \"nx\": {nx},");

@@ -24,22 +24,26 @@ fn ev(t_ns: u64, kind: TraceEventKind, lane: Option<u32>) -> TraceEvent {
 }
 
 /// Validate `doc` against the Chrome `trace_events` schema subset our
-/// exporter emits; returns (complete, instant, metadata) event counts.
+/// exporter emits; returns (complete, instant, thread_name) event
+/// counts. The exporter always leads with one process-scoped
+/// `process_name` metadata record (no tid — it names pid 1 itself) and
+/// pairs every `thread_name` with a `thread_sort_index`; those are
+/// validated here but only `thread_name` records are counted.
 fn check_chrome_schema(doc: &Json) -> (usize, usize, usize) {
     let events = doc
         .get("traceEvents")
         .and_then(Json::as_array)
         .expect("traceEvents array");
     let (mut x, mut i, mut m) = (0, 0, 0);
+    let mut named_process = false;
     for e in events {
         let ph = e.get("ph").and_then(Json::as_str).expect("ph string");
-        assert!(!e
-            .get("name")
-            .and_then(Json::as_str)
-            .expect("name string")
-            .is_empty());
+        let name = e.get("name").and_then(Json::as_str).expect("name string");
+        assert!(!name.is_empty());
         assert_eq!(e.get("pid").and_then(Json::as_f64), Some(1.0));
-        assert!(e.get("tid").and_then(Json::as_f64).is_some(), "tid number");
+        if !(ph == "M" && name == "process_name") {
+            assert!(e.get("tid").and_then(Json::as_f64).is_some(), "tid number");
+        }
         match ph {
             "X" => {
                 x += 1;
@@ -52,17 +56,35 @@ fn check_chrome_schema(doc: &Json) -> (usize, usize, usize) {
                 assert!(e.get("ts").and_then(Json::as_f64).is_some(), "i has ts");
                 assert_eq!(e.get("s").and_then(Json::as_str), Some("t"));
             }
-            "M" => {
-                m += 1;
-                assert_eq!(e.get("name").and_then(Json::as_str), Some("thread_name"));
-                assert!(
-                    e.at(&["args", "name"]).and_then(Json::as_str).is_some(),
-                    "M carries the thread name"
-                );
-            }
+            "M" => match name {
+                "process_name" => {
+                    named_process = true;
+                    assert!(
+                        e.at(&["args", "name"]).and_then(Json::as_str).is_some(),
+                        "process_name carries a name"
+                    );
+                }
+                "thread_name" => {
+                    m += 1;
+                    assert!(
+                        e.at(&["args", "name"]).and_then(Json::as_str).is_some(),
+                        "thread_name carries the name"
+                    );
+                }
+                "thread_sort_index" => {
+                    assert!(
+                        e.at(&["args", "sort_index"])
+                            .and_then(Json::as_f64)
+                            .is_some(),
+                        "thread_sort_index carries a number"
+                    );
+                }
+                other => panic!("unexpected metadata record {other:?}"),
+            },
             other => panic!("unexpected event phase {other:?}"),
         }
     }
+    assert!(named_process, "trace names its process for the UI grouping");
     (x, i, m)
 }
 

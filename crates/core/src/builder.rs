@@ -8,7 +8,10 @@ use pp_linalg::kernels::gemv_lane;
 use pp_linalg::tiled::{gbtrs_block, getrs_block, pbtrs_block, pttrs_block, DEFAULT_TILE};
 use pp_portable::block::for_each_lane_block_mut;
 use pp_portable::instrument::{PhaseId, Span};
-use pp_portable::{ExecSpace, InterleavedMatrix, Matrix, ResidentBatch, StridedMut, LANE_WIDTH};
+use pp_portable::{
+    adaptive_enabled, ExecSpace, InterleavedMatrix, Matrix, ResidentBatch, StridedMut, TileTuner,
+    LANE_WIDTH,
+};
 
 /// Which implementation of the build kernel to run — the paper's
 /// `DDC_SPLINES_VERSION` 0 / 1 / 2.
@@ -114,7 +117,7 @@ impl SplineBuilder {
             BuilderVersion::Baseline => self.solve_baseline(exec, b),
             BuilderVersion::Fused => self.solve_fused(exec, b, false),
             BuilderVersion::FusedSpmv => self.solve_fused(exec, b, true),
-            BuilderVersion::Tiled => return self.solve_in_place_tiled(exec, b, DEFAULT_TILE),
+            BuilderVersion::Tiled => return self.solve_in_place_tiled_tuned(exec, b),
             BuilderVersion::Interleaved => return self.solve_in_place_interleaved(exec, b),
         }
         Ok(())
@@ -214,6 +217,34 @@ impl SplineBuilder {
         });
         Ok(())
     }
+
+    /// The [`BuilderVersion::Tiled`] entry point: tile width chosen by
+    /// the process-global [`TileTuner`] — a live explore/exploit loop
+    /// over candidate widths, measured per solve — instead of the
+    /// compile-time [`DEFAULT_TILE`] guess. Any width yields
+    /// bitwise-identical results (tiling reorders lane visits, each
+    /// lane's arithmetic is unchanged), so tuning is purely a throughput
+    /// decision. `PP_ADAPTIVE=0` pins [`DEFAULT_TILE`] with no
+    /// measurement overhead.
+    fn solve_in_place_tiled_tuned<E: ExecSpace>(&self, exec: &E, b: &mut Matrix) -> Result<()> {
+        if !adaptive_enabled() {
+            return self.solve_in_place_tiled(exec, b, DEFAULT_TILE);
+        }
+        let tuner = tile_tuner();
+        let tile = tuner.pick();
+        let t0 = std::time::Instant::now();
+        let out = self.solve_in_place_tiled(exec, b, tile);
+        tuner.report(tile, t0.elapsed().as_nanos() as u64, b.ncols());
+        out
+    }
+}
+
+/// Process-global tuner for the tiled solver's tile width. One tuner
+/// per process (not per builder): the best width is a property of the
+/// host's cache hierarchy, which every builder instance shares.
+fn tile_tuner() -> &'static TileTuner {
+    static TUNER: TileTuner = TileTuner::new(DEFAULT_TILE);
+    &TUNER
 }
 
 impl SplineBuilder {

@@ -585,6 +585,10 @@ pub fn reset() {
             h.reset();
         }
     }
+    drop(guard);
+    // Windowed views diff cumulative captures; stale pre-reset epochs
+    // would otherwise make the next window saturate to zero.
+    crate::window::window_reset();
 }
 
 #[cfg(test)]

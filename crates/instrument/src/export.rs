@@ -28,32 +28,43 @@ fn push_lane_args(out: &mut String, lane: Option<u32>) {
     }
 }
 
+/// Process name shown by Perfetto/Chrome for every exported trace: all
+/// recorders share pid 1, and without a `process_name` metadata record
+/// the UI labels the group with the bare pid.
+const PROCESS_NAME: &str = "batched-splines";
+
 /// The `traceEvents` array (Chrome `trace_events` format) for `trace`,
 /// as a JSON array literal: complete `"X"` events for paired spans,
-/// `"i"` thread-scoped instants, and one `"M"` thread-name metadata
-/// record per thread.
+/// `"i"` thread-scoped instants, and `"M"` metadata records — one
+/// `process_name` for the shared pid plus per-thread `thread_name` /
+/// `thread_sort_index`, so the UI groups rows under the process and
+/// orders pool workers by recorder id instead of bare tids.
 pub fn chrome_trace_events(trace: &Trace) -> String {
-    let mut events: Vec<String> = Vec::new();
+    let mut events: Vec<String> = vec![format!(
+        "{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \
+         \"args\": {{\"name\": \"{}\"}}}}",
+        json_escape(PROCESS_NAME)
+    )];
     for thread in &trace.threads {
         if thread.events.is_empty() && thread.name.is_empty() {
             continue;
         }
         let tid = thread.tid;
-        let mut meta = format!(
+        // No standard field for flight-recorder loss; the name carries it.
+        let shown_name = if thread.dropped > 0 {
+            format!("{} (dropped {})", thread.name, thread.dropped)
+        } else {
+            thread.name.clone()
+        };
+        events.push(format!(
             "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {tid}, \
              \"args\": {{\"name\": \"{}\"}}}}",
-            json_escape(&thread.name)
-        );
-        if thread.dropped > 0 {
-            // No standard field for loss; the name carries it.
-            meta = format!(
-                "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {tid}, \
-                 \"args\": {{\"name\": \"{} (dropped {})\"}}}}",
-                json_escape(&thread.name),
-                thread.dropped
-            );
-        }
-        events.push(meta);
+            json_escape(&shown_name)
+        ));
+        events.push(format!(
+            "{{\"name\": \"thread_sort_index\", \"ph\": \"M\", \"pid\": 1, \"tid\": {tid}, \
+             \"args\": {{\"sort_index\": {tid}}}}}"
+        ));
 
         // Stack of open spans: (phase, t_ns, lane).
         let mut stack: Vec<(PhaseId, u64, Option<u32>)> = Vec::new();
@@ -114,7 +125,10 @@ pub fn chrome_trace_events(trace: &Trace) -> String {
 /// Full Chrome/Perfetto trace JSON object for `trace`: open the output
 /// at <https://ui.perfetto.dev> or `chrome://tracing`.
 pub fn chrome_trace_json(trace: &Trace) -> String {
-    let mut j = String::from("{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": ");
+    let mut j = format!(
+        "{{\n  \"schema_version\": {},\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": ",
+        crate::window::SCHEMA_VERSION
+    );
     j.push_str(&chrome_trace_events(trace));
     j.push_str("\n}\n");
     j
@@ -256,7 +270,28 @@ mod tests {
     #[test]
     fn empty_trace_exports_cleanly() {
         let j = chrome_trace_json(&Trace::default());
-        assert!(j.contains("\"traceEvents\": [\n  ]"));
+        // Even an empty trace names the process (and nothing else).
+        assert!(j.contains("\"name\": \"process_name\""));
+        assert!(!j.contains("\"name\": \"thread_name\""));
+        assert!(j.contains("\"schema_version\""));
         assert_eq!(folded_stacks(&Trace::default()), "");
+    }
+
+    #[test]
+    fn metadata_groups_threads_under_named_process() {
+        let t = one_thread(vec![
+            ev(1_000, TraceEventKind::Begin(PhaseId::Dispatch), None),
+            ev(2_000, TraceEventKind::End(PhaseId::Dispatch), None),
+        ]);
+        let json = chrome_trace_json(&t);
+        assert!(json.contains(
+            "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \
+             \"args\": {\"name\": \"batched-splines\"}}"
+        ));
+        assert!(json.contains("\"name\": \"thread_name\""));
+        assert!(json.contains(
+            "{\"name\": \"thread_sort_index\", \"ph\": \"M\", \"pid\": 1, \"tid\": 7, \
+             \"args\": {\"sort_index\": 7}}"
+        ));
     }
 }

@@ -1,0 +1,175 @@
+//! Latency sentinel: windowed p99s against configurable SLOs.
+//!
+//! The flight recorder (PR 5) already answers "what happened around the
+//! fault" — but something has to *decide* a fault happened. The sentinel
+//! is that trigger for latency: each [`SloSpec`] names a registry
+//! histogram and a p99 ceiling, [`check_slos`] evaluates a
+//! [`WindowStats`] against the specs, and the streaming sampler
+//! ([`crate::stream`]) turns fresh breaches into
+//! [`fault_dump`](crate::fault_dump)s — production-grade "something got
+//! slow, here's the trace" with no code in the hot path.
+//!
+//! Breach reaction is **edge-triggered**: a dump fires when a histogram
+//! *enters* breach, not once per sampling period while it stays slow, so
+//! a sustained breach cannot flood the dump ring. The check itself is a
+//! pure function over plain data — it compiles and runs identically in
+//! both feature modes and is unit-tested without any global state.
+
+use crate::window::WindowStats;
+
+/// One service-level objective: the windowed p99 of a named registry
+/// histogram must stay at or below a ceiling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloSpec {
+    /// Registry histogram name, e.g. `"pool.dispatch_ns"`.
+    pub histogram: String,
+    /// Ceiling on the windowed p99 upper bound, in the histogram's own
+    /// unit (nanoseconds for every latency histogram in this workspace).
+    pub p99_max: u64,
+    /// Minimum windowed sample count before the SLO is evaluated — a
+    /// p99 over two samples is noise, not a breach.
+    pub min_samples: u64,
+}
+
+impl SloSpec {
+    /// An SLO with the default minimum sample count (16).
+    pub fn new(histogram: impl Into<String>, p99_max: u64) -> SloSpec {
+        SloSpec {
+            histogram: histogram.into(),
+            p99_max,
+            min_samples: 16,
+        }
+    }
+}
+
+/// One SLO violation observed in a window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloBreach {
+    /// Which histogram breached.
+    pub histogram: String,
+    /// The windowed p99 upper bound that violated the ceiling.
+    pub p99: u64,
+    /// The configured ceiling.
+    pub p99_max: u64,
+    /// Windowed sample count backing the p99.
+    pub samples: u64,
+}
+
+impl SloBreach {
+    /// Compact human/JSON-safe description used as fault-dump detail.
+    pub fn describe(&self) -> String {
+        format!(
+            "{}: windowed p99 <= {} ns over {} samples, SLO {} ns",
+            self.histogram, self.p99, self.samples, self.p99_max
+        )
+    }
+}
+
+/// Evaluate `window` against `slos`; returns every violated SLO, in
+/// spec order. Histograms absent from the window (no samples, or fewer
+/// than `min_samples`) are healthy by definition.
+pub fn check_slos(window: &WindowStats, slos: &[SloSpec]) -> Vec<SloBreach> {
+    slos.iter()
+        .filter_map(|slo| {
+            let h = window.histogram(&slo.histogram)?;
+            if h.count < slo.min_samples {
+                return None;
+            }
+            let p99 = h.quantile_upper_bound(0.99);
+            (p99 > slo.p99_max).then(|| SloBreach {
+                histogram: slo.histogram.clone(),
+                p99,
+                p99_max: slo.p99_max,
+                samples: h.count,
+            })
+        })
+        .collect()
+}
+
+/// Edge detector over successive [`check_slos`] evaluations: remembers
+/// which histograms were already in breach and reports only the *new*
+/// ones, so the caller dumps once per incident rather than once per
+/// sampling period.
+#[derive(Debug, Default)]
+pub struct SentinelState {
+    in_breach: Vec<String>,
+}
+
+impl SentinelState {
+    pub fn new() -> SentinelState {
+        SentinelState::default()
+    }
+
+    /// Feed one window's evaluation; returns the breaches that were not
+    /// already in progress. Histograms that recovered (no longer listed
+    /// in `breaches`) are re-armed.
+    pub fn observe(&mut self, breaches: &[SloBreach]) -> Vec<SloBreach> {
+        let fresh: Vec<SloBreach> = breaches
+            .iter()
+            .filter(|b| !self.in_breach.contains(&b.histogram))
+            .cloned()
+            .collect();
+        self.in_breach = breaches.iter().map(|b| b.histogram.clone()).collect();
+        fresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::HistogramStat;
+
+    fn window_with(name: &str, buckets: &[(u64, u64)]) -> WindowStats {
+        let count = buckets.iter().map(|&(_, n)| n).sum();
+        WindowStats {
+            span_ns: 1,
+            epochs: 1,
+            histograms: vec![HistogramStat {
+                name: name.into(),
+                count,
+                sum: 0,
+                min: 0,
+                max: buckets.last().map_or(0, |&(u, _)| u),
+                buckets: buckets.to_vec(),
+            }],
+            ..WindowStats::default()
+        }
+    }
+
+    #[test]
+    fn breach_requires_p99_over_ceiling_and_enough_samples() {
+        let slos = [SloSpec::new("lat", 1 << 10)];
+        // 99% of samples in the 1024 bucket: p99 == 1024 == ceiling, ok.
+        let ok = window_with("lat", &[(1 << 10, 100)]);
+        assert!(check_slos(&ok, &slos).is_empty());
+        // One tail sample two buckets up pushes p99 to 4096: breach.
+        let slow = window_with("lat", &[(1 << 10, 98), (1 << 12, 2)]);
+        let breaches = check_slos(&slow, &slos);
+        assert_eq!(breaches.len(), 1);
+        assert_eq!(breaches[0].p99, 1 << 12);
+        assert!(breaches[0].describe().contains("lat"));
+        // Same shape but under min_samples: not evaluated.
+        let sparse = window_with("lat", &[(1 << 12, 2)]);
+        assert!(check_slos(&sparse, &slos).is_empty());
+        // Histogram absent from the window entirely: healthy.
+        let other = window_with("other", &[(1 << 13, 100)]);
+        assert!(check_slos(&other, &slos).is_empty());
+    }
+
+    #[test]
+    fn sentinel_state_is_edge_triggered() {
+        let slos = [SloSpec::new("lat", 1 << 10)];
+        let slow = window_with("lat", &[(1 << 10, 98), (1 << 12, 2)]);
+        let healthy = window_with("lat", &[(1 << 9, 100)]);
+
+        let mut state = SentinelState::new();
+        // First breach fires…
+        assert_eq!(state.observe(&check_slos(&slow, &slos)).len(), 1);
+        // …a sustained breach does not re-fire…
+        assert!(state.observe(&check_slos(&slow, &slos)).is_empty());
+        // …recovery re-arms…
+        assert!(state.observe(&check_slos(&healthy, &slos)).is_empty());
+        // …and the next breach fires again.
+        assert_eq!(state.observe(&check_slos(&slow, &slos)).len(), 1);
+    }
+}

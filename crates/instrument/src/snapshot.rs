@@ -256,6 +256,11 @@ impl Snapshot {
     /// the `BENCH_dispatch.json` house style.
     pub fn to_json(&self) -> String {
         let mut j = String::from("{\n");
+        let _ = writeln!(
+            j,
+            "  \"schema_version\": {},",
+            crate::window::SCHEMA_VERSION
+        );
         j.push_str("  \"phases\": [\n");
         for (k, s) in self.phases.iter().enumerate() {
             let mean_ns = s.total_ns as f64 / s.calls as f64;

@@ -1,0 +1,433 @@
+//! Streaming telemetry export: a background sampler over the epoch ring.
+//!
+//! [`TelemetryStream::start`] spawns one `pp-telemetry` thread that, once
+//! per configured period, advances the window clock ([`window_tick`]),
+//! takes a [`window_snapshot`], and
+//!
+//! * appends one schema-versioned JSONL record (optionally
+//!   roofline-annotated via [`RooflineSpec`]) to `jsonl_path`,
+//! * rewrites a Prometheus text exposition of the *cumulative* totals at
+//!   `prometheus_path` (write-to-temp + rename, so scrapers never see a
+//!   torn file), and
+//! * evaluates the configured [`SloSpec`]s against the windowed p99s,
+//!   firing the flight-recorder [`fault_dump`](crate::fault_dump)
+//!   (edge-triggered, see [`crate::sentinel`]) on breach.
+//!
+//! The solver threads never see any of this: sampling reads the same
+//! relaxed atomics `Snapshot::capture` reads, so exporter overhead is
+//! one capture per period regardless of solve rate. With the
+//! `instrument` feature off [`TelemetryStream`] is a ZST, `start` spawns
+//! nothing, and no statics exist.
+
+use crate::phase::PhaseId;
+use crate::sentinel::SloSpec;
+use crate::snapshot::{json_escape, json_f64, Snapshot};
+use pp_perfmodel::device::Device;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// How to annotate streamed records with roofline numbers: the device to
+/// normalise against, the batch geometry, and the phase whose windowed
+/// calls count solves (its mean windowed duration is the per-solve
+/// elapsed time fed to `RooflineAnnotation::measured`).
+#[derive(Debug, Clone)]
+pub struct RooflineSpec {
+    pub device: Device,
+    pub nx: usize,
+    pub nv: usize,
+    pub anchor: PhaseId,
+}
+
+/// Configuration for [`TelemetryStream::start`].
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Sampling period (one epoch tick + one record per period).
+    pub period: Duration,
+    /// Window width, in epochs, for the windowed view each record and
+    /// every SLO check is computed over.
+    pub window_epochs: usize,
+    /// Append one JSONL record per period here (file is truncated at
+    /// start). `None` disables the JSONL stream.
+    pub jsonl_path: Option<PathBuf>,
+    /// Rewrite a Prometheus text exposition here each period. `None`
+    /// disables it.
+    pub prometheus_path: Option<PathBuf>,
+    /// SLOs the latency sentinel watches (empty = sentinel off).
+    pub slos: Vec<SloSpec>,
+    /// Roofline annotation for streamed records (`None` = `null`).
+    pub roofline: Option<RooflineSpec>,
+}
+
+impl Default for StreamConfig {
+    fn default() -> StreamConfig {
+        StreamConfig {
+            period: Duration::from_millis(250),
+            window_epochs: 8,
+            jsonl_path: None,
+            prometheus_path: None,
+            slos: Vec::new(),
+            roofline: None,
+        }
+    }
+}
+
+/// What a finished stream did — returned by [`TelemetryStream::stop`]
+/// so harnesses can assert on it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Sampling periods that ran (== JSONL records when enabled).
+    pub ticks: u64,
+    /// Fresh SLO breaches the sentinel dumped on.
+    pub breaches: u64,
+}
+
+/// Prometheus text exposition (format 0.0.4) of a cumulative snapshot.
+/// Metric families are fixed; registry names become label values, so no
+/// name sanitisation is needed. Histogram buckets are emitted
+/// cumulatively with the closing `+Inf` bucket, as the format requires.
+pub fn prometheus_text(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    out.push_str("# TYPE pp_phase_ns_total counter\n");
+    for s in &snap.phases {
+        let _ = writeln!(
+            out,
+            "pp_phase_ns_total{{phase=\"{}\"}} {}",
+            s.phase.name(),
+            s.total_ns
+        );
+    }
+    out.push_str("# TYPE pp_phase_calls_total counter\n");
+    for s in &snap.phases {
+        let _ = writeln!(
+            out,
+            "pp_phase_calls_total{{phase=\"{}\"}} {}",
+            s.phase.name(),
+            s.calls
+        );
+    }
+    out.push_str("# TYPE pp_counter_total counter\n");
+    for (name, v) in &snap.counters {
+        let _ = writeln!(
+            out,
+            "pp_counter_total{{name=\"{}\"}} {v}",
+            json_escape(name)
+        );
+    }
+    out.push_str("# TYPE pp_gauge gauge\n");
+    for (name, v) in &snap.gauges {
+        let _ = writeln!(
+            out,
+            "pp_gauge{{name=\"{}\"}} {}",
+            json_escape(name),
+            json_f64(*v)
+        );
+    }
+    out.push_str("# TYPE pp_histogram histogram\n");
+    for h in &snap.histograms {
+        let name = json_escape(&h.name);
+        let mut cum = 0u64;
+        for &(upper, n) in &h.buckets {
+            cum += n;
+            let _ = writeln!(
+                out,
+                "pp_histogram_bucket{{name=\"{name}\",le=\"{upper}\"}} {cum}"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "pp_histogram_bucket{{name=\"{name}\",le=\"+Inf\"}} {cum}"
+        );
+        let _ = writeln!(out, "pp_histogram_sum{{name=\"{name}\"}} {}", h.sum);
+        let _ = writeln!(out, "pp_histogram_count{{name=\"{name}\"}} {}", h.count);
+    }
+    out
+}
+
+/// Build the `extra` splice (roofline + breaches) for one JSONL record.
+/// Shared with the unit tests; pure data in, string out.
+#[cfg_attr(not(feature = "instrument"), allow(dead_code))]
+pub(crate) fn record_extra(
+    window: &crate::window::WindowStats,
+    roofline: Option<&RooflineSpec>,
+    breach_names: &[String],
+) -> String {
+    let mut extra = String::from(", \"roofline\": ");
+    match roofline {
+        Some(spec) => {
+            let solves = window.phase_calls(spec.anchor);
+            let total_ns = window.phase_total_ns(spec.anchor);
+            if solves > 0 && total_ns > 0 {
+                let per_solve = Duration::from_nanos(total_ns / solves);
+                let ann = crate::snapshot::RooflineAnnotation::measured(
+                    &spec.device,
+                    spec.nx,
+                    spec.nv,
+                    per_solve.max(Duration::from_nanos(1)),
+                );
+                extra.push_str(&ann.to_json());
+            } else {
+                extra.push_str("null");
+            }
+        }
+        None => extra.push_str("null"),
+    }
+    extra.push_str(", \"breaches\": [");
+    for (k, name) in breach_names.iter().enumerate() {
+        let _ = write!(
+            extra,
+            "{}\"{}\"",
+            if k == 0 { "" } else { ", " },
+            json_escape(name)
+        );
+    }
+    extra.push(']');
+    extra
+}
+
+#[cfg(feature = "instrument")]
+mod active_stream {
+    use super::*;
+    use crate::sentinel::{check_slos, SentinelState};
+    use crate::window::{window_now_ns, window_snapshot, window_tick};
+    use std::fs;
+    use std::io::Write as _;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::thread::JoinHandle;
+
+    #[derive(Debug)]
+    struct Shared {
+        stop: Mutex<bool>,
+        cv: Condvar,
+    }
+
+    /// Handle to the background sampler thread. Dropping it without
+    /// [`stop`](TelemetryStream::stop) also stops the thread (the
+    /// summary is discarded).
+    #[derive(Debug)]
+    pub struct TelemetryStream {
+        shared: Arc<Shared>,
+        handle: Option<JoinHandle<StreamSummary>>,
+    }
+
+    impl TelemetryStream {
+        /// Start the sampler thread. Output files are created (parents
+        /// included) up front; I/O errors afterwards are reported via
+        /// `warn_once` and never panic the sampler.
+        pub fn start(config: StreamConfig) -> TelemetryStream {
+            let shared = Arc::new(Shared {
+                stop: Mutex::new(false),
+                cv: Condvar::new(),
+            });
+            let thread_shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name("pp-telemetry".into())
+                .spawn(move || run_sampler(config, thread_shared))
+                .expect("spawn pp-telemetry sampler thread");
+            TelemetryStream {
+                shared,
+                handle: Some(handle),
+            }
+        }
+
+        /// Stop the sampler after one final flush tick and return what
+        /// it did.
+        pub fn stop(mut self) -> StreamSummary {
+            self.signal_stop();
+            self.handle
+                .take()
+                .and_then(|h| h.join().ok())
+                .unwrap_or_default()
+        }
+
+        fn signal_stop(&self) {
+            *self.shared.stop.lock().unwrap() = true;
+            self.shared.cv.notify_all();
+        }
+    }
+
+    impl Drop for TelemetryStream {
+        fn drop(&mut self) {
+            if let Some(handle) = self.handle.take() {
+                self.signal_stop();
+                let _ = handle.join();
+            }
+        }
+    }
+
+    fn open_jsonl(path: &std::path::Path) -> Option<fs::File> {
+        if let Some(parent) = path.parent() {
+            let _ = fs::create_dir_all(parent);
+        }
+        match fs::File::create(path) {
+            Ok(f) => Some(f),
+            Err(e) => {
+                crate::env::warn_once(
+                    "stream.jsonl_open",
+                    &format!("pp-instrument: cannot open {}: {e}", path.display()),
+                );
+                None
+            }
+        }
+    }
+
+    fn write_prometheus(path: &std::path::Path, text: &str) {
+        let tmp = path.with_extension("prom.tmp");
+        let ok = fs::write(&tmp, text).and_then(|()| fs::rename(&tmp, path));
+        if let Err(e) = ok {
+            crate::env::warn_once(
+                "stream.prometheus_write",
+                &format!("pp-instrument: cannot write {}: {e}", path.display()),
+            );
+        }
+    }
+
+    fn run_sampler(config: StreamConfig, shared: Arc<Shared>) -> StreamSummary {
+        let mut jsonl = config.jsonl_path.as_deref().and_then(open_jsonl);
+        let mut sentinel = SentinelState::new();
+        let mut summary = StreamSummary::default();
+        loop {
+            let stopping = {
+                let guard = shared.stop.lock().unwrap();
+                let (guard, _timeout) = shared
+                    .cv
+                    .wait_timeout_while(guard, config.period, |stop| !*stop)
+                    .unwrap();
+                *guard
+            };
+
+            // One sample per period, plus one final flush sample on the
+            // way out so short-lived streams still emit a record.
+            window_tick();
+            let window = window_snapshot(config.window_epochs);
+
+            let breaches = check_slos(&window, &config.slos);
+            let fresh = sentinel.observe(&breaches);
+            for b in &fresh {
+                summary.breaches += 1;
+                crate::counter("sentinel.breaches").inc();
+                crate::trace_instant(crate::trace::InstantKind::SloBreach);
+                let detail = b.describe();
+                crate::fault_dump("slo_breach", || detail.clone());
+            }
+
+            let breach_names: Vec<String> = breaches.iter().map(|b| b.histogram.clone()).collect();
+            let extra = record_extra(&window, config.roofline.as_ref(), &breach_names);
+            let line = window.to_jsonl(summary.ticks, window_now_ns(), &extra);
+            if let Some(f) = jsonl.as_mut() {
+                if writeln!(f, "{line}").and_then(|()| f.flush()).is_err() {
+                    crate::env::warn_once(
+                        "stream.jsonl_write",
+                        "pp-instrument: JSONL stream write failed; stopping stream output",
+                    );
+                    jsonl = None;
+                }
+            }
+            if let Some(path) = config.prometheus_path.as_deref() {
+                write_prometheus(path, &prometheus_text(&Snapshot::capture()));
+            }
+            summary.ticks += 1;
+
+            if stopping {
+                return summary;
+            }
+        }
+    }
+}
+
+#[cfg(feature = "instrument")]
+pub use active_stream::TelemetryStream;
+
+#[cfg(not(feature = "instrument"))]
+mod inert_stream {
+    use super::{StreamConfig, StreamSummary};
+
+    /// Inert sampler handle: zero-sized, spawns nothing.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct TelemetryStream;
+
+    impl TelemetryStream {
+        /// No-op; no thread is spawned and no files are touched.
+        #[inline(always)]
+        pub fn start(_config: StreamConfig) -> TelemetryStream {
+            TelemetryStream
+        }
+
+        /// Always the empty summary.
+        #[inline(always)]
+        pub fn stop(self) -> StreamSummary {
+            StreamSummary::default()
+        }
+    }
+}
+
+#[cfg(not(feature = "instrument"))]
+pub use inert_stream::TelemetryStream;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{HistogramStat, PhaseStat};
+    use crate::window::WindowStats;
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let snap = Snapshot {
+            phases: vec![PhaseStat {
+                phase: PhaseId::Dispatch,
+                calls: 4,
+                total_ns: 400,
+            }],
+            counters: vec![("pool.dispatches".into(), 4)],
+            gauges: vec![("pool.workers".into(), 4.0)],
+            histograms: vec![HistogramStat {
+                name: "pool.dispatch_ns".into(),
+                count: 3,
+                sum: 300,
+                min: 50,
+                max: 200,
+                buckets: vec![(64, 1), (256, 2)],
+            }],
+        };
+        let text = prometheus_text(&snap);
+        assert!(text.contains("# TYPE pp_histogram histogram\n"));
+        assert!(text.contains("pp_phase_ns_total{phase=\"dispatch\"} 400\n"));
+        assert!(text.contains("pp_counter_total{name=\"pool.dispatches\"} 4\n"));
+        assert!(text.contains("pp_gauge{name=\"pool.workers\"} 4.000\n"));
+        // Buckets are cumulative and closed by +Inf.
+        assert!(text.contains("pp_histogram_bucket{name=\"pool.dispatch_ns\",le=\"64\"} 1\n"));
+        assert!(text.contains("pp_histogram_bucket{name=\"pool.dispatch_ns\",le=\"256\"} 3\n"));
+        assert!(text.contains("pp_histogram_bucket{name=\"pool.dispatch_ns\",le=\"+Inf\"} 3\n"));
+        assert!(text.contains("pp_histogram_count{name=\"pool.dispatch_ns\"} 3\n"));
+    }
+
+    #[test]
+    fn record_extra_annotates_roofline_and_breaches() {
+        let window = WindowStats {
+            span_ns: 1_000_000,
+            epochs: 1,
+            phases: vec![PhaseStat {
+                phase: PhaseId::SolvePttrs,
+                calls: 10,
+                total_ns: 10_000_000,
+            }],
+            ..WindowStats::default()
+        };
+        let spec = RooflineSpec {
+            device: Device::icelake(),
+            nx: 128,
+            nv: 128,
+            anchor: PhaseId::SolvePttrs,
+        };
+        let extra = record_extra(&window, Some(&spec), &["pool.dispatch_ns".into()]);
+        assert!(extra.contains("\"roofline\": {\"device\""));
+        assert!(extra.contains("\"glups\""));
+        assert!(extra.ends_with("\"breaches\": [\"pool.dispatch_ns\"]"));
+
+        // No anchor calls in the window -> null annotation.
+        let empty = WindowStats::default();
+        let extra = record_extra(&empty, Some(&spec), &[]);
+        assert!(extra.starts_with(", \"roofline\": null"));
+        assert!(extra.ends_with("\"breaches\": []"));
+    }
+}

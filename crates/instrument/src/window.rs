@@ -1,0 +1,523 @@
+//! Sliding-window views of the cumulative telemetry.
+//!
+//! [`Snapshot`] is a one-shot cumulative dump: good for post-mortem
+//! attribution, useless for answering "what is the dispatch p99 *right
+//! now*". This module adds the online view. The design exploits the fact
+//! that every aggregate the layer records — phase ns/call totals,
+//! counters, log2 histogram buckets — is *monotone non-decreasing*: a
+//! sliding window over `[t-W, t]` is exactly `cumulative(t) −
+//! cumulative(t−W)`.
+//!
+//! So the hot path does not change at all (recording still lands in the
+//! same relaxed atomics; nothing new is locked or allocated per sample).
+//! The only new machinery is an **epoch ring**: [`window_tick`] captures
+//! the current cumulative totals into a bounded ring of per-epoch
+//! blocks (the sampler thread in [`crate::stream`] calls it once per
+//! period), and [`window_snapshot`] subtracts the block `n` epochs back
+//! from the live totals to produce a [`WindowStats`].
+//!
+//! Windowed histogram `min`/`max` cannot be recovered from monotone
+//! state; they are approximated from the lowest/highest non-empty
+//! *windowed* bucket (exact to a factor of 2, same resolution as the
+//! quantiles). Gauges are last-write-wins, not monotone — a window
+//! reports their current values.
+//!
+//! With the `instrument` feature off the ring does not exist (no
+//! statics), [`window_tick`] is an inlined no-op and [`window_snapshot`]
+//! returns an empty [`WindowStats`] — the PR-4 inert contract.
+
+use crate::phase::PhaseId;
+use crate::snapshot::{json_escape, json_f64, HistogramStat, PhaseStat, Snapshot};
+use std::fmt::Write as _;
+
+/// Schema version stamped into every JSON/JSONL document this workspace
+/// emits (snapshots, traces, fault dumps, streamed telemetry, bench
+/// baselines). Bump on any breaking field change; `bench_gate` fails by
+/// name on mismatch instead of silently parsing.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Aggregates observed inside one time window: the windowed delta of
+/// every monotone aggregate plus the current gauge values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WindowStats {
+    /// Wall nanoseconds the window spans.
+    pub span_ns: u64,
+    /// Completed epochs the window covers (0 = since process start).
+    pub epochs: usize,
+    /// Windowed per-phase deltas, zero-call phases omitted.
+    pub phases: Vec<PhaseStat>,
+    /// Windowed counter deltas, name-sorted, zero deltas omitted.
+    pub counters: Vec<(String, u64)>,
+    /// Current gauge values (gauges are not monotone; no delta exists).
+    pub gauges: Vec<(String, f64)>,
+    /// Windowed histogram deltas, name-sorted, empty ones omitted.
+    /// `min`/`max` are bucket-bound approximations (see module docs).
+    pub histograms: Vec<HistogramStat>,
+}
+
+impl WindowStats {
+    /// The windowed delta `now − base` between two cumulative
+    /// snapshots. Subtraction saturates, so a `reset()` between the two
+    /// captures degrades to smaller windows rather than panicking.
+    pub fn between(now: &Snapshot, base: &Snapshot, span_ns: u64, epochs: usize) -> WindowStats {
+        let phases = PhaseId::ALL
+            .iter()
+            .filter_map(|&p| {
+                let calls = now.phase_calls(p).saturating_sub(base.phase_calls(p));
+                let total_ns = now.phase_total_ns(p).saturating_sub(base.phase_total_ns(p));
+                (calls > 0).then_some(PhaseStat {
+                    phase: p,
+                    calls,
+                    total_ns,
+                })
+            })
+            .collect();
+
+        let counters = now
+            .counters
+            .iter()
+            .filter_map(|(name, v)| {
+                let d = v.saturating_sub(base.counter_value(name));
+                (d > 0).then(|| (name.clone(), d))
+            })
+            .collect();
+
+        let histograms = now
+            .histograms
+            .iter()
+            .filter_map(|h| {
+                let base_h = base.histogram(&h.name);
+                let buckets: Vec<(u64, u64)> = h
+                    .buckets
+                    .iter()
+                    .filter_map(|&(upper, n)| {
+                        let base_n = base_h.map_or(0, |bh| {
+                            bh.buckets
+                                .iter()
+                                .find(|&&(u, _)| u == upper)
+                                .map_or(0, |&(_, c)| c)
+                        });
+                        let d = n.saturating_sub(base_n);
+                        (d > 0).then_some((upper, d))
+                    })
+                    .collect();
+                let count = h.count.saturating_sub(base_h.map_or(0, |bh| bh.count));
+                (count > 0).then(|| HistogramStat {
+                    name: h.name.clone(),
+                    count,
+                    sum: h.sum.saturating_sub(base_h.map_or(0, |bh| bh.sum)),
+                    min: buckets.first().map_or(0, |&(upper, _)| bucket_lower(upper)),
+                    max: buckets.last().map_or(0, |&(upper, _)| upper),
+                    buckets,
+                })
+            })
+            .collect();
+
+        WindowStats {
+            span_ns,
+            epochs,
+            phases,
+            counters: counters_sorted(counters),
+            gauges: now.gauges.clone(),
+            histograms,
+        }
+    }
+
+    /// Merge two adjacent windows into one. Monotone aggregates add;
+    /// gauges take `later`'s values (last-write-wins); histogram
+    /// `min`/`max` combine as min/max. The operation is associative —
+    /// property-tested in `tests/window.rs` — so per-epoch blocks can be
+    /// coalesced in any grouping.
+    pub fn merge(&self, later: &WindowStats) -> WindowStats {
+        let phases = PhaseId::ALL
+            .iter()
+            .filter_map(|&p| {
+                let calls = phase_calls(self, p) + phase_calls(later, p);
+                let total_ns = phase_total_ns(self, p) + phase_total_ns(later, p);
+                (calls > 0).then_some(PhaseStat {
+                    phase: p,
+                    calls,
+                    total_ns,
+                })
+            })
+            .collect();
+
+        let mut counters: std::collections::BTreeMap<String, u64> =
+            self.counters.iter().cloned().collect();
+        for (name, v) in &later.counters {
+            *counters.entry(name.clone()).or_insert(0) += v;
+        }
+
+        let mut gauges: std::collections::BTreeMap<String, f64> =
+            self.gauges.iter().cloned().collect();
+        for (name, v) in &later.gauges {
+            gauges.insert(name.clone(), *v);
+        }
+
+        let mut hists: std::collections::BTreeMap<String, HistogramStat> = self
+            .histograms
+            .iter()
+            .map(|h| (h.name.clone(), h.clone()))
+            .collect();
+        for h in &later.histograms {
+            match hists.get_mut(&h.name) {
+                None => {
+                    hists.insert(h.name.clone(), h.clone());
+                }
+                Some(acc) => {
+                    acc.count += h.count;
+                    acc.sum += h.sum;
+                    acc.min = acc.min.min(h.min);
+                    acc.max = acc.max.max(h.max);
+                    let mut merged: std::collections::BTreeMap<u64, u64> =
+                        acc.buckets.iter().cloned().collect();
+                    for &(upper, n) in &h.buckets {
+                        *merged.entry(upper).or_insert(0) += n;
+                    }
+                    acc.buckets = merged.into_iter().collect();
+                }
+            }
+        }
+
+        WindowStats {
+            span_ns: self.span_ns + later.span_ns,
+            epochs: self.epochs + later.epochs,
+            phases,
+            counters: counters.into_iter().collect(),
+            gauges: gauges.into_iter().collect(),
+            histograms: hists.into_values().collect(),
+        }
+    }
+
+    /// True when the window saw no activity at all.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty() && self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// The windowed histogram named `name`, if any samples landed in the
+    /// window.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramStat> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Windowed calls recorded against `phase` (0 if absent).
+    pub fn phase_calls(&self, phase: PhaseId) -> u64 {
+        phase_calls(self, phase)
+    }
+
+    /// Windowed nanoseconds recorded against `phase` (0 if absent).
+    pub fn phase_total_ns(&self, phase: PhaseId) -> u64 {
+        phase_total_ns(self, phase)
+    }
+
+    /// One-line JSON object (no trailing newline) — the JSONL record
+    /// body used by [`crate::TelemetryStream`]. Schema-versioned; histogram
+    /// entries carry windowed p50/p99 upper bounds. `extra` is spliced
+    /// verbatim before the closing brace (must be `""` or start with
+    /// `", "`) — the streamer uses it for roofline/breach annotations.
+    pub fn to_jsonl(&self, seq: u64, t_ns: u64, extra: &str) -> String {
+        let mut j = format!(
+            "{{\"schema_version\": {SCHEMA_VERSION}, \"seq\": {seq}, \"t_ns\": {t_ns}, \
+             \"span_ns\": {}, \"epochs\": {}, \"phases\": [",
+            self.span_ns, self.epochs
+        );
+        for (k, s) in self.phases.iter().enumerate() {
+            let _ = write!(
+                j,
+                "{}{{\"phase\": \"{}\", \"calls\": {}, \"total_ns\": {}}}",
+                if k == 0 { "" } else { ", " },
+                s.phase.name(),
+                s.calls,
+                s.total_ns,
+            );
+        }
+        j.push_str("], \"counters\": {");
+        for (k, (name, v)) in self.counters.iter().enumerate() {
+            let _ = write!(
+                j,
+                "{}\"{}\": {v}",
+                if k == 0 { "" } else { ", " },
+                json_escape(name)
+            );
+        }
+        j.push_str("}, \"gauges\": {");
+        for (k, (name, v)) in self.gauges.iter().enumerate() {
+            let _ = write!(
+                j,
+                "{}\"{}\": {}",
+                if k == 0 { "" } else { ", " },
+                json_escape(name),
+                json_f64(*v)
+            );
+        }
+        j.push_str("}, \"histograms\": [");
+        for (k, h) in self.histograms.iter().enumerate() {
+            let _ = write!(
+                j,
+                "{}{{\"name\": \"{}\", \"count\": {}, \"mean\": {}, \"p50_le\": {}, \
+                 \"p99_le\": {}}}",
+                if k == 0 { "" } else { ", " },
+                json_escape(&h.name),
+                h.count,
+                json_f64(h.mean()),
+                h.quantile_upper_bound(0.50),
+                h.quantile_upper_bound(0.99),
+            );
+        }
+        j.push(']');
+        j.push_str(extra);
+        j.push('}');
+        j
+    }
+}
+
+fn phase_calls(w: &WindowStats, phase: PhaseId) -> u64 {
+    w.phases
+        .iter()
+        .find(|s| s.phase == phase)
+        .map_or(0, |s| s.calls)
+}
+
+fn phase_total_ns(w: &WindowStats, phase: PhaseId) -> u64 {
+    w.phases
+        .iter()
+        .find(|s| s.phase == phase)
+        .map_or(0, |s| s.total_ns)
+}
+
+fn counters_sorted(mut v: Vec<(String, u64)>) -> Vec<(String, u64)> {
+    v.sort_by(|a, b| a.0.cmp(&b.0));
+    v
+}
+
+/// Inclusive lower bound of the log2 bucket whose exclusive upper bound
+/// is `upper`: bucket 0 (`upper == 1`) holds only zero, the overflow
+/// bucket (`upper == u64::MAX`) starts at `2^63`.
+fn bucket_lower(upper: u64) -> u64 {
+    match upper {
+        1 => 0,
+        u64::MAX => 1 << 63,
+        u => u / 2,
+    }
+}
+
+#[cfg(feature = "instrument")]
+mod ring {
+    use super::*;
+    use crate::env::env_usize_clamped;
+    use std::collections::VecDeque;
+    use std::sync::{Mutex, OnceLock};
+    use std::time::Instant;
+
+    /// One epoch boundary: the cumulative totals at capture time.
+    struct EpochBlock {
+        t_ns: u64,
+        cum: Snapshot,
+    }
+
+    struct Ring {
+        cap: usize,
+        blocks: VecDeque<EpochBlock>,
+    }
+
+    static RING: Mutex<Option<Ring>> = Mutex::new(None);
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+
+    fn now_ns() -> u64 {
+        ORIGIN.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    }
+
+    /// Ring capacity: `PP_TELEMETRY_EPOCHS` (default 120, clamped to
+    /// [2, 4096]); warn-once on malformed values.
+    fn ring_cap() -> usize {
+        static CAP: OnceLock<usize> = OnceLock::new();
+        *CAP.get_or_init(|| env_usize_clamped("PP_TELEMETRY_EPOCHS", 2, 4096).unwrap_or(120))
+    }
+
+    pub fn window_tick() {
+        let block = EpochBlock {
+            t_ns: now_ns(),
+            cum: Snapshot::capture(),
+        };
+        let mut guard = RING.lock().unwrap();
+        let ring = guard.get_or_insert_with(|| Ring {
+            cap: ring_cap(),
+            blocks: VecDeque::new(),
+        });
+        if ring.blocks.len() == ring.cap {
+            ring.blocks.pop_front();
+        }
+        ring.blocks.push_back(block);
+    }
+
+    pub fn window_snapshot(epochs: usize) -> WindowStats {
+        let now = Snapshot::capture();
+        let t_now = now_ns();
+        let guard = RING.lock().unwrap();
+        let base = guard.as_ref().and_then(|ring| {
+            if epochs == 0 || ring.blocks.is_empty() {
+                None
+            } else {
+                // The block `epochs` ticks back (clamped to the oldest
+                // surviving one): the window is that many completed
+                // epochs plus the in-progress partial epoch.
+                let idx = ring.blocks.len().saturating_sub(epochs);
+                Some(&ring.blocks[idx])
+            }
+        });
+        match base {
+            None => WindowStats::between(&now, &Snapshot::default(), t_now, 0),
+            Some(b) => {
+                let covered = guard.as_ref().map_or(0, |r| {
+                    r.blocks.len() - r.blocks.len().saturating_sub(epochs)
+                });
+                WindowStats::between(&now, &b.cum, t_now.saturating_sub(b.t_ns), covered)
+            }
+        }
+    }
+
+    /// Drop every captured epoch (used by `reset()` so cumulative and
+    /// windowed state clear together).
+    pub fn window_reset() {
+        if let Some(ring) = RING.lock().unwrap().as_mut() {
+            ring.blocks.clear();
+        }
+    }
+
+    /// Monotonic nanoseconds since the window clock's origin — the
+    /// timestamp base used in streamed records.
+    pub fn window_now_ns() -> u64 {
+        now_ns()
+    }
+}
+
+#[cfg(feature = "instrument")]
+pub use ring::{window_now_ns, window_reset, window_snapshot, window_tick};
+
+#[cfg(not(feature = "instrument"))]
+mod inert_ring {
+    use super::WindowStats;
+
+    /// No-op.
+    #[inline(always)]
+    pub fn window_tick() {}
+
+    /// Always empty.
+    #[inline(always)]
+    pub fn window_snapshot(_epochs: usize) -> WindowStats {
+        WindowStats::default()
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn window_reset() {}
+
+    /// Always zero.
+    #[inline(always)]
+    pub fn window_now_ns() -> u64 {
+        0
+    }
+}
+
+#[cfg(not(feature = "instrument"))]
+pub use inert_ring::{window_now_ns, window_reset, window_snapshot, window_tick};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(name: &str, buckets: &[(u64, u64)]) -> HistogramStat {
+        let count = buckets.iter().map(|&(_, n)| n).sum();
+        HistogramStat {
+            name: name.into(),
+            count,
+            sum: count * 3,
+            min: buckets.first().map_or(0, |&(u, _)| bucket_lower(u)),
+            max: buckets.last().map_or(0, |&(u, _)| u),
+            buckets: buckets.to_vec(),
+        }
+    }
+
+    #[test]
+    fn between_diffs_monotone_aggregates() {
+        let base = Snapshot {
+            phases: vec![PhaseStat {
+                phase: PhaseId::Dispatch,
+                calls: 10,
+                total_ns: 1_000,
+            }],
+            counters: vec![("c".into(), 5)],
+            gauges: vec![("g".into(), 1.0)],
+            histograms: vec![hist("h", &[(8, 4)])],
+        };
+        let now = Snapshot {
+            phases: vec![PhaseStat {
+                phase: PhaseId::Dispatch,
+                calls: 13,
+                total_ns: 1_900,
+            }],
+            counters: vec![("c".into(), 9)],
+            gauges: vec![("g".into(), 2.5)],
+            histograms: vec![hist("h", &[(8, 6), (1024, 1)])],
+        };
+        let w = WindowStats::between(&now, &base, 500, 2);
+        assert_eq!(w.span_ns, 500);
+        assert_eq!(w.epochs, 2);
+        assert_eq!(w.phase_calls(PhaseId::Dispatch), 3);
+        assert_eq!(w.phase_total_ns(PhaseId::Dispatch), 900);
+        assert_eq!(w.counters, vec![("c".into(), 4)]);
+        assert_eq!(w.gauges, vec![("g".into(), 2.5)]);
+        let h = w.histogram("h").expect("windowed histogram");
+        assert_eq!(h.count, 3);
+        assert_eq!(h.buckets, vec![(8, 2), (1024, 1)]);
+        // Bucket-bound approximations.
+        assert_eq!(h.min, 4);
+        assert_eq!(h.max, 1024);
+    }
+
+    #[test]
+    fn between_saturates_across_reset() {
+        let base = Snapshot {
+            counters: vec![("c".into(), 100)],
+            ..Snapshot::default()
+        };
+        let now = Snapshot {
+            counters: vec![("c".into(), 3)],
+            ..Snapshot::default()
+        };
+        let w = WindowStats::between(&now, &base, 1, 1);
+        // A reset between captures shrinks the window to the post-reset
+        // activity instead of underflowing.
+        assert!(w.counters.is_empty());
+    }
+
+    #[test]
+    fn jsonl_record_is_single_line_and_versioned() {
+        let w = WindowStats {
+            span_ns: 42,
+            epochs: 1,
+            phases: vec![PhaseStat {
+                phase: PhaseId::Dispatch,
+                calls: 2,
+                total_ns: 10,
+            }],
+            counters: vec![("c".into(), 1)],
+            gauges: vec![("g".into(), 0.5)],
+            histograms: vec![hist("h", &[(8, 2)])],
+        };
+        let line = w.to_jsonl(7, 99, ", \"roofline\": null");
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with(&format!("{{\"schema_version\": {SCHEMA_VERSION}")));
+        assert!(line.ends_with("\"roofline\": null}"));
+        assert!(line.contains("\"seq\": 7"));
+        assert!(line.contains("\"p99_le\": 8"));
+    }
+
+    #[test]
+    fn bucket_lower_bounds_match_doc() {
+        assert_eq!(bucket_lower(1), 0);
+        assert_eq!(bucket_lower(2), 1);
+        assert_eq!(bucket_lower(1024), 512);
+        assert_eq!(bucket_lower(u64::MAX), 1 << 63);
+    }
+}

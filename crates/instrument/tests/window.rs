@@ -1,0 +1,210 @@
+//! Property tests for the telemetry primitives the online runtime leans
+//! on: log2 histogram bucket boundaries (through the public record →
+//! capture path) and windowed-merge associativity.
+//!
+//! `pp-portable`'s `TestRng` would be a circular dev-dependency, so the
+//! file carries the same splitmix-style generator inline.
+
+use pp_instrument::{
+    enabled, histogram, window_snapshot, window_tick, HistogramStat, PhaseId, PhaseStat, Snapshot,
+    WindowStats,
+};
+
+/// splitmix64 — deterministic, no deps; good enough to sweep u64s.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// The documented bucket for a sample: bucket 0 holds only zero
+/// (upper bound 1); bucket `b ≥ 1` spans `[2^(b-1), 2^b)` and reports
+/// upper bound `2^b`; the overflow bucket reports `u64::MAX`.
+fn documented_upper(v: u64) -> u64 {
+    if v == 0 {
+        return 1;
+    }
+    let b = 64 - v.leading_zeros() as usize;
+    if b >= 64 {
+        u64::MAX
+    } else {
+        1u64 << b
+    }
+}
+
+fn observed_upper(name: &'static str, v: u64) -> u64 {
+    histogram(name).record(v);
+    let snap = Snapshot::capture();
+    let h = snap.histogram(name).expect("histogram exists");
+    assert_eq!(h.count, 1, "{name}: exactly one sample");
+    assert_eq!(h.buckets.len(), 1, "{name}: exactly one bucket");
+    h.buckets[0].0
+}
+
+#[test]
+fn bucket_boundaries_land_where_documented() {
+    if !enabled() {
+        return;
+    }
+    // The fixed points the satellite names: zero, exact powers of two
+    // (both sides of each boundary), and u64::MAX.
+    assert_eq!(observed_upper("win.prop.zero", 0), 1);
+    assert_eq!(observed_upper("win.prop.one", 1), 2);
+    assert_eq!(observed_upper("win.prop.max", u64::MAX), u64::MAX);
+    static POW_NAMES: [&str; 4] = ["win.prop.p1", "win.prop.p7", "win.prop.p32", "win.prop.p63"];
+    for (name, k) in POW_NAMES.iter().zip([1u32, 7, 32, 63]) {
+        let v = 1u64 << k;
+        // 2^k is the *inclusive lower* edge of its bucket: upper 2^(k+1).
+        assert_eq!(observed_upper(name, v), documented_upper(v), "2^{k}");
+        assert_eq!(documented_upper(v - 1), 1u64 << k, "2^{k} - 1");
+    }
+}
+
+#[test]
+fn random_samples_fall_inside_their_reported_bucket() {
+    if !enabled() {
+        return;
+    }
+    let mut rng = Rng(0x5eed_0001);
+    let h = histogram("win.prop.sweep");
+    let mut recorded: Vec<u64> = Vec::new();
+    for _ in 0..512 {
+        // Bias across magnitudes: random width, then random value.
+        let shift = (rng.next() % 64) as u32;
+        let v = rng.next() >> shift;
+        h.record(v);
+        recorded.push(v);
+    }
+    let snap = Snapshot::capture();
+    let stat = snap.histogram("win.prop.sweep").expect("histogram");
+    assert_eq!(stat.count, 512);
+    // Every reported bucket count matches a hand-binned reference.
+    for &(upper, n) in &stat.buckets {
+        let expect = recorded
+            .iter()
+            .filter(|&&v| documented_upper(v) == upper)
+            .count() as u64;
+        assert_eq!(n, expect, "bucket le={upper}");
+    }
+    assert_eq!(
+        stat.buckets.iter().map(|&(_, n)| n).sum::<u64>(),
+        512,
+        "no sample lost between buckets"
+    );
+}
+
+fn random_window(rng: &mut Rng) -> WindowStats {
+    let mut phases = Vec::new();
+    // Declaration order matters: merge() rebuilds phase lists in
+    // `PhaseId::ALL` order, so the generator emits them the same way.
+    for phase in [PhaseId::Assemble, PhaseId::SolvePttrs, PhaseId::Dispatch] {
+        if rng.next() % 2 == 0 {
+            phases.push(PhaseStat {
+                phase,
+                calls: rng.next() % 1_000 + 1,
+                total_ns: rng.next() % 1_000_000,
+            });
+        }
+    }
+    let counters = (0..rng.next() % 3)
+        .map(|i| (format!("c{i}"), rng.next() % 100 + 1))
+        .collect();
+    let gauges = (0..rng.next() % 3)
+        .map(|i| (format!("g{i}"), (rng.next() % 1_000) as f64 / 8.0))
+        .collect();
+    let histograms = (0..rng.next() % 3)
+        .map(|i| {
+            let buckets: Vec<(u64, u64)> = (0..rng.next() % 5 + 1)
+                .map(|_| {
+                    let b = rng.next() % 63 + 1;
+                    (1u64 << b, rng.next() % 50 + 1)
+                })
+                .collect::<std::collections::BTreeMap<u64, u64>>()
+                .into_iter()
+                .collect();
+            let count = buckets.iter().map(|&(_, n)| n).sum();
+            HistogramStat {
+                name: format!("h{i}"),
+                count,
+                sum: rng.next() % 10_000,
+                min: buckets.first().map_or(0, |&(u, _)| u / 2),
+                max: buckets.last().map_or(0, |&(u, _)| u),
+                buckets,
+            }
+        })
+        .collect();
+    WindowStats {
+        span_ns: rng.next() % 1_000_000,
+        epochs: (rng.next() % 8) as usize,
+        phases,
+        counters,
+        gauges,
+        histograms,
+    }
+}
+
+#[test]
+fn windowed_merge_is_associative() {
+    // Pure plain-data property: holds in both feature modes. Counter,
+    // phase, and bucket merges are u64 additions; gauges are
+    // last-write-wins; min/max combine as min/max — all associative,
+    // and the overlapping-name cases are exercised because the
+    // generator draws from a small name pool.
+    let mut rng = Rng(0xa550_c1a7e);
+    for round in 0..200 {
+        let a = random_window(&mut rng);
+        let b = random_window(&mut rng);
+        let c = random_window(&mut rng);
+        let left = a.merge(&b).merge(&c);
+        let right = a.merge(&b.merge(&c));
+        assert_eq!(left, right, "round {round}");
+    }
+}
+
+#[test]
+fn merge_identity_is_the_empty_window() {
+    let mut rng = Rng(0x1d);
+    for _ in 0..50 {
+        let a = random_window(&mut rng);
+        let empty = WindowStats::default();
+        assert_eq!(empty.merge(&a), a.merge(&empty));
+        let merged = a.merge(&empty);
+        // Monotone aggregates survive merging with the identity
+        // (gauges too: the identity has none to overwrite with).
+        assert_eq!(merged.phases, a.phases);
+        assert_eq!(merged.counters, a.counters);
+        assert_eq!(merged.histograms.len(), a.histograms.len());
+    }
+}
+
+#[test]
+fn window_sees_only_recent_epochs() {
+    if !enabled() {
+        // Inert build: the ring does not exist and windows are empty.
+        window_tick();
+        assert!(window_snapshot(4).is_empty());
+        return;
+    }
+    let h = histogram("win.recent");
+    for _ in 0..100 {
+        h.record(1 << 4);
+    }
+    window_tick();
+    for _ in 0..7 {
+        h.record(1 << 20);
+    }
+    // Window of 1 epoch: only the 7 post-tick samples.
+    let w = window_snapshot(1);
+    let stat = w.histogram("win.recent").expect("windowed histogram");
+    assert_eq!(stat.count, 7);
+    assert_eq!(stat.buckets, vec![(1 << 21, 7)]);
+    // Zero epochs means "since process start": both batches visible.
+    let wide = window_snapshot(0);
+    assert!(wide.histogram("win.recent").expect("wide").count >= 107);
+}

@@ -57,6 +57,7 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 #![allow(clippy::int_plus_one)]
 
+pub mod adaptive;
 pub mod block;
 pub mod budget;
 pub mod error;
@@ -72,6 +73,9 @@ pub mod strided;
 pub mod testrng;
 pub mod transpose;
 
+pub use adaptive::{
+    adaptive_enabled, dispatch_ewma_ns, lane_cost_ewma_ns, set_adaptive_override, TileTuner,
+};
 pub use block::{for_each_lane_block_mut, BlockMut};
 pub use budget::{Budget, CancelToken, DispatchOutcome};
 pub use error::{Error, Result};

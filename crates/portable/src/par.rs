@@ -93,7 +93,12 @@ pub fn parallel_for<F: Fn(usize) + Sync>(n: usize, f: F) {
         }
         return;
     }
-    let chunk = n.div_ceil(threads * CHUNKS_PER_WORKER).max(1);
+    // The static chunk is the load-balance bound; adaptation may shrink
+    // it for expensive lanes (live per-lane cost estimate), never grow
+    // it. Chunk boundaries change scheduling only — lane outputs are
+    // identical either way.
+    let static_chunk = n.div_ceil(threads * CHUNKS_PER_WORKER).max(1);
+    let chunk = crate::adaptive::adaptive_for_chunk(static_chunk);
     pool::global().dispatch(n, chunk, &f);
 }
 
@@ -129,7 +134,12 @@ where
         // SAFETY: `i < n` and each `i` is produced exactly once.
         f(i, unsafe { &mut *slots.0.add(i) });
     };
-    pool::global().dispatch(n, 1, &run);
+    // Static policy is the finest granularity (chunk 1); when the live
+    // per-lane estimate says lanes are cheap, claims are batched up —
+    // but never past the `parallel_for`-style balance ceiling, so
+    // ragged lanes still cannot serialise the batch.
+    let ceiling = n.div_ceil(threads * CHUNKS_PER_WORKER).max(1);
+    pool::global().dispatch(n, crate::adaptive::adaptive_each_chunk(ceiling), &run);
 }
 
 /// [`parallel_for`] under a [`Budget`]: stops claiming new chunks once
@@ -145,7 +155,11 @@ pub fn parallel_for_budgeted<F: Fn(usize) + Sync>(
     f: F,
 ) -> DispatchOutcome {
     let threads = num_threads().min(n);
-    let chunk = n.div_ceil(threads.max(1) * CHUNKS_PER_WORKER).max(1);
+    // Deadline overshoot is bounded by one chunk of lane work, so the
+    // adaptive chunk (always ≤ the static one) can only tighten the
+    // deadline contract, never loosen it.
+    let static_chunk = n.div_ceil(threads.max(1) * CHUNKS_PER_WORKER).max(1);
+    let chunk = crate::adaptive::adaptive_for_chunk(static_chunk);
     if threads <= 1 || pool::in_dispatch() {
         pool::note_inline_dispatch();
         return serial_for_budgeted(n, chunk, budget, &f);
@@ -197,6 +211,8 @@ where
         // SAFETY: `i < n` and each `i` is produced exactly once.
         f(i, unsafe { &mut *slots.0.add(i) });
     };
+    // Chunk 1 stays static here: the chunk is the cancellation
+    // granularity, and budgeted callers opted into the tightest one.
     pool::global().dispatch_budgeted(n, 1, Some(budget), &run)
 }
 
@@ -238,6 +254,10 @@ pub fn parallel_sum<F: Fn(usize) -> f64 + Sync>(n: usize, f: F) -> f64 {
         pool::note_inline_dispatch();
         return (0..n).map(f).sum();
     }
+    // Deliberately NOT adaptive: the chunk size *is* the partial-sum
+    // bracketing, so a live-telemetry-driven chunk would make the
+    // floating-point result depend on recent scheduling history. The
+    // bracketing must stay a function of `n` and the worker budget only.
     let chunk = n.div_ceil(threads * CHUNKS_PER_WORKER).max(1);
     let nchunks = n.div_ceil(chunk);
     let mut partials = vec![0.0f64; nchunks];

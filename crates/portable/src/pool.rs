@@ -434,10 +434,13 @@ fn worker_loop(shared: &'static Shared, id: usize) {
     let mut seen = 0u64;
     loop {
         // Wait for the next generation: spin briefly on the fast-path
-        // counter, then park on the condvar.
+        // counter, then park on the condvar. The spin budget adapts to
+        // the live dispatch-latency EWMA (static `SPIN` until seeded or
+        // when `PP_ADAPTIVE=0`).
         let idle_from = Instant::now();
         let mut spins = 0usize;
-        while shared.generation.load(Ordering::Acquire) == seen && spins < spin_budget() {
+        let budget = crate::adaptive::adaptive_spin(spin_budget());
+        while shared.generation.load(Ordering::Acquire) == seen && spins < budget {
             std::hint::spin_loop();
             spins += 1;
         }
@@ -542,6 +545,11 @@ impl Pool {
         }
 
         let timer = instrument::Timer::start();
+        // Adaptation feed: timed with a real clock in both feature modes
+        // (the inert Timer reports zero), so the feature-off build — the
+        // one `dispatch_overhead` gates — adapts too. Skipped entirely
+        // when `PP_ADAPTIVE=0`, keeping the static policy's cost profile.
+        let adaptive_t0 = crate::adaptive::adaptive_enabled().then(Instant::now);
         let span = instrument::Span::enter(instrument::PhaseId::Dispatch);
         let serialised = lock_pool(&self.dispatch_lock);
         let next = AtomicUsize::new(0);
@@ -592,7 +600,8 @@ impl Pool {
         // trip cancels the budget (so cooperative checkpoints drain) and
         // is recorded before the wait — soundly — resumes.
         let mut spins = 0usize;
-        while done.load(Ordering::Acquire) < joined_count && spins < spin_budget() {
+        let spin_limit = crate::adaptive::adaptive_spin(spin_budget());
+        while done.load(Ordering::Acquire) < joined_count && spins < spin_limit {
             std::hint::spin_loop();
             spins += 1;
         }
@@ -646,6 +655,11 @@ impl Pool {
         // Begin/End pair; the timer feeds the latency histogram.
         drop(span);
         dispatch_latency_histogram().record(timer.elapsed_ns());
+        if let Some(t0) = adaptive_t0 {
+            // `joined_count + 1`: committed workers plus the dispatching
+            // caller all ran lane work.
+            crate::adaptive::note_dispatch(t0.elapsed().as_nanos() as u64, n, joined_count + 1);
+        }
         if let Some(payload) = caller_panic.or(worker_panic) {
             resume_unwind(payload);
         }

@@ -58,6 +58,22 @@ test -s target/BENCH_phases_smoke.json
 grep -q '"version": "Lane interleave"' target/BENCH_phases_smoke.json
 grep -q '"version": "Lane interleave resident"' target/BENCH_phases_smoke.json
 
+# Smoke-run the telemetry runtime end to end: a resident solve loop
+# with the background sampler streaming JSONL + Prometheus snapshots,
+# an injected-slow-lane SLO breach captured as a sentinel fault dump,
+# and an exporter-overhead measurement. The binary exits non-zero if
+# any of its contracts (ticks, breach, dump reason, stream contents)
+# fail. The grep pins the resident-solve gauge into the streamed JSONL
+# so the exporter silently dropping gauges fails tier-1.
+echo "==> telemetry_soak smoke (streaming exporters + SLO sentinel demo)"
+PP_NUM_THREADS=4 cargo run --release -q -p pp-bench --features instrument \
+    --bin telemetry_soak -- --smoke --out target/BENCH_telemetry_smoke.json
+test -s target/BENCH_telemetry_smoke.json
+test -s target/telemetry_stream.jsonl
+test -s target/telemetry.prom
+test -s target/sentinel_demo.json
+grep -q 'soak.resident_solves' target/telemetry_stream.jsonl
+
 # Smoke-run the chaos-soak campaign: seeded fault scenarios (NaN lanes,
 # near-singular systems, slow lanes) under wall-clock budgets. The binary
 # exits non-zero if any invariant (no hang, no silent budget cut, seeded
